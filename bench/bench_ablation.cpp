@@ -1,0 +1,381 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. Offline solver choice — DP knapsack (Algorithm 1) vs the greedy
+//      value/weight heuristic vs the exhaustive optimum on random windows;
+//   2. Lemma 1 lag-bound tightness vs the brute-force worst-case lag;
+//   3. Gap-estimate fidelity — Eq. (4) weight-prediction estimate vs the
+//      measured parameter-distance gap in a real training run;
+//   4. Arrival-model sensitivity — uniform vs diurnal arrivals at equal
+//      mean rate;
+//   5. Epsilon sensitivity of the online scheduler (Eq. 12 idle increment).
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/knapsack.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedco;
+using util::TextTable;
+
+void ablate_knapsack() {
+  util::Rng rng{2024};
+  util::RunningStats dp_ratio;
+  util::RunningStats greedy_ratio;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 4 + rng.uniform_int(std::uint64_t{13});
+    std::vector<core::KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.value = rng.uniform(10.0, 1500.0);   // J saved
+      item.weight = rng.uniform(0.5, 25.0);     // gradient gap
+    }
+    const double capacity = rng.uniform(10.0, 120.0);
+    const auto exact = core::solve_knapsack_exact(items, capacity);
+    if (exact.total_value <= 0.0) continue;
+    dp_ratio.add(core::solve_knapsack(items, capacity, 2000).total_value /
+                 exact.total_value);
+    greedy_ratio.add(core::solve_knapsack_greedy(items, capacity).total_value /
+                     exact.total_value);
+  }
+  TextTable t{"Ablation 1 — offline solver vs exhaustive optimum (200 windows)"};
+  t.set_header({"solver", "mean value ratio", "min value ratio"});
+  t.add_row({"DP (Algorithm 1, grid 2000)", TextTable::num(dp_ratio.mean(), 4),
+             TextTable::num(dp_ratio.min(), 4)});
+  t.add_row({"greedy value/weight", TextTable::num(greedy_ratio.mean(), 4),
+             TextTable::num(greedy_ratio.min(), 4)});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void ablate_lag_bound() {
+  util::Rng rng{2025};
+  util::RunningStats slack;
+  util::RunningStats trivial_slack;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 4 + rng.uniform_int(std::uint64_t{5});
+    std::vector<core::UserWindow> users(n);
+    for (auto& u : users) {
+      u.begin = rng.uniform(0.0, 500.0);
+      u.app_arrival = u.begin + rng.uniform(0.0, 500.0);
+      u.duration = rng.uniform(50.0, 400.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Brute-force worst case over all decision combinations.
+      std::size_t worst = 0;
+      for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+        const double start = ((mask >> i) & 1U) != 0 ? users[i].app_arrival
+                                                     : users[i].begin;
+        std::size_t lag = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double end = (((mask >> j) & 1U) != 0 ? users[j].app_arrival
+                                                      : users[j].begin) +
+                             users[j].duration;
+          if (end >= start && end <= start + users[i].duration) ++lag;
+        }
+        worst = std::max(worst, lag);
+      }
+      const std::size_t bound = core::lag_upper_bound(users, i);
+      slack.add(static_cast<double>(bound - worst));
+      trivial_slack.add(static_cast<double>((n - 1) - worst));
+    }
+  }
+  TextTable t{"Ablation 2 — Lemma 1 lag bound tightness (300 windows)"};
+  t.set_header({"bound", "mean slack vs true worst-case lag"});
+  t.add_row({"Lemma 1", TextTable::num(slack.mean(), 2)});
+  t.add_row({"trivial n-1", TextTable::num(trivial_slack.mean(), 2)});
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void ablate_gap_estimate() {
+  // Real training: compare the Eq. (4) estimate recorded at schedule time
+  // against the measured parameter-distance gap — reported as correlation.
+  core::ExperimentConfig cfg;
+  cfg.scheduler = core::SchedulerKind::kOnline;
+  cfg.num_users = 10;
+  cfg.horizon_slots = 8000;
+  cfg.arrival_probability = 0.002;
+  cfg.seed = 12;
+  cfg.real_training = true;
+  cfg.model = core::ModelKind::kMlp;
+  cfg.dataset.height = 8;
+  cfg.dataset.width = 8;
+  cfg.dataset.train_per_class = 50;
+  cfg.dataset.test_per_class = 10;
+  cfg.eval_interval_s = 2000.0;
+  const auto r = core::run_experiment(cfg);
+  std::vector<double> lags;
+  std::vector<double> gaps;
+  for (const auto& s : r.lag_gap_samples) {
+    lags.push_back(static_cast<double>(s.lag));
+    gaps.push_back(s.gap);
+  }
+  TextTable t{"Ablation 3 — Eq. (4) staleness proxy vs measured gap"};
+  t.set_header({"quantity", "value"});
+  t.add_row({"updates observed", std::to_string(r.total_updates)});
+  t.add_row({"Pearson(lag, measured gap)",
+             TextTable::num(util::pearson(lags, gaps), 3)});
+  t.add_row({"mean measured gap", TextTable::num(r.avg_gap, 3)});
+  t.print(std::cout);
+  std::cout << "(Eq. (4) predicts gap ~ amplification(lag); a positive "
+               "correlation on real parameter\ndistances validates using it "
+               "as the staleness weight.)\n\n";
+}
+
+void ablate_arrival_model() {
+  TextTable t{"Ablation 4 — uniform vs diurnal arrivals (equal mean rate)"};
+  t.set_header({"arrival model", "energy (kJ)", "co-run sessions", "updates"});
+  for (const bool diurnal : {false, true}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 21600;  // 6 h to expose part of the daily cycle
+    cfg.arrival_probability = 0.002;
+    cfg.diurnal = diurnal;
+    cfg.diurnal_swing = 0.9;
+    cfg.seed = 4;
+    const auto r = core::run_experiment(cfg);
+    t.add_row({diurnal ? "diurnal (swing 0.9)" : "uniform",
+               TextTable::num(r.total_energy_j / 1000.0, 1),
+               std::to_string(r.corun_sessions),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void ablate_decision_interval() {
+  // Sec. VII "Energy Overhead": instead of making a decision every slot, the
+  // controller can evaluate Eq. (21) every k slots — decision-compute energy
+  // shrinks by 1/k but co-run windows shorter than k can be missed. The
+  // paper defers this trade-off to an extended version; here it is.
+  TextTable t{"Ablation 5 — scheduling granularity (decision every k slots)"};
+  t.set_header({"k (slots)", "energy (kJ)", "overhead (J)", "co-run", "updates"});
+  for (const sim::Slot k : {sim::Slot{1}, sim::Slot{10}, sim::Slot{60},
+                            sim::Slot{300}}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 10800;
+    cfg.arrival_probability = 0.001;
+    cfg.seed = 31;
+    cfg.decision_interval_slots = k;
+    cfg.decision_eval_seconds = 0.010;  // charged only on evaluation slots
+    const auto r = core::run_experiment(cfg);
+    t.add_row({std::to_string(k),
+               TextTable::num(r.total_energy_j / 1000.0, 1),
+               TextTable::num(r.overhead_j, 1),
+               std::to_string(r.corun_sessions),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(Coarser k cuts controller overhead; past the typical app "
+               "duration (~200 s) co-run\nopportunities start slipping away.)\n\n";
+}
+
+void ablate_upload_loss() {
+  TextTable t{"Ablation 6 — upload failure injection (online scheduler)"};
+  t.set_header({"drop prob", "applied updates", "dropped", "energy (kJ)"});
+  for (const double p : {0.0, 0.1, 0.3}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 10800;
+    cfg.arrival_probability = 0.001;
+    cfg.seed = 41;
+    cfg.upload_drop_probability = p;
+    const auto r = core::run_experiment(cfg);
+    t.add_row({TextTable::num(p, 2), std::to_string(r.total_updates),
+               std::to_string(r.dropped_updates),
+               TextTable::num(r.total_energy_j / 1000.0, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "(Lost uploads burn the session energy without advancing the "
+               "model — the scheduler's\nqueue pressure rises and it "
+               "re-serves the affected users.)\n\n";
+}
+
+void ablate_aggregation() {
+  // The paper's server uses pure replacement; the staleness-mitigation
+  // literature it cites ([10] delay compensation, [11] FedAsync) proposes
+  // smarter rules. Compare all three under the online scheduler with real
+  // training.
+  TextTable t{"Ablation 7 — async aggregation rule (real training, online)"};
+  t.set_header({"rule", "final acc %", "t(acc>=0.5) s", "mean gap", "updates"});
+  for (const auto kind : {fl::AggregationKind::kReplace,
+                          fl::AggregationKind::kFedAsync,
+                          fl::AggregationKind::kDelayComp}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 10800;
+    cfg.arrival_probability = 0.001;
+    cfg.seed = 3;
+    cfg.real_training = true;
+    cfg.model = core::ModelKind::kLenetSmall;
+    cfg.dataset.height = 16;
+    cfg.dataset.width = 16;
+    cfg.dataset.train_per_class = 200;
+    cfg.dataset.test_per_class = 40;
+    cfg.dataset.seed = 7;
+    cfg.eval_interval_s = 600.0;
+    cfg.aggregation.kind = kind;
+    const auto r = core::run_experiment(cfg);
+    const double t50 = r.time_to_accuracy(0.5);
+    t.add_row({std::string{fl::aggregation_name(kind)},
+               TextTable::num(100.0 * r.final_accuracy, 1),
+               t50 < 0 ? "never" : TextTable::num(t50, 0),
+               TextTable::num(r.avg_gap, 3),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(FedAsync's staleness-decayed mixing damps the realised gap "
+               "per update; replacement is\nthe paper's semantics and the "
+               "fastest mover per update.)\n\n";
+}
+
+void ablate_thermal() {
+  // The paper's straggler motivation (Sec. I): sustained training triggers
+  // thermal throttling. Board-class silicon heats into the throttle band
+  // under immediate scheduling; the online scheduler's idle gaps avoid most
+  // throttled session starts.
+  TextTable t{"Ablation 8 — thermal throttling stragglers (HiKey970 fleet)"};
+  t.set_header({"scheme", "max temp C", "worst slowdown", "throttled/total",
+                "updates"});
+  for (const auto kind : {core::SchedulerKind::kImmediate,
+                          core::SchedulerKind::kOnline}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 10800;
+    cfg.arrival_probability = 0.001;
+    cfg.seed = 37;
+    cfg.fixed_device = device::DeviceKind::kHikey970;
+    cfg.enable_thermal = true;
+    const auto r = core::run_experiment(cfg);
+    t.add_row({core::scheduler_name(kind),
+               TextTable::num(r.max_temperature_c, 1),
+               TextTable::num(r.worst_throttle_factor, 2),
+               std::to_string(r.throttled_sessions) + "/" +
+                   std::to_string(r.corun_sessions + r.separate_sessions),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(Back-to-back training keeps the die in the throttle band — "
+               "the paper's straggler\nmechanism; deferred scheduling starts "
+               "sessions cool.)\n\n";
+}
+
+core::ExperimentConfig mitigation_config() {
+  core::ExperimentConfig cfg;
+  cfg.scheduler = core::SchedulerKind::kOnline;
+  cfg.num_users = 25;
+  cfg.horizon_slots = 10800;
+  cfg.arrival_probability = 0.001;
+  cfg.seed = 3;
+  cfg.real_training = true;
+  cfg.model = core::ModelKind::kLenetSmall;
+  cfg.dataset.height = 16;
+  cfg.dataset.width = 16;
+  cfg.dataset.train_per_class = 200;
+  cfg.dataset.test_per_class = 40;
+  cfg.dataset.seed = 7;
+  cfg.eval_interval_s = 600.0;
+  return cfg;
+}
+
+void ablate_mitigations() {
+  // Client-side staleness mitigations from the literature the paper builds
+  // on: gap-aware LR scaling [31] and Eq. (3) weight prediction [32].
+  TextTable t{"Ablation 9 — client-side staleness mitigations (online, real)"};
+  t.set_header({"variant", "final acc %", "t(acc>=0.5) s", "mean gap"});
+  struct Variant {
+    const char* name;
+    bool gap_aware;
+    bool predict;
+  };
+  for (const Variant v : {Variant{"vanilla", false, false},
+                          Variant{"gap-aware lr", true, false},
+                          Variant{"weight prediction", false, true},
+                          Variant{"both", true, true}}) {
+    auto cfg = mitigation_config();
+    cfg.gap_aware_lr = v.gap_aware;
+    cfg.weight_prediction = v.predict;
+    const auto r = core::run_experiment(cfg);
+    const double t50 = r.time_to_accuracy(0.5);
+    t.add_row({v.name, TextTable::num(100.0 * r.final_accuracy, 1),
+               t50 < 0 ? "never" : TextTable::num(t50, 0),
+               TextTable::num(r.avg_gap, 3)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void ablate_noniid() {
+  // Label-skew sensitivity: the paper evaluates an equal (IID) partition of
+  // CIFAR-10; FL deployments are usually non-IID. Dirichlet(alpha) skew
+  // slows convergence for every scheduler but does not change the paper's
+  // energy story (scheduling is data-agnostic).
+  TextTable t{"Ablation 10 — non-IID label skew (online scheduler, real)"};
+  t.set_header({"partition", "final acc %", "t(acc>=0.5) s", "energy (kJ)"});
+  struct Case {
+    const char* label;
+    double alpha;
+  };
+  for (const Case c : {Case{"IID (paper)", 0.0}, Case{"Dirichlet 1.0", 1.0},
+                       Case{"Dirichlet 0.2", 0.2}}) {
+    auto cfg = mitigation_config();
+    cfg.dirichlet_alpha = c.alpha;
+    const auto r = core::run_experiment(cfg);
+    const double t50 = r.time_to_accuracy(0.5);
+    t.add_row({c.label, TextTable::num(100.0 * r.final_accuracy, 1),
+               t50 < 0 ? "never" : TextTable::num(t50, 0),
+               TextTable::num(r.total_energy_j / 1000.0, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "(Sharper skew slows convergence; the energy column barely "
+               "moves — co-running is\northogonal to data heterogeneity.)\n\n";
+}
+
+void ablate_epsilon() {
+  TextTable t{"Ablation 11 — Eq. (12) idle gap increment epsilon"};
+  t.set_header({"epsilon", "energy (kJ)", "avg H", "updates"});
+  for (const double eps : {0.005, 0.05, 0.5}) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 25;
+    cfg.horizon_slots = 10800;
+    cfg.arrival_probability = 0.001;
+    cfg.epsilon = eps;
+    cfg.seed = 21;
+    const auto r = core::run_experiment(cfg);
+    t.add_row({TextTable::num(eps, 3),
+               TextTable::num(r.total_energy_j / 1000.0, 1),
+               TextTable::num(r.avg_queue_h, 1),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(Larger epsilon makes idling look staler, pushing the "
+               "controller toward immediate service.)\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "fedco ablation benches\n\n";
+  ablate_knapsack();
+  ablate_lag_bound();
+  ablate_gap_estimate();
+  ablate_arrival_model();
+  ablate_decision_interval();
+  ablate_upload_loss();
+  ablate_aggregation();
+  ablate_thermal();
+  ablate_mitigations();
+  ablate_noniid();
+  ablate_epsilon();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 2 reproduction: foreground rendering performance (FPS) while
+// co-running the training task, for (a) Angrybird and (b) Tiktok on Pixel 2.
+//
+// The paper's observation 3: the average FPS stays steadily at the app's
+// target (60 fps for the game, 30 fps for the video app) with only sporadic
+// interference dips. We print the per-decile summary of the simulated traces
+// plus a coarse (20 s) trace so the time-series shape is visible in text.
+#include <iostream>
+
+#include "device/fps_model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void summarize(const fedco::util::TimeSeries& trace, const std::string& label,
+               fedco::util::TextTable& table) {
+  const auto values = trace.values();
+  const std::vector<double> v(values.begin(), values.end());
+  fedco::util::RunningStats stats;
+  for (const double x : v) stats.add(x);
+  table.add_row({label, fedco::util::TextTable::num(stats.mean(), 1),
+                 fedco::util::TextTable::num(fedco::util::percentile(v, 50), 1),
+                 fedco::util::TextTable::num(fedco::util::percentile(v, 5), 1),
+                 fedco::util::TextTable::num(stats.min(), 1),
+                 fedco::util::TextTable::num(stats.max(), 1)});
+}
+
+void print_trace(const fedco::util::TimeSeries& trace, const std::string& label) {
+  std::cout << label << " (every 20 s): ";
+  for (std::size_t i = 0; i < trace.size(); i += 20) {
+    std::cout << static_cast<int>(trace.value_at(i) + 0.5) << ' ';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedco;
+
+  std::cout << "Reproduction of Fig. 2 — FPS impact of co-running (Pixel 2)\n\n";
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  device::FpsModel model;
+  util::Rng rng{2022};
+
+  struct Case {
+    device::AppKind app;
+    double seconds;
+  };
+  for (const Case c : {Case{device::AppKind::kAngrybird, 250.0},
+                       Case{device::AppKind::kTiktok, 200.0}}) {
+    util::TextTable table{std::string{"Fig. 2 — "} +
+                          std::string{device::app_name(c.app)}};
+    table.set_header({"trace", "mean fps", "median", "p5", "min", "max"});
+    const auto alone = model.trace(dev, c.app, false, c.seconds, rng);
+    const auto corun = model.trace(dev, c.app, true, c.seconds, rng);
+    summarize(alone, "app only", table);
+    summarize(corun, "co-running with training", table);
+    table.print(std::cout);
+    print_trace(alone, "  app only      ");
+    print_trace(corun, "  co-running    ");
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check: mean FPS pinned near the 60/30 target in both "
+               "traces;\nco-running adds only sporadic dips (paper "
+               "Observation 3: no noticeable slowdown).\n";
+  return 0;
+}

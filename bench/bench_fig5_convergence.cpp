@@ -1,0 +1,183 @@
+// Fig. 5 reproduction: convergence speed and gradient staleness with real
+// federated training.
+//   (a) trace of the measured gradient gap, Sync-SGD vs ASync (online,
+//       V=4000, Lb=500), plus the lag-vs-gap correlation;
+//   (b) test accuracy vs wall-clock time for Online / Offline / Immediate /
+//       Sync-SGD;
+//   (c) wall-clock time to reach fixed accuracy objectives across seeds;
+//   (d) per-user gradient-gap trace variance.
+//
+// Substitution scale (documented in DESIGN.md/EXPERIMENTS.md): instead of
+// full CIFAR-10 + LeNet-5 (days of CPU), the bench trains the reduced
+// LeNet on 16x16 SynthCIFAR with 80 samples/user — the same code path with
+// every simulation quantity live (true parameter-distance gaps, true lag).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/export.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fedco::core::ExperimentConfig real_config(fedco::core::SchedulerKind kind,
+                                          std::uint64_t seed) {
+  fedco::core::ExperimentConfig cfg;
+  cfg.scheduler = kind;
+  cfg.num_users = 25;
+  cfg.horizon_slots = 10800;
+  cfg.arrival_probability = 0.001;
+  cfg.V = 4000.0;
+  cfg.lb = 500.0;
+  cfg.seed = seed;
+  cfg.real_training = true;
+  cfg.model = fedco::core::ModelKind::kLenetSmall;
+  cfg.dataset.height = 16;
+  cfg.dataset.width = 16;
+  cfg.dataset.train_per_class = 200;  // 2000 train -> 80 per user
+  cfg.dataset.test_per_class = 40;
+  cfg.dataset.seed = 7;
+  cfg.eval_interval_s = 300.0;
+  cfg.record_per_user_gaps = true;
+  cfg.record_interval = 60;
+  return cfg;
+}
+
+void print_series(const fedco::util::TimeSeries* s, const std::string& label,
+                  int precision = 2, std::size_t stride = 6) {
+  std::cout << label << ": ";
+  if (s == nullptr || s->empty()) {
+    std::cout << "(empty)\n";
+    return;
+  }
+  for (std::size_t i = 0; i < s->size(); i += stride) {
+    std::cout << "t=" << static_cast<int>(s->time_at(i)) << ":"
+              << fedco::util::TextTable::num(s->value_at(i), precision) << ' ';
+  }
+  std::cout << '\n';
+}
+
+/// Mean over users of the per-user gap-trace variance (Fig. 5d summary).
+double mean_user_gap_variance(const fedco::core::ExperimentResult& r,
+                              std::size_t users) {
+  fedco::util::RunningStats out;
+  for (std::size_t u = 0; u < users; ++u) {
+    const auto* s = r.traces.find("gap_user" + std::to_string(u));
+    if (s == nullptr || s->size() < 2) continue;
+    const auto vals = s->values();
+    out.add(fedco::util::variance(std::vector<double>(vals.begin(), vals.end())));
+  }
+  return out.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedco;
+  using core::SchedulerKind;
+  using util::TextTable;
+
+  std::cout << "Reproduction of Fig. 5 — real federated training "
+               "(reduced-scale SynthCIFAR + small LeNet)\n\n";
+
+  const std::vector<SchedulerKind> kinds{
+      SchedulerKind::kOnline, SchedulerKind::kOffline,
+      SchedulerKind::kImmediate, SchedulerKind::kSyncSgd};
+
+  std::map<SchedulerKind, core::ExperimentResult> results;
+  for (const auto kind : kinds) {
+    results.emplace(kind, core::run_experiment(real_config(kind, 1)));
+  }
+
+  // Optional CSV dump of the figure series (set FEDCO_CSV_DIR).
+  if (const auto dir = util::csv_export_dir()) {
+    for (const auto kind : kinds) {
+      const std::string tag = core::scheduler_name(kind);
+      if (const auto* s = results.at(kind).traces.find("accuracy")) {
+        util::export_time_series(*dir, "fig5b_accuracy_" + tag, *s);
+      }
+      if (const auto* s = results.at(kind).traces.find("server_gap")) {
+        util::export_time_series(*dir, "fig5a_gap_" + tag, *s);
+      }
+    }
+    std::cout << "(CSV series exported to " << *dir << ")\n\n";
+  }
+
+  // ---- Fig. 5(a): gradient gap traces, Sync vs ASync(online).
+  std::cout << "Fig. 5(a) — measured gradient gap ||theta_new - theta_old|| "
+               "per update (sampled):\n";
+  print_series(results.at(SchedulerKind::kOnline).traces.find("server_gap"),
+               "  ASync (online V=4000, Lb=500)");
+  print_series(results.at(SchedulerKind::kSyncSgd).traces.find("server_gap"),
+               "  Sync-SGD", 2, 1);
+  {
+    const auto& samples = results.at(SchedulerKind::kOnline).lag_gap_samples;
+    std::vector<double> lags;
+    std::vector<double> gaps;
+    for (const auto& s : samples) {
+      lags.push_back(static_cast<double>(s.lag));
+      gaps.push_back(s.gap);
+    }
+    std::cout << "  lag vs gap Pearson correlation (ASync): "
+              << TextTable::num(util::pearson(lags, gaps), 2)
+              << "  (paper: clear positive proportionality)\n\n";
+  }
+
+  // ---- Fig. 5(b): accuracy vs wall-clock.
+  std::cout << "Fig. 5(b) — test accuracy vs time (s):\n";
+  for (const auto kind : kinds) {
+    print_series(results.at(kind).traces.find("accuracy"),
+                 std::string("  ") + core::scheduler_name(kind), 2, 4);
+  }
+  std::cout << '\n';
+
+  // ---- Fig. 5(c): wall-clock time to accuracy objectives, across seeds.
+  TextTable fig5c{"Fig. 5(c) — wall-clock time (s) to reach accuracy objectives"};
+  fig5c.set_header({"scheme", "seed", "40%", "45%", "50%", "55%", "final acc"});
+  const std::vector<double> objectives{0.40, 0.45, 0.50, 0.55};
+  for (const auto kind : kinds) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      const core::ExperimentResult* r = seed == 1 ? &results.at(kind) : nullptr;
+      core::ExperimentResult fresh;
+      if (r == nullptr) {
+        fresh = core::run_experiment(real_config(kind, seed));
+        r = &fresh;
+      }
+      std::vector<std::string> row{core::scheduler_name(kind),
+                                   std::to_string(seed)};
+      for (const double obj : objectives) {
+        const double t = r->time_to_accuracy(obj);
+        row.push_back(t < 0 ? "never" : TextTable::num(t, 0));
+      }
+      row.push_back(TextTable::num(r->final_accuracy, 3));
+      fig5c.add_row(row);
+    }
+  }
+  fig5c.print(std::cout);
+  std::cout << '\n';
+
+  // ---- Fig. 5(d): per-user gradient gap variance.
+  TextTable fig5d{"Fig. 5(d) — per-user gradient-gap trace variance"};
+  fig5d.set_header({"scheme", "mean per-user gap variance", "energy (kJ)",
+                    "updates", "avg lag"});
+  for (const auto kind :
+       {SchedulerKind::kOnline, SchedulerKind::kOffline,
+        SchedulerKind::kImmediate}) {
+    const auto& r = results.at(kind);
+    fig5d.add_row({core::scheduler_name(kind),
+                   TextTable::num(mean_user_gap_variance(r, 25), 2),
+                   TextTable::num(r.total_energy_j / 1000.0, 1),
+                   std::to_string(r.total_updates),
+                   TextTable::num(r.avg_lag, 2)});
+  }
+  fig5d.print(std::cout);
+
+  std::cout << "\nShape check (paper Sec. VII-B): Immediate converges fastest "
+               "at the highest energy;\nOnline trails it slightly while "
+               "saving ~60%; Offline and Sync-SGD fall behind on\ninsufficient "
+               "updates; immediate has the smallest per-user gap variance, "
+               "offline the largest.\n";
+  return 0;
+}

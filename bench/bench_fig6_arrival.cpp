@@ -1,0 +1,87 @@
+// Fig. 6 reproduction: impact of the application arrival rate.
+//   (a) energy consumption vs arrival probability (1e-4 ... 0.2) for the
+//       Online, Immediate and Offline schemes (scheduling-only simulation);
+//   (b) testing accuracy under scarce arrivals (1e-4 ... 1e-3) with real
+//       training — the offline oracle starves updates when apps are rare,
+//       while the online scheme clears its queue backlog and keeps learning.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedco;
+  using core::ExperimentConfig;
+  using core::SchedulerKind;
+  using util::TextTable;
+
+  std::cout << "Reproduction of Fig. 6 — impact of application arrival rate\n\n";
+
+  // ---- Fig. 6(a): energy vs arrival probability.
+  TextTable fig6a{"Fig. 6(a) — energy (kJ) vs arrival probability"};
+  fig6a.set_header({"arrival p", "Online", "Immediate", "Offline"});
+  for (const double p : {1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2}) {
+    std::vector<std::string> row{TextTable::num(p, 4)};
+    for (const auto kind : {SchedulerKind::kOnline, SchedulerKind::kImmediate,
+                            SchedulerKind::kOffline}) {
+      ExperimentConfig cfg;
+      cfg.scheduler = kind;
+      cfg.num_users = 25;
+      cfg.horizon_slots = 10800;
+      cfg.arrival_probability = p;
+      cfg.V = 4000.0;
+      cfg.lb = 500.0;
+      cfg.seed = 99;
+      row.push_back(
+          TextTable::num(core::run_experiment(cfg).total_energy_j / 1000.0, 1));
+    }
+    fig6a.add_row(row);
+  }
+  fig6a.print(std::cout);
+  std::cout << "\nShape check: energy rises with the arrival rate for all "
+               "schemes (apps burn power);\nOnline's gap below Immediate is "
+               "largest at low rates and closes as co-running saturates;\n"
+               "Offline stays lowest when apps are scarce.\n\n";
+
+  // ---- Fig. 6(b): accuracy under scarce arrivals (real training; mean of
+  // 2 seeds to damp the single-run variance of short federated runs).
+  TextTable fig6b{"Fig. 6(b) — test accuracy (%) under scarce arrivals "
+                  "(mean of 2 seeds)"};
+  fig6b.set_header({"arrival p", "Offline", "Online", "Immediate"});
+  for (const double p : {1e-4, 5e-4, 1e-3}) {
+    std::vector<std::string> row{TextTable::num(p, 4)};
+    for (const auto kind : {SchedulerKind::kOffline, SchedulerKind::kOnline,
+                            SchedulerKind::kImmediate}) {
+      double acc_sum = 0.0;
+      for (const std::uint64_t seed : {5ull, 6ull}) {
+        ExperimentConfig cfg;
+        cfg.scheduler = kind;
+        cfg.num_users = 25;
+        cfg.horizon_slots = 10800;
+        cfg.arrival_probability = p;
+        cfg.V = 4000.0;
+        cfg.lb = 500.0;
+        cfg.seed = seed;
+        cfg.real_training = true;
+        cfg.model = core::ModelKind::kLenetSmall;
+        cfg.dataset.height = 16;
+        cfg.dataset.width = 16;
+        cfg.dataset.train_per_class = 200;
+        cfg.dataset.test_per_class = 40;
+        cfg.dataset.seed = 7;
+        cfg.eval_interval_s = 600.0;
+        acc_sum += core::run_experiment(cfg).final_accuracy;
+      }
+      row.push_back(TextTable::num(100.0 * acc_sum / 2.0, 1));
+    }
+    fig6b.add_row(row);
+  }
+  fig6b.print(std::cout);
+  std::cout << "\nShape check: the Online scheme shows no noticeable accuracy "
+               "degradation when apps are\nscarce (queue congestion flips it "
+               "back to immediate-like service); the Offline oracle,\nwhich "
+               "keeps waiting for co-running opportunities, starves updates "
+               "and loses accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table II reproduction: averaged energy measurements — battery power (W)
+// and execution time (s) of LeNet-5/CIFAR-10 training co-running with 8
+// applications on 4 devices, plus the energy-saving percentage.
+//
+// The power/time cells are the embedded measurement profiles (the same
+// numbers the paper prints); the saving column is *recomputed* from them via
+//   saving = 1 - P_a'*t_a / (P_b*t_b + P_a*t_a)
+// and printed next to the paper's value, so any data-entry or formula error
+// is visible as a mismatch.
+#include <iostream>
+
+#include "device/profiles.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedco;
+  using util::TextTable;
+
+  std::cout << "Reproduction of Table II (ICDCS'22 paper)\n"
+            << "saving% (ours) is recomputed from the power profile; "
+               "saving% (paper) is the printed value.\n\n";
+
+  for (const auto dev_kind : device::all_devices()) {
+    const auto& dev = device::profile(dev_kind);
+    TextTable table{std::string{"Table II — "} + std::string{dev.name}};
+    table.set_header({"app", "P_a (W)", "P_a' (W)", "co-run time (s)",
+                      "saving% (ours)", "saving% (paper)"});
+    table.add_row({"Training", TextTable::num(dev.train_power_w, 2), "-",
+                   TextTable::num(dev.train_time_s, 0), "-", "-"});
+    for (const auto app_kind : device::all_apps()) {
+      const auto& entry = dev.app(app_kind);
+      const double ours = 100.0 * device::corun_saving_fraction(dev, app_kind);
+      table.add_row({std::string{device::app_name(app_kind)},
+                     TextTable::num(entry.app_power_w, 2),
+                     TextTable::num(entry.corun_power_w, 2),
+                     TextTable::num(entry.corun_time_s, 0),
+                     TextTable::num(ours, 0),
+                     TextTable::num(100.0 * entry.reported_saving, 0)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check (paper Sec. VII-A): newer big.LITTLE devices "
+               "(HiKey970, Pixel2) save 30-50% across apps;\n"
+               "the homogeneous Nexus 6 saves marginally and loses energy on "
+               "Youtube/CandyCrush.\n";
+  return 0;
+}

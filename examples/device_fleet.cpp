@@ -1,0 +1,60 @@
+// Example: per-device fleet study with real federated training.
+//
+// Pins the whole fleet to each testbed device in turn and runs a short
+// online-scheduled federated training session, reporting energy, battery
+// impact, and learning progress. Shows how the asymmetric big.LITTLE
+// devices (Pixel 2, HiKey970, Nexus 6P) monetise co-running while the
+// homogeneous Nexus 6 cannot.
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "device/battery.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedco;
+  using util::TextTable;
+
+  std::cout << "Device fleet study — 10 users, 1.5 h, online scheduler, "
+               "real training (tiny SynthCIFAR)\n\n";
+
+  TextTable table{"per-device fleet results"};
+  table.set_header({"device", "energy (kJ)", "co-run/separate", "updates",
+                    "final acc %", "battery cycles/device"});
+
+  for (const auto kind : device::all_devices()) {
+    core::ExperimentConfig cfg;
+    cfg.scheduler = core::SchedulerKind::kOnline;
+    cfg.num_users = 10;
+    cfg.horizon_slots = 5400;
+    cfg.arrival_probability = 0.003;
+    cfg.fixed_device = kind;
+    cfg.seed = 77;
+    cfg.real_training = true;
+    cfg.model = core::ModelKind::kMlp;
+    cfg.dataset.height = 8;
+    cfg.dataset.width = 8;
+    cfg.dataset.train_per_class = 50;
+    cfg.dataset.test_per_class = 20;
+    cfg.eval_interval_s = 900.0;
+    const auto r = core::run_experiment(cfg);
+
+    // Battery impact of the average per-user energy.
+    device::Battery battery;
+    battery.drain(r.total_energy_j / static_cast<double>(cfg.num_users));
+
+    table.add_row({std::string{device::device_name(kind)},
+                   TextTable::num(r.total_energy_j / 1000.0, 1),
+                   std::to_string(r.corun_sessions) + "/" +
+                       std::to_string(r.separate_sessions),
+                   std::to_string(r.total_updates),
+                   TextTable::num(100.0 * r.final_accuracy, 1),
+                   TextTable::num(battery.equivalent_cycles(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: HiKey970's board power dwarfs the phones; the "
+               "battery column converts each\nfleet's energy into equivalent "
+               "full charge cycles per device (2700 mAh @ 3.85 V).\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Example: federated handwriting recognition with naturally non-IID writers.
+//
+// Composes the fl primitives directly (parameter server + clients + the
+// staleness metrics), outside the full simulation driver, to show the
+// library's API at the protocol level:
+//  - SynthEMNIST gives each federated user a persistent handwriting style
+//    (feature-skew non-IID, like FEMNIST);
+//  - clients train asynchronously in a randomized order; the server applies
+//    updates under the paper's replace rule and tracks lag/gradient gap;
+//  - an energy meter prices each client's epoch at its device's Table II
+//    power profile, comparing separate-execution vs co-running cost.
+#include <iostream>
+#include <numeric>
+
+#include "data/synth_emnist.hpp"
+#include "device/power_model.hpp"
+#include "fl/client.hpp"
+#include "fl/server.hpp"
+#include "nn/zoo.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedco;
+  using util::TextTable;
+
+  // ---- Data: 12 writers, one federated client each.
+  data::SynthEmnistConfig data_cfg;
+  data_cfg.classes = 10;
+  data_cfg.writers = 12;
+  data_cfg.train_per_writer = 60;
+  data_cfg.test_per_class = 20;
+  data_cfg.seed = 11;
+  const data::SynthEmnist dataset = data::make_synth_emnist(data_cfg);
+  std::cout << "SynthEMNIST: " << dataset.train.size() << " train samples from "
+            << data_cfg.writers << " writers, " << dataset.test.size()
+            << " neutral test samples\n";
+
+  // ---- Model + server.
+  util::Rng rng{42};
+  nn::Network prototype =
+      nn::make_mlp(dataset.train.image_volume(), 64, data_cfg.classes, rng);
+  fl::ParameterServer server{prototype.flatten_params(), 0.05, 0.9};
+
+  // ---- Clients, one per writer shard.
+  std::vector<fl::FlClient> clients;
+  clients.reserve(data_cfg.writers);
+  for (std::size_t w = 0; w < data_cfg.writers; ++w) {
+    clients.emplace_back(static_cast<std::uint32_t>(w),
+                         dataset.train.subset(dataset.by_writer[w]), prototype,
+                         nn::SgdConfig{0.05, 0.9, 0.0, 0.0}, 100 + w);
+  }
+
+  // ---- Async federated rounds: randomized client order each sweep.
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  device::EnergyMeter separate_meter;
+  device::EnergyMeter corun_meter;
+  std::vector<std::size_t> order(clients.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  util::RunningStats lag_stats;
+  for (int sweep = 0; sweep < 12; ++sweep) {
+    rng.shuffle(order);
+    // Everyone downloads at the sweep boundary, then updates land one by
+    // one — so the k-th uploader has lag k-1 (Def. 1), exercising the real
+    // asynchronous-staleness path.
+    std::vector<std::uint64_t> version_at_download(clients.size());
+    for (const std::size_t c : order) {
+      const fl::GlobalModel snapshot = server.download();
+      clients[c].load_global(snapshot.params);
+      version_at_download[c] = snapshot.version;
+    }
+    for (const std::size_t c : order) {
+      (void)clients[c].train_local_epoch(15);
+      const fl::UpdateReceipt receipt =
+          server.submit_async(clients[c].upload(), version_at_download[c]);
+      lag_stats.add(static_cast<double>(receipt.lag));
+      // Price the epoch under both schedules (Table II profile).
+      separate_meter.accrue(dev, device::Decision::kSchedule,
+                            device::AppStatus::kNoApp, device::AppKind::kMap,
+                            dev.train_time_s);
+      separate_meter.accrue(dev, device::Decision::kIdle,
+                            device::AppStatus::kApp, device::AppKind::kMap,
+                            dev.app(device::AppKind::kMap).corun_time_s);
+      corun_meter.accrue(dev, device::Decision::kSchedule,
+                         device::AppStatus::kApp, device::AppKind::kMap,
+                         dev.app(device::AppKind::kMap).corun_time_s);
+    }
+    const fl::EvalResult eval =
+        fl::evaluate_params(prototype, server.download().params, dataset.test);
+    std::cout << "sweep " << sweep + 1 << ": test acc "
+              << TextTable::num(100.0 * eval.accuracy, 1) << "%  loss "
+              << TextTable::num(eval.loss, 3) << '\n';
+  }
+
+  const fl::EvalResult final_eval =
+      fl::evaluate_params(prototype, server.download().params, dataset.test);
+  TextTable summary{"federated handwriting summary (Pixel2 fleet)"};
+  summary.set_header({"metric", "value"});
+  summary.add_row({"final neutral-style accuracy %",
+                   TextTable::num(100.0 * final_eval.accuracy, 1)});
+  summary.add_row({"updates applied", std::to_string(server.version())});
+  summary.add_row({"mean lag (async sweeps)", TextTable::num(lag_stats.mean(), 2)});
+  summary.add_row({"energy if run separately (kJ)",
+                   TextTable::num(separate_meter.total_j() / 1000.0, 1)});
+  summary.add_row({"energy if co-run with Map app (kJ)",
+                   TextTable::num(corun_meter.total_j() / 1000.0, 1)});
+  summary.add_row(
+      {"co-running saving %",
+       TextTable::num(100.0 * (1.0 - corun_meter.total_j() /
+                                         separate_meter.total_j()),
+                      1)});
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Example: the oracle gap — how close does the online Lyapunov scheduler
+// get to the offline knapsack that foresees every app arrival?
+//
+// Runs both schemes (plus Immediate as the ceiling) across several arrival
+// regimes and reports energy and update counts side by side, illustrating
+// the paper's Fig. 6(a) insight: offline wins most when apps are scarce,
+// online degrades gracefully into immediate as apps saturate.
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fedco;
+  using core::SchedulerKind;
+  using util::TextTable;
+
+  std::cout << "Offline oracle vs online scheduler across arrival regimes\n\n";
+
+  TextTable table{"energy (kJ) / updates by arrival regime"};
+  table.set_header({"arrival p", "regime", "Offline", "Online", "Immediate",
+                    "online/offline"});
+
+  struct Regime {
+    double p;
+    const char* label;
+  };
+  for (const Regime regime : {Regime{0.0002, "scarce apps"},
+                              Regime{0.002, "occasional apps"},
+                              Regime{0.02, "frequent apps"}}) {
+    double energies[3] = {0, 0, 0};
+    std::uint64_t updates[3] = {0, 0, 0};
+    const SchedulerKind kinds[3] = {SchedulerKind::kOffline,
+                                    SchedulerKind::kOnline,
+                                    SchedulerKind::kImmediate};
+    for (int i = 0; i < 3; ++i) {
+      core::ExperimentConfig cfg;
+      cfg.scheduler = kinds[i];
+      cfg.num_users = 25;
+      cfg.horizon_slots = 10800;
+      cfg.arrival_probability = regime.p;
+      cfg.seed = 33;
+      const auto r = core::run_experiment(cfg);
+      energies[i] = r.total_energy_j / 1000.0;
+      updates[i] = r.total_updates;
+    }
+    table.add_row({TextTable::num(regime.p, 4), regime.label,
+                   TextTable::num(energies[0], 1) + " / " + std::to_string(updates[0]),
+                   TextTable::num(energies[1], 1) + " / " + std::to_string(updates[1]),
+                   TextTable::num(energies[2], 1) + " / " + std::to_string(updates[2]),
+                   TextTable::num(energies[1] / energies[0], 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: when apps are scarce the offline oracle posts the "
+               "lowest energy and the online\nscheme lands within ~1.1x of it "
+               "(the paper's 1.14 factor); as apps saturate, offline\n"
+               "aggressively co-runs with every arrival and its advantage "
+               "disappears (Fig. 6a).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "analysis/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace fedco::analysis {
+
+LinearFit fit_linear(std::span<const double> x,
+                     std::span<const double> y) noexcept {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.samples = n;
+  if (n == 0) return fit;
+
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || n < 2) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_reciprocal(std::span<const double> x,
+                         std::span<const double> y) noexcept {
+  std::vector<double> inv;
+  std::vector<double> ys;
+  const std::size_t n = std::min(x.size(), y.size());
+  inv.reserve(n);
+  ys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0.0) {
+      inv.push_back(1.0 / x[i]);
+      ys.push_back(y[i]);
+    }
+  }
+  return fit_linear(inv, ys);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+
+  auto ranks = [n](std::span<const double> values) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+      return values[a] < values[b];
+    });
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+      // Average ranks over ties.
+      std::size_t j = i;
+      while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+      const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j));
+      for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+      i = j + 1;
+    }
+    return rank;
+  };
+
+  const auto rx = ranks(x.subspan(0, n));
+  const auto ry = ranks(y.subspan(0, n));
+  const LinearFit fit = fit_linear(rx, ry);
+  const double sign = fit.slope >= 0.0 ? 1.0 : -1.0;
+  return sign * std::sqrt(std::max(fit.r_squared, 0.0));
+}
+
+}  // namespace fedco::analysis

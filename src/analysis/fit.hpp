@@ -1,0 +1,32 @@
+// Curve-fitting utilities for empirical verification of the paper's
+// analytical claims (Theorem 1's [O(1/V), O(V)] bounds).
+#pragma once
+
+#include <span>
+
+namespace fedco::analysis {
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Fit y over x; degenerate inputs (n < 2 or zero x-variance) produce a
+/// zero-slope fit through the mean with r_squared = 0.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y) noexcept;
+
+/// Fit y = c + b / x (Theorem 1 energy bound: P(V) <= P* + B/V) by linear
+/// regression on 1/x. Entries with x <= 0 are skipped.
+[[nodiscard]] LinearFit fit_reciprocal(std::span<const double> x,
+                                       std::span<const double> y) noexcept;
+
+/// Spearman rank correlation in [-1, 1]; 0 for degenerate inputs. Used for
+/// monotonicity checks that should not assume linearity.
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+}  // namespace fedco::analysis

@@ -1,0 +1,37 @@
+#include "analysis/theorem1.hpp"
+
+#include <stdexcept>
+
+namespace fedco::analysis {
+
+Theorem1Report check_theorem1(const std::vector<VSweepPoint>& sweep) {
+  std::vector<double> v;
+  std::vector<double> power;
+  std::vector<double> backlog;
+  for (const auto& point : sweep) {
+    if (point.v <= 0.0) continue;  // V = 0 is outside both bounds' domain
+    v.push_back(point.v);
+    power.push_back(point.avg_power_w);
+    backlog.push_back(point.avg_backlog);
+  }
+  if (v.size() < 3) {
+    throw std::invalid_argument{
+        "check_theorem1: need >= 3 sweep points with V > 0"};
+  }
+
+  Theorem1Report report;
+  report.energy_fit = fit_reciprocal(v, power);
+  report.backlog_fit = fit_linear(v, backlog);
+  report.pstar_estimate = report.energy_fit.intercept;
+  report.backlog_growth_per_v = report.backlog_fit.slope;
+  report.energy_monotonicity = spearman(v, power);
+  report.backlog_monotonicity = spearman(v, backlog);
+
+  report.consistent = report.energy_monotonicity <= 0.1 &&   // P shrinks in V
+                      report.backlog_monotonicity >= 0.5 &&  // Theta grows
+                      report.backlog_fit.slope >= 0.0 &&
+                      report.energy_fit.slope >= 0.0;        // B' >= 0
+  return report;
+}
+
+}  // namespace fedco::analysis

@@ -1,0 +1,38 @@
+// Empirical verification of Theorem 1: from a sweep of experiments over the
+// control knob V, check the two performance bounds
+//   (24)  time-avg power    P(V) <= B/V + P*        (O(1/V) convergence)
+//   (25)  time-avg backlog  Theta(V) <= B/eps + V (P* - P)/eps   (O(V) growth)
+// by fitting P(V) = P* + B'/V and Theta(V) = c + d V and reporting fit
+// quality plus monotonicity diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "analysis/fit.hpp"
+
+namespace fedco::analysis {
+
+/// One experiment of the V sweep.
+struct VSweepPoint {
+  double v = 0.0;           ///< control knob
+  double avg_power_w = 0.0; ///< time-averaged system power (energy / horizon)
+  double avg_backlog = 0.0; ///< time-averaged Q(t) + H(t)
+};
+
+struct Theorem1Report {
+  LinearFit energy_fit;   ///< P = pstar + b_over_v * (1/V)
+  LinearFit backlog_fit;  ///< Theta = c + d * V
+  double pstar_estimate = 0.0;       ///< energy_fit.intercept
+  double backlog_growth_per_v = 0.0; ///< backlog_fit.slope
+  double energy_monotonicity = 0.0;  ///< Spearman(V, P); should be <= 0
+  double backlog_monotonicity = 0.0; ///< Spearman(V, Theta); should be >= 0
+  /// Both bounds behave as the theorem predicts: energy non-increasing in V
+  /// with a sensible reciprocal fit, backlog non-decreasing with positive
+  /// linear growth.
+  bool consistent = false;
+};
+
+/// Requires at least 3 sweep points with distinct positive V.
+[[nodiscard]] Theorem1Report check_theorem1(const std::vector<VSweepPoint>& sweep);
+
+}  // namespace fedco::analysis

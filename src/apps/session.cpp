@@ -1,0 +1,52 @@
+#include "apps/session.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::apps {
+
+AppSessionTracker::AppSessionTracker(std::unique_ptr<ArrivalProcess> arrivals,
+                                     double slot_seconds)
+    : arrivals_(std::move(arrivals)),
+      slot_seconds_(slot_seconds > 0.0 ? slot_seconds : 1.0) {
+  if (!arrivals_) {
+    throw std::invalid_argument{"AppSessionTracker: null arrival process"};
+  }
+}
+
+AppSessionTracker::AppSessionTracker(const AppSessionTracker& other)
+    : arrivals_(other.arrivals_->clone()),
+      slot_seconds_(other.slot_seconds_),
+      app_(other.app_),
+      remaining_slots_(other.remaining_slots_),
+      sessions_(other.sessions_) {}
+
+AppSessionTracker& AppSessionTracker::operator=(const AppSessionTracker& other) {
+  if (this != &other) {
+    AppSessionTracker copy{other};
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void AppSessionTracker::tick(sim::Slot t, const device::DeviceProfile& dev,
+                             util::Rng& rng) {
+  if (remaining_slots_ > 0) --remaining_slots_;
+  const auto arrival = arrivals_->poll(t, rng);
+  if (!arrival) return;
+  if (app_running()) return;  // single foreground app; absorb the arrival
+  app_ = arrival->app;
+  // An app session lasts its measured Table II execution time on this device.
+  const double duration_s = dev.app(app_).corun_time_s;
+  remaining_slots_ =
+      static_cast<sim::Slot>(std::ceil(duration_s / slot_seconds_));
+  ++sessions_;
+}
+
+void AppSessionTracker::extend_to_cover(double seconds,
+                                        const sim::Clock& clock) noexcept {
+  const sim::Slot needed = clock.slots_for_seconds(seconds);
+  if (needed > remaining_slots_) remaining_slots_ = needed;
+}
+
+}  // namespace fedco::apps

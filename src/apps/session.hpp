@@ -1,0 +1,58 @@
+// Per-user foreground application session state machine.
+//
+// The system model assumes an arriving application runs for (at least) the
+// duration of a training task; the session tracker holds the active app, its
+// remaining time, and answers the s(t) = {'app', 'no app'} query of Eq. (10).
+#pragma once
+
+#include <optional>
+
+#include "apps/arrival.hpp"
+#include "device/profiles.hpp"
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::apps {
+
+/// Tracks the foreground app lifecycle for a single user/device.
+class AppSessionTracker {
+ public:
+  /// `default_duration_s`: how long an app session lasts when it is not
+  /// pinned to a training task (the paper measures per-app co-run times in
+  /// Table II; separate app sessions reuse the same measured duration).
+  AppSessionTracker(std::unique_ptr<ArrivalProcess> arrivals,
+                    double slot_seconds = 1.0);
+
+  AppSessionTracker(const AppSessionTracker& other);
+  AppSessionTracker& operator=(const AppSessionTracker& other);
+  AppSessionTracker(AppSessionTracker&&) noexcept = default;
+  AppSessionTracker& operator=(AppSessionTracker&&) noexcept = default;
+
+  /// Advance one slot: expire the running app if due, then poll for a new
+  /// arrival (sessions do not overlap; an arrival during a running app is
+  /// absorbed into it, matching the single-foreground-app phone model).
+  /// `duration_for` maps an arriving app to its session length in seconds.
+  void tick(sim::Slot t, const device::DeviceProfile& dev, util::Rng& rng);
+
+  /// Is an app in the foreground this slot?
+  [[nodiscard]] bool app_running() const noexcept { return remaining_slots_ > 0; }
+  [[nodiscard]] std::optional<device::AppKind> current_app() const noexcept {
+    return app_running() ? std::optional{app_} : std::nullopt;
+  }
+
+  /// Extend the current session so it covers a co-scheduled training task of
+  /// `seconds` (paper: "the application would last for the same time
+  /// duration of the training task").
+  void extend_to_cover(double seconds, const sim::Clock& clock) noexcept;
+
+  [[nodiscard]] std::size_t sessions_started() const noexcept { return sessions_; }
+
+ private:
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  double slot_seconds_;
+  device::AppKind app_{};
+  sim::Slot remaining_slots_ = 0;
+  std::size_t sessions_ = 0;
+};
+
+}  // namespace fedco::apps

@@ -1,0 +1,203 @@
+// fedco_sim — command-line front end to the experiment driver.
+//
+// Examples:
+//   fedco_sim --scheduler online --V 4000 --Lb 500
+//   fedco_sim --scheduler offline --users 50 --horizon 21600 --arrival-p 0.002
+//   fedco_sim --scheduler online --real-training --model lenet-small
+//             --csv-dir /tmp/out   (one line)
+//   fedco_sim --help
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/result_io.hpp"
+#include "util/args.hpp"
+#include "util/export.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace fedco;
+
+void print_help() {
+  std::cout <<
+      R"(fedco_sim — energy-aware federated-learning scheduling simulator
+
+Scheduling:
+  --scheduler S        online | offline | immediate | sync   (default online)
+  --V X                online control knob                   (default 4000)
+  --Lb X               staleness bound                       (default 500)
+  --epsilon X          idle gap increment per slot           (default 0.05)
+  --decision-interval K  evaluate Eq.(21) every K slots      (default 1)
+  --offline-window K   offline look-ahead window slots       (default 500)
+  --offline-Lb X       offline staleness budget              (default 1000)
+
+Workload:
+  --users N            number of devices                     (default 25)
+  --horizon N          simulation slots (1 s each)           (default 10800)
+  --arrival-p X        app arrival probability per slot      (default 0.001)
+  --diurnal            modulate arrivals over a 24 h cycle
+  --arrival-trace F    replay a "slot,app" CSV usage log instead
+  --device D           pin fleet: nexus6|nexus6p|hikey970|pixel2 (default mixed)
+  --seed N             RNG seed                              (default 1)
+
+Training:
+  --real-training      run the actual CNN (else scheduling-only)
+  --model M            mlp | lenet-small | lenet5            (default lenet-small)
+  --aggregation A      replace | fedasync | delay-comp       (default replace)
+  --eta X --beta X     SGD hyper-parameters                  (default 0.05/0.9)
+
+Environment:
+  --thermal            enable the thermal-throttling straggler model
+  --battery            track per-device battery (2700 mAh)
+  --min-soc X          gate training below this state of charge
+  --drop-p X           upload loss probability
+  --csv-dir DIR        export Q/H/G/accuracy traces as CSV
+  --json PATH          write the full result document as JSON
+)";
+}
+
+core::SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "online") return core::SchedulerKind::kOnline;
+  if (name == "offline") return core::SchedulerKind::kOffline;
+  if (name == "immediate") return core::SchedulerKind::kImmediate;
+  if (name == "sync") return core::SchedulerKind::kSyncSgd;
+  throw std::invalid_argument{"unknown --scheduler '" + name + "'"};
+}
+
+core::ModelKind parse_model(const std::string& name) {
+  if (name == "mlp") return core::ModelKind::kMlp;
+  if (name == "lenet-small") return core::ModelKind::kLenetSmall;
+  if (name == "lenet5") return core::ModelKind::kLenet5;
+  throw std::invalid_argument{"unknown --model '" + name + "'"};
+}
+
+fl::AggregationKind parse_aggregation(const std::string& name) {
+  if (name == "replace") return fl::AggregationKind::kReplace;
+  if (name == "fedasync") return fl::AggregationKind::kFedAsync;
+  if (name == "delay-comp") return fl::AggregationKind::kDelayComp;
+  throw std::invalid_argument{"unknown --aggregation '" + name + "'"};
+}
+
+std::optional<device::DeviceKind> parse_device(const std::string& name) {
+  if (name.empty() || name == "mixed") return std::nullopt;
+  if (name == "nexus6") return device::DeviceKind::kNexus6;
+  if (name == "nexus6p") return device::DeviceKind::kNexus6P;
+  if (name == "hikey970") return device::DeviceKind::kHikey970;
+  if (name == "pixel2") return device::DeviceKind::kPixel2;
+  throw std::invalid_argument{"unknown --device '" + name + "'"};
+}
+
+int run(const util::ArgParser& args) {
+  core::ExperimentConfig cfg;
+  cfg.scheduler = parse_scheduler(args.get("scheduler", "online"));
+  cfg.num_users = static_cast<std::size_t>(args.get_int("users", 25));
+  cfg.horizon_slots = args.get_int("horizon", 10800);
+  cfg.arrival_probability = args.get_double("arrival-p", 0.001);
+  cfg.diurnal = args.get_bool("diurnal", false);
+  cfg.arrival_trace_path = args.get("arrival-trace");
+  cfg.fixed_device = parse_device(args.get("device", "mixed"));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.V = args.get_double("V", 4000.0);
+  cfg.lb = args.get_double("Lb", 500.0);
+  cfg.epsilon = args.get_double("epsilon", 0.05);
+  cfg.decision_interval_slots = args.get_int("decision-interval", 1);
+  cfg.offline_window_slots = args.get_int("offline-window", 500);
+  cfg.offline_lb = args.get_double("offline-Lb", 1000.0);
+  cfg.eta = args.get_double("eta", 0.05);
+  cfg.beta = args.get_double("beta", 0.9);
+  cfg.real_training = args.get_bool("real-training", false);
+  cfg.model = parse_model(args.get("model", "lenet-small"));
+  cfg.aggregation.kind = parse_aggregation(args.get("aggregation", "replace"));
+  cfg.enable_thermal = args.get_bool("thermal", false);
+  cfg.track_battery = args.get_bool("battery", false);
+  cfg.min_soc_to_train = args.get_double("min-soc", 0.0);
+  cfg.upload_drop_probability = args.get_double("drop-p", 0.0);
+  if (cfg.min_soc_to_train > 0.0) cfg.track_battery = true;
+  if (cfg.real_training && cfg.model == core::ModelKind::kLenetSmall) {
+    cfg.dataset.height = 16;
+    cfg.dataset.width = 16;
+    cfg.dataset.train_per_class = 200;
+    cfg.dataset.test_per_class = 40;
+  }
+
+  const std::string json_path = args.get("json");
+  const std::string csv_dir = args.get("csv-dir");
+  for (const auto& name : args.unused()) {
+    std::cerr << "warning: unrecognised option --" << name << '\n';
+  }
+
+  const core::ExperimentResult r = core::run_experiment(cfg);
+
+  util::TextTable table{std::string{"fedco_sim — "} +
+                        core::scheduler_name(cfg.scheduler)};
+  table.set_header({"metric", "value"});
+  table.add_row({"total energy (kJ)", util::TextTable::num(r.total_energy_j / 1000.0, 2)});
+  table.add_row({"  training / co-run (kJ)",
+                 util::TextTable::num(r.training_j / 1000.0, 2) + " / " +
+                     util::TextTable::num(r.corun_j / 1000.0, 2)});
+  table.add_row({"  app / idle (kJ)",
+                 util::TextTable::num(r.app_j / 1000.0, 2) + " / " +
+                     util::TextTable::num(r.idle_j / 1000.0, 2)});
+  table.add_row({"updates (applied/dropped)",
+                 std::to_string(r.total_updates) + " / " +
+                     std::to_string(r.dropped_updates)});
+  table.add_row({"sessions (co-run/separate)",
+                 std::to_string(r.corun_sessions) + " / " +
+                     std::to_string(r.separate_sessions)});
+  table.add_row({"avg lag / avg gap",
+                 util::TextTable::num(r.avg_lag, 2) + " / " +
+                     util::TextTable::num(r.avg_gap, 3)});
+  table.add_row({"avg Q / avg H", util::TextTable::num(r.avg_queue_q, 2) +
+                                      " / " + util::TextTable::num(r.avg_queue_h, 1)});
+  if (cfg.real_training) {
+    table.add_row({"final accuracy", util::TextTable::num(r.final_accuracy, 3)});
+    const double t50 = r.time_to_accuracy(0.5);
+    table.add_row({"time to 50% acc (s)",
+                   t50 < 0 ? "never" : util::TextTable::num(t50, 0)});
+  }
+  if (cfg.track_battery) {
+    table.add_row({"battery cycles (fleet)",
+                   util::TextTable::num(r.battery_cycles_total, 2)});
+    table.add_row({"battery-gated slots",
+                   std::to_string(r.battery_gated_slots)});
+  }
+  if (cfg.enable_thermal) {
+    table.add_row({"max temp (C) / worst slowdown",
+                   util::TextTable::num(r.max_temperature_c, 1) + " / " +
+                       util::TextTable::num(r.worst_throttle_factor, 2)});
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    core::write_result_json(json_path, cfg, r);
+    std::cout << "result written to " << json_path << '\n';
+  }
+
+  if (!csv_dir.empty()) {
+    for (const char* name : {"Q", "H", "G", "accuracy", "server_gap"}) {
+      if (const auto* series = r.traces.find(name)) {
+        util::export_time_series(csv_dir, name, *series);
+      }
+    }
+    std::cout << "traces exported to " << csv_dir << "/*.csv\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args{argc, argv};
+    if (args.has("help")) {
+      print_help();
+      return 0;
+    }
+    return run(args);
+  } catch (const std::exception& error) {
+    std::cerr << "fedco_sim: " << error.what() << "\n(try --help)\n";
+    return 1;
+  }
+}

@@ -1,0 +1,626 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "apps/arrival.hpp"
+#include "apps/session.hpp"
+#include "core/offline_planner.hpp"
+#include "core/online_scheduler.hpp"
+#include "data/partition.hpp"
+#include "device/power_model.hpp"
+#include "fl/client.hpp"
+#include "fl/server.hpp"
+#include "fl/staleness.hpp"
+#include "net/link.hpp"
+#include "nn/serialize.hpp"
+#include "nn/zoo.hpp"
+#include "util/stats.hpp"
+
+namespace fedco::core {
+
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kImmediate:
+      return "Immediate";
+    case SchedulerKind::kSyncSgd:
+      return "Sync-SGD";
+    case SchedulerKind::kOffline:
+      return "Offline";
+    case SchedulerKind::kOnline:
+      return "Online";
+  }
+  return "?";
+}
+
+double ExperimentResult::time_to_accuracy(double threshold) const {
+  const auto* acc = traces.find("accuracy");
+  if (acc == nullptr) return -1.0;
+  return acc->first_crossing(threshold);
+}
+
+namespace {
+
+enum class Phase { kReady, kTraining, kBarrier, kTransferring };
+
+struct UserState {
+  const device::DeviceProfile* dev = nullptr;
+  std::optional<apps::AppSessionTracker> session;
+  fl::GapTracker gap{0.05};
+  Phase phase = Phase::kReady;
+  sim::Slot phase_end = 0;
+  bool training_corun = false;
+  device::AppKind train_app = device::AppKind::kMap;
+  std::uint64_t version_at_download = 0;
+  std::vector<float> downloaded_params;  ///< kept only for kDelayComp
+  std::vector<float> last_upload;        ///< kept only for gap_aware_lr
+  std::unique_ptr<fl::FlClient> client;
+  device::EnergyMeter meter;
+  device::Battery battery{};
+  double battery_drained_j = 0.0;  ///< meter total already drained
+  device::ThermalModel thermal{};
+  util::Rng rng{0};
+  std::vector<apps::ScriptedArrivals::Event> script;  ///< oracle view
+  std::size_t script_cursor = 0;
+  OfflineAction plan = OfflineAction::kScheduleNow;
+  sim::Slot plan_start = 0;
+};
+
+nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
+                       util::Rng& rng) {
+  switch (kind) {
+    case ModelKind::kMlp:
+      return nn::make_mlp(
+          data_cfg.channels * data_cfg.height * data_cfg.width, 64,
+          data_cfg.classes, rng);
+    case ModelKind::kLenetSmall:
+      return nn::make_lenet_small(data_cfg.classes, rng);
+    case ModelKind::kLenet5:
+      return nn::make_lenet5(data_cfg.classes, rng);
+  }
+  throw std::invalid_argument{"make_model: unknown kind"};
+}
+
+class Driver {
+ public:
+  explicit Driver(const ExperimentConfig& cfg)
+      : cfg_(cfg),
+        clock_(cfg.slot_seconds),
+        master_rng_(cfg.seed),
+        online_({cfg.V, cfg.lb, cfg.epsilon, cfg.slot_seconds, cfg.eta, cfg.beta}),
+        link_(cfg.use_lte ? net::lte_link() : net::wifi_link()) {
+    if (cfg.num_users == 0) throw std::invalid_argument{"run_experiment: 0 users"};
+    if (cfg.horizon_slots <= 0) {
+      throw std::invalid_argument{"run_experiment: empty horizon"};
+    }
+    model_bytes_ = cfg.model_bytes;
+    setup_training();
+    setup_users();
+  }
+
+  ExperimentResult run() {
+    for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
+      step(t);
+      clock_.advance();
+    }
+    return finalize();
+  }
+
+ private:
+  // ------------------------------------------------------------- setup
+
+  void setup_training() {
+    if (!cfg_.real_training) return;
+    dataset_ = data::make_synth_cifar(cfg_.dataset);
+    util::Rng model_rng = master_rng_.fork();
+    prototype_ = make_model(cfg_.model, cfg_.dataset, model_rng);
+    server_.emplace(prototype_->flatten_params(), cfg_.eta, cfg_.beta,
+                    cfg_.aggregation);
+    model_bytes_ = nn::encoded_size(prototype_->param_count());
+  }
+
+  void setup_users() {
+    users_.resize(cfg_.num_users);
+    data::Partition partition;
+    if (cfg_.real_training) {
+      util::Rng part_rng = master_rng_.fork();
+      partition = cfg_.dirichlet_alpha > 0.0
+                      ? data::partition_dirichlet(dataset_.train, cfg_.num_users,
+                                                  cfg_.dirichlet_alpha, part_rng)
+                      : data::partition_iid(dataset_.train.size(),
+                                            cfg_.num_users, part_rng);
+    }
+    const nn::SgdConfig sgd{cfg_.eta, cfg_.beta, 0.0, 0.0};
+    for (std::size_t i = 0; i < cfg_.num_users; ++i) {
+      UserState& u = users_[i];
+      u.rng = master_rng_.fork();
+      const device::DeviceKind kind =
+          cfg_.fixed_device
+              ? *cfg_.fixed_device
+              : static_cast<device::DeviceKind>(
+                    u.rng.uniform_int(device::kDeviceKinds));
+      u.dev = &device::profile(kind);
+      u.gap = fl::GapTracker{cfg_.epsilon};
+      u.battery = device::Battery{cfg_.battery};
+      u.thermal = device::ThermalModel{cfg_.thermal};
+      u.script = generate_script(u.rng);
+      u.session.emplace(std::make_unique<apps::ScriptedArrivals>(u.script),
+                        cfg_.slot_seconds);
+      u.phase = Phase::kReady;
+      if (cfg_.real_training) {
+        std::vector<std::size_t> shard = partition[i];
+        u.client = std::make_unique<fl::FlClient>(
+            static_cast<std::uint32_t>(i), dataset_.train.subset(shard),
+            *prototype_, sgd, u.rng());
+      }
+      // Offline: users start deferred until the first window plan runs.
+      u.plan = cfg_.scheduler == SchedulerKind::kOffline
+                   ? OfflineAction::kDefer
+                   : OfflineAction::kScheduleNow;
+    }
+    pending_arrivals_ = static_cast<double>(cfg_.num_users);  // A(0) = n
+  }
+
+  std::vector<apps::ScriptedArrivals::Event> generate_script(util::Rng& rng) {
+    if (!cfg_.arrival_trace_path.empty()) {
+      if (trace_events_.empty()) {
+        trace_events_ = apps::load_arrival_trace_csv(cfg_.arrival_trace_path);
+      }
+      return trace_events_;
+    }
+    std::vector<apps::ScriptedArrivals::Event> events;
+    const apps::DiurnalArrivals diurnal{cfg_.arrival_probability,
+                                        cfg_.diurnal_swing, cfg_.slot_seconds};
+    for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
+      const double p = cfg_.diurnal ? diurnal.probability_at(t)
+                                    : cfg_.arrival_probability;
+      if (rng.bernoulli(p)) {
+        events.push_back({t, apps::random_app(rng)});
+      }
+    }
+    return events;
+  }
+
+  // ------------------------------------------------------------- per slot
+
+  void step(sim::Slot t) {
+    // 1. Foreground app lifecycle.
+    for (UserState& u : users_) u.session->tick(t, *u.dev, u.rng);
+
+    // 2. Completions: training finished -> upload; transfer finished -> ready.
+    double arrivals = pending_arrivals_;
+    pending_arrivals_ = 0.0;
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      UserState& u = users_[i];
+      if (u.phase == Phase::kTraining && t >= u.phase_end) {
+        complete_training(i, t);
+      }
+      if (u.phase == Phase::kTransferring && t >= u.phase_end) {
+        u.phase = Phase::kReady;
+        on_ready(u);
+        arrivals += 1.0;
+      }
+    }
+
+    // Sync barrier: aggregate once every user has submitted.
+    if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
+      maybe_aggregate_round(t);
+    }
+
+    // 3. Offline window (re)planning.
+    if (cfg_.scheduler == SchedulerKind::kOffline &&
+        t % cfg_.offline_window_slots == 0) {
+      replan_offline(t);
+    }
+
+    // 4. Scheduling decisions for ready users.
+    double served = 0.0;
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      UserState& u = users_[i];
+      if (u.phase != Phase::kReady) continue;
+      if (decide(u, t)) {
+        start_training(u, t);
+        served += 1.0;
+      }
+    }
+
+    // 5. Energy accounting for this slot (Eq. 10 states).
+    for (UserState& u : users_) {
+      const device::Decision decision = u.phase == Phase::kTraining
+                                            ? device::Decision::kSchedule
+                                            : device::Decision::kIdle;
+      const auto app = u.session->current_app();
+      const device::AppStatus status =
+          app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+      u.meter.accrue(*u.dev, decision, status, app.value_or(u.train_app),
+                     cfg_.slot_seconds);
+      if (cfg_.scheduler == SchedulerKind::kOnline &&
+          cfg_.decision_eval_seconds > 0.0 && u.phase == Phase::kReady) {
+        u.meter.accrue_decision_overhead(*u.dev, cfg_.decision_eval_seconds);
+      }
+      if (cfg_.track_battery) {
+        const double delta = u.meter.total_j() - u.battery_drained_j;
+        u.battery_drained_j = u.meter.total_j();
+        u.battery.drain(delta);
+      }
+      if (cfg_.enable_thermal) {
+        u.thermal.step(device::power_w(*u.dev, decision, status,
+                                       app.value_or(u.train_app)),
+                       cfg_.slot_seconds);
+        result_.max_temperature_c =
+            std::max(result_.max_temperature_c, u.thermal.temperature_c());
+      }
+    }
+
+    // 6. Gap accumulation (Eq. 12 idle branch) and queue updates.
+    double sum_gaps = 0.0;
+    for (UserState& u : users_) {
+      if (u.phase != Phase::kTraining) u.gap.accrue_idle();
+      sum_gaps += u.gap.gap();
+    }
+    if (cfg_.scheduler == SchedulerKind::kOnline) {
+      online_.update_queues(arrivals, served, sum_gaps);
+    }
+    queue_q_stats_.add(online_.queues().q());
+    queue_h_stats_.add(online_.queues().h());
+
+    // 7. Traces.
+    if (t % cfg_.record_interval == 0) {
+      const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
+      result_.traces.record("Q", now_s, online_.queues().q());
+      result_.traces.record("H", now_s, online_.queues().h());
+      result_.traces.record("G", now_s, sum_gaps);
+      if (cfg_.record_per_user_gaps) {
+        for (std::size_t i = 0; i < users_.size(); ++i) {
+          result_.traces.record("gap_user" + std::to_string(i), now_s,
+                                users_[i].gap.gap());
+        }
+      }
+    }
+
+    // 8. Periodic accuracy evaluation.
+    if (cfg_.real_training) {
+      const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
+      if (now_s >= next_eval_s_) {
+        evaluate(now_s);
+        next_eval_s_ += cfg_.eval_interval_s;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- decisions
+
+  bool decide(UserState& u, sim::Slot t) {
+    // JobScheduler battery condition (Sec. VI): no training below the
+    // configured state of charge.
+    if (cfg_.track_battery && u.battery.soc() < cfg_.min_soc_to_train) {
+      ++result_.battery_gated_slots;
+      return false;
+    }
+    switch (cfg_.scheduler) {
+      case SchedulerKind::kImmediate:
+      case SchedulerKind::kSyncSgd:
+        return true;  // schedule as soon as ready (sync rounds align on the
+                      // barrier because all users become ready together)
+      case SchedulerKind::kOffline:
+        switch (u.plan) {
+          case OfflineAction::kScheduleNow:
+            return t >= u.plan_start;
+          case OfflineAction::kWaitForApp:
+            return t >= u.plan_start;
+          case OfflineAction::kDefer:
+            return false;
+        }
+        return false;
+      case SchedulerKind::kOnline: {
+        // Coarsened scheduling granularity (Sec. VII "Energy Overhead"):
+        // between evaluation slots the device stays idle.
+        if (cfg_.decision_interval_slots > 1 &&
+            t % cfg_.decision_interval_slots != 0) {
+          return false;
+        }
+        OnlineDecisionInput input;
+        const auto app = u.session->current_app();
+        input.app_status =
+            app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+        input.app = app.value_or(device::AppKind::kMap);
+        input.current_gap = u.gap.gap();
+        input.momentum_norm = momentum_norm();
+        input.expected_lag = expected_lag(u, input.app_status, input.app, t);
+        return online_.decide(*u.dev, input).decision ==
+               device::Decision::kSchedule;
+      }
+    }
+    return false;
+  }
+
+  /// Server-side lag estimate l_{d_i}: how many currently-training users
+  /// will apply an update while `u` would be training (Algorithm 2, line 4).
+  double expected_lag(const UserState& u, device::AppStatus status,
+                      device::AppKind app, sim::Slot t) const {
+    const double duration = device::training_duration_s(*u.dev, status, app);
+    const sim::Slot end = t + clock_.slots_for_seconds(duration);
+    double lag = 0.0;
+    for (const UserState& other : users_) {
+      if (&other == &u) continue;
+      if (other.phase == Phase::kTraining && other.phase_end <= end) {
+        lag += 1.0;
+      }
+    }
+    return lag;
+  }
+
+  [[nodiscard]] double momentum_norm() const {
+    return cfg_.real_training ? server_->momentum_norm()
+                              : momentum_model_.momentum_norm();
+  }
+
+  void replan_offline(sim::Slot t) {
+    std::vector<std::size_t> ready;
+    std::vector<OfflineUserInput> inputs;
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      UserState& u = users_[i];
+      if (u.phase != Phase::kReady) continue;
+      ready.push_back(i);
+      OfflineUserInput in;
+      in.dev = u.dev;
+      in.current_gap = u.gap.gap();
+      in.momentum_norm = momentum_norm();
+      // Oracle: first scripted arrival in [t, t + window).
+      while (u.script_cursor < u.script.size() &&
+             u.script[u.script_cursor].at < t) {
+        ++u.script_cursor;
+      }
+      if (u.script_cursor < u.script.size() &&
+          u.script[u.script_cursor].at < t + cfg_.offline_window_slots) {
+        in.next_arrival = u.script[u.script_cursor].at;
+        in.arrival_app = u.script[u.script_cursor].app;
+      }
+      inputs.push_back(in);
+    }
+    OfflinePlannerConfig pc;
+    pc.lb = cfg_.offline_lb;
+    pc.window_slots = cfg_.offline_window_slots;
+    pc.epsilon = cfg_.epsilon;
+    pc.eta = cfg_.eta;
+    pc.beta = cfg_.beta;
+    pc.slot_seconds = cfg_.slot_seconds;
+    const OfflineWindowPlan plan = plan_window(t, inputs, pc);
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      users_[ready[k]].plan = plan.plans[k].action;
+      users_[ready[k]].plan_start = plan.plans[k].start_slot;
+    }
+  }
+
+  // ------------------------------------------------------------- lifecycle
+
+  void on_ready(UserState& u) {
+    // Freshly ready users in offline mode wait for the next window plan.
+    if (cfg_.scheduler == SchedulerKind::kOffline) {
+      u.plan = OfflineAction::kDefer;
+    }
+  }
+
+  void start_training(UserState& u, sim::Slot t) {
+    const auto app = u.session->current_app();
+    const device::AppStatus status =
+        app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+    u.training_corun = status == device::AppStatus::kApp;
+    u.train_app = app.value_or(device::AppKind::kMap);
+    double duration = device::training_duration_s(*u.dev, status, u.train_app);
+    if (cfg_.enable_thermal) {
+      const double factor = u.thermal.throttle_factor();
+      duration *= factor;
+      result_.worst_throttle_factor =
+          std::max(result_.worst_throttle_factor, factor);
+      if (factor > 1.01) ++result_.throttled_sessions;
+    }
+    if (u.training_corun) {
+      // System model: the app covers the co-scheduled training task.
+      u.session->extend_to_cover(duration, clock_);
+      ++result_.corun_sessions;
+    } else {
+      ++result_.separate_sessions;
+    }
+    u.gap.on_schedule(cfg_.eta, cfg_.beta,
+                      expected_lag(u, status, u.train_app, t), momentum_norm());
+    u.phase = Phase::kTraining;
+    u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(duration), 1);
+    if (cfg_.real_training) {
+      const fl::GlobalModel snapshot = server_->download();
+      std::vector<float> adopted = snapshot.params;
+      if (cfg_.weight_prediction) {
+        // Adopt the Eq. (3) prediction of where the global model will be by
+        // the time this session's update lands (lag steps of decayed
+        // server-side momentum).
+        const double lag =
+            expected_lag(u, status, u.train_app, t);
+        std::vector<float> predicted;
+        fl::predict_weights(adopted, server_->momentum_estimate(), cfg_.eta,
+                            cfg_.beta, lag, predicted);
+        adopted = std::move(predicted);
+      }
+      if (cfg_.gap_aware_lr && !u.last_upload.empty()) {
+        double gap_sq = 0.0;
+        for (std::size_t i = 0; i < adopted.size(); ++i) {
+          const double d = static_cast<double>(adopted[i]) -
+                           static_cast<double>(u.last_upload[i]);
+          gap_sq += d * d;
+        }
+        const double gap = std::sqrt(gap_sq);
+        u.client->set_learning_rate(cfg_.eta / (1.0 + gap));
+      }
+      u.client->load_global(adopted);
+      u.version_at_download = snapshot.version;
+      if (cfg_.aggregation.kind == fl::AggregationKind::kDelayComp) {
+        u.downloaded_params = std::move(adopted);  // corrector's base point
+      }
+    } else {
+      u.version_at_download = synthetic_version_;
+    }
+  }
+
+  void complete_training(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
+    const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
+    // Failure injection: the upload is lost (killed background process or
+    // exhausted transfer retries). Energy was spent; no update lands. The
+    // accumulated gap persists — the user is now genuinely stale. Sync mode
+    // is exempt: a lost sync upload would deadlock the barrier, which the
+    // paper's server avoids by re-requesting, so we model sync as reliable.
+    if (cfg_.scheduler != SchedulerKind::kSyncSgd &&
+        cfg_.upload_drop_probability > 0.0 &&
+        u.rng.bernoulli(cfg_.upload_drop_probability)) {
+      ++result_.dropped_updates;
+      begin_transfer(u, t);
+      return;
+    }
+    if (cfg_.real_training) {
+      const fl::LocalEpochResult epoch =
+          u.client->train_local_epoch(cfg_.batch_size);
+      (void)epoch;
+      if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
+        server_->stage_sync(u.client->upload());
+        u.gap.on_update_applied();
+        u.phase = Phase::kBarrier;
+        return;  // lag/gap settle at the aggregation barrier
+      }
+      std::vector<float> uploaded = u.client->upload();
+      const fl::UpdateReceipt receipt = server_->submit_async(
+          uploaded, u.version_at_download, u.downloaded_params);
+      if (cfg_.gap_aware_lr) u.last_upload = std::move(uploaded);
+      record_update(index, now_s, receipt.lag, receipt.gradient_gap);
+    } else {
+      if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
+        ++sync_staged_;
+        u.gap.on_update_applied();
+        u.phase = Phase::kBarrier;
+        return;
+      }
+      const std::uint64_t lag = synthetic_version_ - u.version_at_download;
+      const double gap = fl::gradient_gap(cfg_.eta, cfg_.beta,
+                                          static_cast<double>(lag),
+                                          momentum_model_.momentum_norm());
+      ++synthetic_version_;
+      momentum_model_.on_global_update();
+      record_update(index, now_s, lag, gap);
+    }
+    u.gap.on_update_applied();
+    begin_transfer(u, t);
+  }
+
+  void record_update(std::size_t user, double now_s, std::uint64_t lag,
+                     double gap) {
+    ++result_.total_updates;
+    lag_sum_ += static_cast<double>(lag);
+    gap_sum_ += gap;
+    result_.lag_gap_samples.push_back({now_s, lag, gap, user});
+    result_.traces.record("server_gap", now_s, gap);
+  }
+
+  void begin_transfer(UserState& u, sim::Slot t) {
+    // Upload the local model, then download the fresh global copy.
+    const net::TransferResult up = link_.transfer(model_bytes_, u.rng);
+    const net::TransferResult down = link_.transfer(model_bytes_, u.rng);
+    result_.network_j += up.energy_j + down.energy_j;
+    const double seconds = up.duration_s + down.duration_s;
+    u.phase = Phase::kTransferring;
+    u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(seconds), 1);
+  }
+
+  void maybe_aggregate_round(sim::Slot t) {
+    const std::size_t barrier_count = static_cast<std::size_t>(
+        std::count_if(users_.begin(), users_.end(), [](const UserState& u) {
+          return u.phase == Phase::kBarrier;
+        }));
+    if (barrier_count < users_.size()) return;  // stragglers still running
+
+    const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
+    if (cfg_.real_training) {
+      const fl::UpdateReceipt receipt = server_->aggregate_sync();
+      record_update(users_.size(), now_s, receipt.lag, receipt.gradient_gap);
+    } else {
+      sync_staged_ = 0;
+      ++synthetic_version_;
+      momentum_model_.on_global_update();
+      record_update(users_.size(), now_s, 0,
+                    fl::gradient_gap(cfg_.eta, cfg_.beta, 1.0,
+                                     momentum_model_.momentum_norm()));
+    }
+    for (UserState& u : users_) begin_transfer(u, t);
+  }
+
+  void evaluate(double now_s) {
+    const fl::EvalResult eval = fl::evaluate_params(
+        *prototype_, server_->download().params, dataset_.test);
+    result_.traces.record("accuracy", now_s, eval.accuracy);
+    result_.traces.record("loss", now_s, eval.loss);
+    result_.final_accuracy = eval.accuracy;
+    result_.final_loss = eval.loss;
+  }
+
+  // ------------------------------------------------------------- finalize
+
+  ExperimentResult finalize() {
+    for (const UserState& u : users_) {
+      result_.total_energy_j += u.meter.total_j();
+      result_.training_j += u.meter.training_j();
+      result_.corun_j += u.meter.corun_j();
+      result_.app_j += u.meter.app_j();
+      result_.idle_j += u.meter.idle_j();
+      result_.overhead_j += u.meter.overhead_j();
+      if (cfg_.track_battery) {
+        result_.battery_cycles_total += u.battery.equivalent_cycles();
+        result_.battery_recharges += u.battery.recharge_count();
+      }
+    }
+    result_.total_energy_j += result_.network_j;
+    result_.avg_queue_q = queue_q_stats_.mean();
+    result_.avg_queue_h = queue_h_stats_.mean();
+    result_.final_queue_q = online_.queues().q();
+    result_.final_queue_h = online_.queues().h();
+    if (result_.total_updates > 0) {
+      result_.avg_lag = lag_sum_ / static_cast<double>(result_.total_updates);
+      result_.avg_gap = gap_sum_ / static_cast<double>(result_.total_updates);
+    }
+    if (cfg_.real_training) {
+      evaluate(static_cast<double>(cfg_.horizon_slots) * cfg_.slot_seconds);
+    }
+    return std::move(result_);
+  }
+
+  ExperimentConfig cfg_;
+  sim::Clock clock_;
+  util::Rng master_rng_;
+  OnlineScheduler online_;
+  net::Link link_;
+  fl::SyntheticMomentumModel momentum_model_;
+
+  data::SynthCifar dataset_;
+  std::optional<nn::Network> prototype_;
+  std::optional<fl::ParameterServer> server_;
+  std::size_t model_bytes_ = 2'500'000;
+
+  std::vector<UserState> users_;
+  std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
+  double pending_arrivals_ = 0.0;
+  std::uint64_t synthetic_version_ = 0;
+  std::size_t sync_staged_ = 0;
+  double next_eval_s_ = 0.0;
+  double lag_sum_ = 0.0;
+  double gap_sum_ = 0.0;
+  util::RunningStats queue_q_stats_;
+  util::RunningStats queue_h_stats_;
+  ExperimentResult result_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Driver driver{config};
+  return driver.run();
+}
+
+}  // namespace fedco::core

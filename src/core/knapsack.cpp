@@ -1,0 +1,144 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedco::core {
+
+KnapsackSolution solve_knapsack(const std::vector<KnapsackItem>& items,
+                                double capacity, std::size_t grid) {
+  KnapsackSolution solution;
+  solution.selected.assign(items.size(), false);
+  if (items.empty() || capacity <= 0.0 || grid == 0) return solution;
+
+  for (const auto& item : items) {
+    if (item.weight < 0.0 || item.value < 0.0) {
+      throw std::invalid_argument{"solve_knapsack: negative value/weight"};
+    }
+  }
+
+  // Discretize: weight w -> ceil(w / capacity * grid) units, so any DP
+  // solution respects the true (continuous) capacity.
+  const double unit = capacity / static_cast<double>(grid);
+  std::vector<std::size_t> units(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    units[i] = static_cast<std::size_t>(std::ceil(items[i].weight / unit - 1e-12));
+  }
+
+  // S_i(y): best value using items < i with weight budget y (Eq. 8), rolled
+  // into one row; `choice` keeps the take/skip bit for backtracking.
+  std::vector<double> best(grid + 1, 0.0);
+  std::vector<std::vector<bool>> choice(items.size(),
+                                        std::vector<bool>(grid + 1, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (units[i] > grid || items[i].value <= 0.0) continue;  // cannot/no-gain
+    for (std::size_t y = grid + 1; y-- > units[i];) {
+      const double take = best[y - units[i]] + items[i].value;
+      if (take > best[y]) {
+        best[y] = take;
+        choice[i][y] = true;
+      }
+    }
+  }
+
+  // Backtrack.
+  std::size_t y = grid;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (choice[i][y]) {
+      solution.selected[i] = true;
+      solution.total_value += items[i].value;
+      solution.total_weight += items[i].weight;
+      y -= units[i];
+    }
+  }
+  return solution;
+}
+
+KnapsackSolution solve_knapsack_exact(const std::vector<KnapsackItem>& items,
+                                      double capacity) {
+  if (items.size() > 24) {
+    throw std::invalid_argument{"solve_knapsack_exact: too many items"};
+  }
+  KnapsackSolution best;
+  best.selected.assign(items.size(), false);
+  const std::size_t combos = std::size_t{1} << items.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    double value = 0.0;
+    double weight = 0.0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if ((mask >> i) & 1U) {
+        value += items[i].value;
+        weight += items[i].weight;
+      }
+    }
+    if (weight <= capacity && value > best.total_value) {
+      best.total_value = value;
+      best.total_weight = weight;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        best.selected[i] = ((mask >> i) & 1U) != 0;
+      }
+    }
+  }
+  return best;
+}
+
+KnapsackSolution solve_knapsack_greedy(const std::vector<KnapsackItem>& items,
+                                       double capacity) {
+  KnapsackSolution solution;
+  solution.selected.assign(items.size(), false);
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&items](std::size_t a, std::size_t b) {
+    const double ra = items[a].weight <= 0.0
+                          ? items[a].value * 1e9
+                          : items[a].value / items[a].weight;
+    const double rb = items[b].weight <= 0.0
+                          ? items[b].value * 1e9
+                          : items[b].value / items[b].weight;
+    return ra > rb;
+  });
+  double used = 0.0;
+  for (const std::size_t i : order) {
+    if (items[i].value <= 0.0) continue;
+    if (used + items[i].weight <= capacity) {
+      solution.selected[i] = true;
+      solution.total_value += items[i].value;
+      solution.total_weight += items[i].weight;
+      used += items[i].weight;
+    }
+  }
+  return solution;
+}
+
+namespace {
+/// Does `point` fall in [lo, lo + len]?
+bool in_interval(double point, double lo, double len) noexcept {
+  return point >= lo && point <= lo + len;
+}
+}  // namespace
+
+std::size_t lag_upper_bound(const std::vector<UserWindow>& users, std::size_t i) {
+  if (i >= users.size()) {
+    throw std::out_of_range{"lag_upper_bound: bad user index"};
+  }
+  const UserWindow& me = users[i];
+  std::size_t bound = 0;
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    if (j == i) continue;
+    const UserWindow& other = users[j];
+    // Possible completion times of j (Lemma 1 proof: either decision).
+    const double end_separate = other.begin + other.duration;
+    const double end_corun = other.app_arrival + other.duration;
+    const bool hits =
+        in_interval(end_separate, me.begin, me.duration) ||
+        in_interval(end_separate, me.app_arrival, me.duration) ||
+        in_interval(end_corun, me.begin, me.duration) ||
+        in_interval(end_corun, me.app_arrival, me.duration);
+    if (hits) ++bound;
+  }
+  return bound;
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,56 @@
+// Offline scheduling (Sec. IV): the energy-saving/staleness 0-1 knapsack P1,
+// its pseudo-polynomial dynamic program (Algorithm 1, Eq. 8), and the Lemma 1
+// lag upper bound that breaks the circular dependence of each user's gap on
+// the other users' decisions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedco::core {
+
+/// One candidate item of problem P1.
+struct KnapsackItem {
+  double value = 0.0;   ///< energy saving s_i (J)
+  double weight = 0.0;  ///< gradient gap g_i(t_i, t_i + tau_i)
+};
+
+struct KnapsackSolution {
+  std::vector<bool> selected;  ///< x_i
+  double total_value = 0.0;
+  double total_weight = 0.0;
+};
+
+/// Exact 0-1 knapsack via DP over a discretized weight grid (Eq. 8).
+/// `capacity` is Lb; `grid` is the number of integer weight units the
+/// capacity is split into (larger = finer approximation; weights are rounded
+/// *up* so the staleness constraint is never violated). O(n * grid).
+[[nodiscard]] KnapsackSolution solve_knapsack(const std::vector<KnapsackItem>& items,
+                                              double capacity,
+                                              std::size_t grid = 1000);
+
+/// Exhaustive 0-1 knapsack (2^n) for verification; n <= 24.
+[[nodiscard]] KnapsackSolution solve_knapsack_exact(
+    const std::vector<KnapsackItem>& items, double capacity);
+
+/// Greedy value/weight-ratio heuristic (ablation baseline).
+[[nodiscard]] KnapsackSolution solve_knapsack_greedy(
+    const std::vector<KnapsackItem>& items, double capacity);
+
+/// Candidate schedule of one user for the Lemma 1 bound: the user either
+/// starts at `begin` (separate) or at `app_arrival` (co-run), and trains for
+/// `duration`; all in seconds (or any consistent unit).
+struct UserWindow {
+  double begin = 0.0;        ///< t_i: earliest start (model download time)
+  double app_arrival = 0.0;  ///< t_a_i: in-window app arrival (= begin if none)
+  double duration = 0.0;     ///< d_i
+};
+
+/// Lemma 1: upper bound on the lag of user `i` — the number of other users
+/// whose training could complete inside either of i's candidate execution
+/// intervals [t_i, t_i + d_i] or [t_a_i, t_a_i + d_i], regardless of the
+/// eventual control decisions.
+[[nodiscard]] std::size_t lag_upper_bound(const std::vector<UserWindow>& users,
+                                          std::size_t i);
+
+}  // namespace fedco::core

@@ -1,0 +1,81 @@
+#include "core/offline_planner.hpp"
+
+#include "device/power_model.hpp"
+#include "fl/staleness.hpp"
+
+namespace fedco::core {
+
+OfflineWindowPlan plan_window(sim::Slot window_begin,
+                              const std::vector<OfflineUserInput>& users,
+                              const OfflinePlannerConfig& config) {
+  OfflineWindowPlan out;
+  out.plans.assign(users.size(), OfflineUserPlan{});
+  if (users.empty()) return out;
+
+  const double t0 = static_cast<double>(window_begin) * config.slot_seconds;
+  [[maybe_unused]] const double window_s =
+      static_cast<double>(config.window_slots) * config.slot_seconds;
+
+  // Candidate execution windows for the Lemma 1 lag bound.
+  std::vector<UserWindow> windows(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const auto& u = users[i];
+    windows[i].begin = t0;
+    windows[i].app_arrival =
+        u.next_arrival ? static_cast<double>(*u.next_arrival) * config.slot_seconds
+                       : t0;
+    windows[i].duration =
+        u.next_arrival
+            ? device::training_duration_s(*u.dev, device::AppStatus::kApp,
+                                          u.arrival_app)
+            : u.dev->train_time_s;
+  }
+
+  // Knapsack items: value = energy saved by waiting/co-running instead of
+  // training separately now; weight = the gradient gap that the wait + stale
+  // co-run update will have cost (Eq. 4 with the Lemma 1 lag bound, plus the
+  // Eq. 12 epsilon accumulation while idling until the app arrives).
+  std::vector<KnapsackItem> items(users.size());
+  out.lag_bounds.resize(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const auto& u = users[i];
+    out.lag_bounds[i] = lag_upper_bound(windows, i);
+    const double lag = static_cast<double>(out.lag_bounds[i]);
+    if (u.next_arrival) {
+      const double wait_s = windows[i].app_arrival - t0;
+      const double wait_slots = wait_s / config.slot_seconds;
+      items[i].value = device::corun_saving_joules(*u.dev, u.arrival_app);
+      items[i].weight = u.current_gap + config.epsilon * wait_slots +
+                        fl::gradient_gap(config.eta, config.beta, lag,
+                                         u.momentum_norm);
+    } else {
+      // No in-window arrival: waiting saves the separate-training energy for
+      // now (training deferred to a later co-run) at the cost of a full
+      // window of idle gap accumulation.
+      items[i].value = (u.dev->train_power_w - u.dev->idle_power_w) *
+                       u.dev->train_time_s;
+      items[i].weight = u.current_gap +
+                        config.epsilon * static_cast<double>(config.window_slots);
+    }
+    if (items[i].value < 0.0) items[i].value = 0.0;  // co-run never helps here
+  }
+
+  out.knapsack = solve_knapsack(items, config.lb, config.knapsack_grid);
+
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (out.knapsack.selected[i]) {
+      if (users[i].next_arrival) {
+        out.plans[i].action = OfflineAction::kWaitForApp;
+        out.plans[i].start_slot = *users[i].next_arrival;
+      } else {
+        out.plans[i].action = OfflineAction::kDefer;
+      }
+    } else {
+      out.plans[i].action = OfflineAction::kScheduleNow;
+      out.plans[i].start_slot = window_begin;
+    }
+  }
+  return out;
+}
+
+}  // namespace fedco::core

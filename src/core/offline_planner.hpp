@@ -1,0 +1,62 @@
+// Windowed offline (oracle) scheduler built on the Sec. IV knapsack.
+//
+// Every `window_slots` the planner sees the ready users, their oracle-known
+// next app arrival inside the look-ahead window (the paper invokes the
+// offline algorithm every 500 s with a 500 s look-ahead), and decides per
+// user: wait for the app and co-run (x_i = 1, consuming staleness budget) or
+// not. Non-selected users with an arrival train immediately; users without
+// an in-window arrival are deferred when selected, scheduled immediately
+// otherwise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/knapsack.hpp"
+#include "device/profiles.hpp"
+#include "sim/clock.hpp"
+
+namespace fedco::core {
+
+struct OfflinePlannerConfig {
+  double lb = 1000.0;          ///< staleness budget per window
+  sim::Slot window_slots = 500;
+  double epsilon = 0.05;       ///< idle gap increment while waiting (Eq. 12)
+  double eta = 0.05;
+  double beta = 0.9;
+  double slot_seconds = 1.0;
+  std::size_t knapsack_grid = 2000;
+};
+
+/// Planner view of one ready user at the window boundary.
+struct OfflineUserInput {
+  const device::DeviceProfile* dev = nullptr;
+  double current_gap = 0.0;                    ///< accumulated idle gap so far
+  std::optional<sim::Slot> next_arrival;       ///< first in-window app arrival
+  device::AppKind arrival_app = device::AppKind::kMap;
+  double momentum_norm = 0.0;                  ///< ||v_t|| for Eq. (4)
+};
+
+enum class OfflineAction {
+  kScheduleNow,   ///< train separately at the window start
+  kWaitForApp,    ///< idle, then co-run at `start_slot`
+  kDefer,         ///< idle through this window (no in-window arrival)
+};
+
+struct OfflineUserPlan {
+  OfflineAction action = OfflineAction::kScheduleNow;
+  sim::Slot start_slot = 0;  ///< when to begin training (kWaitForApp only)
+};
+
+struct OfflineWindowPlan {
+  std::vector<OfflineUserPlan> plans;  ///< parallel to the input users
+  KnapsackSolution knapsack;           ///< raw solver output (diagnostics)
+  std::vector<std::size_t> lag_bounds; ///< Lemma 1 bound per user
+};
+
+/// Algorithm 1 applied to one window starting at `window_begin`.
+[[nodiscard]] OfflineWindowPlan plan_window(
+    sim::Slot window_begin, const std::vector<OfflineUserInput>& users,
+    const OfflinePlannerConfig& config);
+
+}  // namespace fedco::core

@@ -1,0 +1,51 @@
+#include "core/online_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace fedco::core {
+
+std::vector<OnlineDecisionOutcome> OnlineScheduler::decide_all(
+    const std::vector<const device::DeviceProfile*>& devices,
+    const std::vector<OnlineDecisionInput>& inputs) const {
+  if (devices.size() != inputs.size()) {
+    throw std::invalid_argument{"decide_all: devices/inputs size mismatch"};
+  }
+  std::vector<OnlineDecisionOutcome> out;
+  out.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out.push_back(decide(*devices[i], inputs[i]));
+  }
+  return out;
+}
+
+OnlineDecisionOutcome OnlineScheduler::decide(
+    const device::DeviceProfile& dev, const OnlineDecisionInput& input) const {
+  OnlineDecisionOutcome out;
+  const double td = config_.slot_seconds;
+  const double q = queues_.q();
+  const double h = queues_.h();
+
+  // Power levels of the two candidate actions under the current app status
+  // (Eq. 10).
+  const double p_schedule = device::power_w(dev, device::Decision::kSchedule,
+                                            input.app_status, input.app);
+  const double p_idle = device::power_w(dev, device::Decision::kIdle,
+                                        input.app_status, input.app);
+
+  // Gap realised by scheduling now: the Eq. (4) closed form with the lag the
+  // server expects over this user's training duration.
+  out.gap_if_scheduled = fl::gradient_gap(config_.eta, config_.beta,
+                                          input.expected_lag, input.momentum_norm);
+  // Gap realised by idling: accumulate epsilon (Eq. 12).
+  const double gap_if_idle = input.current_gap + config_.epsilon;
+
+  // Eq. (23); when h == 0 this degenerates to the Eq. (22) branch.
+  out.cost_schedule = config_.V * p_schedule * td - q + h * out.gap_if_scheduled;
+  out.cost_idle = config_.V * p_idle * td + h * gap_if_idle;
+
+  out.decision = out.cost_schedule <= out.cost_idle ? device::Decision::kSchedule
+                                                    : device::Decision::kIdle;
+  return out;
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,81 @@
+// The distributed online scheduler (Algorithm 2): per-slot, per-user
+// drift-plus-penalty minimisation
+//
+//   alpha_i(t) = argmin  V*P_i(t) - Q(t)*b_i(t) + H(t)*g_i(t, t+tau_i)
+//
+// specialised into the no-staleness branch (Eq. 22) when H(t)*g == 0 and the
+// with-staleness branch (Eq. 23) otherwise. Each user's evaluation is O(1);
+// the server only supplies the lag estimate (privacy discussion, Sec. V-A).
+#pragma once
+
+#include <vector>
+
+#include "core/queues.hpp"
+#include "device/power_model.hpp"
+#include "fl/staleness.hpp"
+
+namespace fedco::core {
+
+struct OnlineSchedulerConfig {
+  double V = 4000.0;        ///< energy-vs-staleness control knob
+  double lb = 500.0;        ///< staleness bound Lb (virtual-queue service)
+  double epsilon = 0.05;    ///< per-slot idle gap increment (Eq. 12)
+  double slot_seconds = 1.0;
+  double eta = 0.05;        ///< learning rate (Eq. 4)
+  double beta = 0.9;        ///< momentum coefficient (Eq. 4)
+};
+
+/// Everything a user needs to evaluate Eq. (21) for itself at slot t.
+struct OnlineDecisionInput {
+  device::AppStatus app_status = device::AppStatus::kNoApp;
+  device::AppKind app = device::AppKind::kMap;  ///< valid when app_status==kApp
+  double current_gap = 0.0;     ///< accumulated g_i(t-1, t+tau-1)
+  double expected_lag = 0.0;    ///< l_{d_i} supplied by the server
+  double momentum_norm = 0.0;   ///< ||v_t||_2
+};
+
+/// Detailed outcome of one decision evaluation (exposed for tests/benches).
+struct OnlineDecisionOutcome {
+  device::Decision decision = device::Decision::kIdle;
+  double cost_schedule = 0.0;
+  double cost_idle = 0.0;
+  double gap_if_scheduled = 0.0;  ///< Eq. (4) value used on the schedule branch
+};
+
+class OnlineScheduler {
+ public:
+  explicit OnlineScheduler(OnlineSchedulerConfig config)
+      : config_(config), queues_(config.lb) {}
+
+  /// Evaluate Eq. (21) for one user given the current queue backlogs
+  /// (the distributed implementation of Algorithm 2: each user computes
+  /// this locally from its own app status plus the server-supplied lag).
+  [[nodiscard]] OnlineDecisionOutcome decide(
+      const device::DeviceProfile& dev, const OnlineDecisionInput& input) const;
+
+  /// Centralized implementation (Sec. V-A): the parameter server evaluates
+  /// all n users in one O(n) pass. Produces exactly the same decisions as
+  /// per-user decide() — the difference is purely where the app-usage
+  /// information lives (the privacy trade-off the paper discusses).
+  [[nodiscard]] std::vector<OnlineDecisionOutcome> decide_all(
+      const std::vector<const device::DeviceProfile*>& devices,
+      const std::vector<OnlineDecisionInput>& inputs) const;
+
+  /// End-of-slot queue update (server side of Algorithm 2).
+  void update_queues(double arrivals, double served, double sum_gaps) noexcept {
+    queues_.step(arrivals, served, sum_gaps);
+  }
+
+  [[nodiscard]] const LyapunovQueues& queues() const noexcept { return queues_; }
+  [[nodiscard]] const OnlineSchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+  void reset() noexcept { queues_.reset(); }
+
+ private:
+  OnlineSchedulerConfig config_;
+  LyapunovQueues queues_;
+};
+
+}  // namespace fedco::core

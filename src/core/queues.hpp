@@ -1,0 +1,60 @@
+// The actual and virtual queues of the Lyapunov framework (Sec. V):
+//   Q(t+1) = max(Q(t) - b(t), 0) + A(t)              (Eq. 15)
+//   H(t+1) = max(H(t) + G(t,t+tau) - Lb, 0)          (Eq. 16)
+// plus the Lyapunov function (Eq. 17), one-step drift, and the constant B of
+// Lemma 2 used in the Theorem 1 bounds.
+#pragma once
+
+#include <algorithm>
+
+namespace fedco::core {
+
+class LyapunovQueues {
+ public:
+  explicit LyapunovQueues(double staleness_bound_lb) noexcept
+      : lb_(staleness_bound_lb) {}
+
+  /// Apply one slot's dynamics: `arrivals` users became ready (A(t)),
+  /// `served` users were scheduled (b(t)), `sum_gaps` is G(t, t+tau).
+  void step(double arrivals, double served, double sum_gaps) noexcept {
+    last_drift_ = -lyapunov();
+    q_ = std::max(q_ - served, 0.0) + arrivals;
+    h_ = std::max(h_ + sum_gaps - lb_, 0.0);
+    last_drift_ += lyapunov();
+  }
+
+  [[nodiscard]] double q() const noexcept { return q_; }
+  [[nodiscard]] double h() const noexcept { return h_; }
+  [[nodiscard]] double lb() const noexcept { return lb_; }
+
+  /// L(Theta(t)) = (Q^2 + H^2) / 2 — Eq. (17).
+  [[nodiscard]] double lyapunov() const noexcept {
+    return 0.5 * (q_ * q_ + h_ * h_);
+  }
+
+  /// One-step drift realised by the last step() — sampled Eq. (18).
+  [[nodiscard]] double last_drift() const noexcept { return last_drift_; }
+
+  void reset() noexcept {
+    q_ = 0.0;
+    h_ = 0.0;
+    last_drift_ = 0.0;
+  }
+
+ private:
+  double lb_;
+  double q_ = 0.0;
+  double h_ = 0.0;
+  double last_drift_ = 0.0;
+};
+
+/// The constant B = (A_max^2 + B_max^2 + G_max^2 + Lb^2)/2 of Lemma 2; with
+/// it Theorem 1 bounds time-averaged power by B/V + P* and queues by
+/// B/eps + V(P*-P)/eps.
+[[nodiscard]] inline double drift_bound_b(double max_arrival, double max_service,
+                                          double max_gap, double lb) noexcept {
+  return 0.5 * (max_arrival * max_arrival + max_service * max_service +
+                max_gap * max_gap + lb * lb);
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,29 @@
+// ExperimentResult -> JSON export for external tooling (dashboards,
+// plotting, regression tracking). Traces are decimated to keep documents
+// manageable; the CSV exporter (util/export.hpp) carries full resolution.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace fedco::core {
+
+struct ResultJsonOptions {
+  bool include_traces = true;
+  /// Keep every k-th trace sample (>=1).
+  std::size_t trace_decimation = 10;
+  bool include_lag_gap_samples = false;
+};
+
+/// Serialise config identification + scalar metrics (+ optional traces).
+[[nodiscard]] std::string result_to_json(const ExperimentConfig& config,
+                                         const ExperimentResult& result,
+                                         const ResultJsonOptions& options = {});
+
+/// Write result_to_json to a file; throws std::runtime_error on failure.
+void write_result_json(const std::string& path, const ExperimentConfig& config,
+                       const ExperimentResult& result,
+                       const ResultJsonOptions& options = {});
+
+}  // namespace fedco::core

@@ -1,0 +1,84 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedco::data {
+
+Partition partition_iid(std::size_t dataset_size, std::size_t users,
+                        util::Rng& rng) {
+  if (users == 0) throw std::invalid_argument{"partition_iid: zero users"};
+  std::vector<std::size_t> order(dataset_size);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  Partition parts(users);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    parts[i % users].push_back(order[i]);
+  }
+  return parts;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t users,
+                              double alpha, util::Rng& rng) {
+  if (users == 0) throw std::invalid_argument{"partition_dirichlet: zero users"};
+  if (alpha <= 0.0) throw std::invalid_argument{"partition_dirichlet: alpha <= 0"};
+  Partition parts(users);
+
+  // Group indices by class, shuffle within class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.label(i)].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  for (const auto& bucket : by_class) {
+    const auto shares = rng.dirichlet(alpha, users);
+    // Convert shares to cumulative sample counts over this class.
+    std::size_t assigned = 0;
+    std::vector<std::size_t> counts(users, 0);
+    for (std::size_t u = 0; u < users; ++u) {
+      counts[u] = static_cast<std::size_t>(shares[u] * static_cast<double>(bucket.size()));
+      assigned += counts[u];
+    }
+    // Distribute rounding remainder to the largest-share users.
+    std::vector<std::size_t> by_share(users);
+    std::iota(by_share.begin(), by_share.end(), std::size_t{0});
+    std::sort(by_share.begin(), by_share.end(),
+              [&shares](std::size_t a, std::size_t b) { return shares[a] > shares[b]; });
+    std::size_t remainder = bucket.size() - assigned;
+    for (std::size_t r = 0; r < remainder; ++r) ++counts[by_share[r % users]];
+
+    std::size_t cursor = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      for (std::size_t c = 0; c < counts[u]; ++c) {
+        parts[u].push_back(bucket[cursor++]);
+      }
+    }
+  }
+
+  // Guarantee non-empty users: steal from the largest holder.
+  for (std::size_t u = 0; u < users; ++u) {
+    if (!parts[u].empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() <= 1) {
+      throw std::runtime_error{"partition_dirichlet: not enough samples for all users"};
+    }
+    parts[u].push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+std::vector<Dataset> materialize(const Dataset& source, const Partition& partition) {
+  std::vector<Dataset> out;
+  out.reserve(partition.size());
+  for (const auto& indices : partition) {
+    out.push_back(source.subset(indices));
+  }
+  return out;
+}
+
+}  // namespace fedco::data

@@ -1,0 +1,34 @@
+// Federated dataset partitioning. The paper equally partitions CIFAR-10
+// over 25 users; the Dirichlet partitioner additionally supports the non-IID
+// label-skew setting common in FL studies (used by the ablation bench).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::data {
+
+/// Index sets, one per user; disjoint and jointly covering (for IID) the
+/// source dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Equal random partition: shuffles indices and deals them round-robin.
+/// Every user receives floor(n/users) or ceil(n/users) samples.
+[[nodiscard]] Partition partition_iid(std::size_t dataset_size, std::size_t users,
+                                      util::Rng& rng);
+
+/// Label-skewed partition: for each class, user shares are drawn from a
+/// symmetric Dirichlet(alpha). Small alpha -> high skew. Every user is
+/// guaranteed at least one sample (re-dealt from the largest holder).
+[[nodiscard]] Partition partition_dirichlet(const Dataset& dataset,
+                                            std::size_t users, double alpha,
+                                            util::Rng& rng);
+
+/// Materialise per-user datasets from a partition.
+[[nodiscard]] std::vector<Dataset> materialize(const Dataset& source,
+                                               const Partition& partition);
+
+}  // namespace fedco::data

@@ -1,0 +1,34 @@
+#include "device/battery.hpp"
+
+#include <algorithm>
+
+namespace fedco::device {
+
+Battery::Battery(BatteryConfig config) noexcept
+    : config_(config), soc_(std::clamp(config.initial_soc, 0.0, 1.0)) {}
+
+double Battery::capacity_j() const noexcept {
+  // mAh -> As (x3.6) -> J (x voltage).
+  return config_.capacity_mah * 3.6 * config_.voltage_v;
+}
+
+double Battery::drain(double joules) noexcept {
+  if (joules <= 0.0) return soc_;
+  drained_j_ += joules;
+  const double cap = capacity_j();
+  soc_ -= joules / cap;
+  while (soc_ < config_.recharge_at_soc) {
+    // Opportunistic recharge back to full; the deficit below the threshold
+    // carries over so heavy drain can trigger several logical cycles.
+    soc_ += 1.0 - config_.recharge_at_soc;
+    ++recharges_;
+  }
+  soc_ = std::clamp(soc_, 0.0, 1.0);
+  return soc_;
+}
+
+double Battery::equivalent_cycles() const noexcept {
+  return drained_j_ / capacity_j();
+}
+
+}  // namespace fedco::device

@@ -1,0 +1,81 @@
+#include "device/cpu.hpp"
+
+#include <algorithm>
+
+namespace fedco::device {
+
+namespace {
+double app_big_target(const CpuModelConfig& cfg, AppKind app) noexcept {
+  switch (app_intensity(app)) {
+    case AppIntensity::kLight:
+      return cfg.app_big_util_light;
+    case AppIntensity::kMedium:
+      return cfg.app_big_util_medium;
+    case AppIntensity::kHeavy:
+      return cfg.app_big_util_heavy;
+  }
+  return cfg.app_big_util_light;
+}
+
+double jitter(double value, double amplitude, util::Rng* rng) noexcept {
+  if (rng == nullptr) return value;
+  return value + rng->uniform(-amplitude, amplitude);
+}
+}  // namespace
+
+CpuUtilization CpuModel::utilization(const DeviceProfile& dev, Decision decision,
+                                     AppStatus status, AppKind app,
+                                     util::Rng* rng) const noexcept {
+  CpuUtilization u;
+  const bool training = decision == Decision::kSchedule;
+  const bool app_running = status == AppStatus::kApp;
+
+  if (training) {
+    const double mid =
+        0.5 * (config_.training_little_util_lo + config_.training_little_util_hi);
+    const double amp =
+        0.5 * (config_.training_little_util_hi - config_.training_little_util_lo);
+    u.little = jitter(mid, amp, rng);
+  } else {
+    u.little = jitter(config_.idle_util, config_.idle_util * 0.5, rng);
+  }
+
+  if (app_running) {
+    u.big = jitter(app_big_target(config_, app), 0.05, rng);
+  } else {
+    u.big = jitter(config_.idle_util, config_.idle_util * 0.5, rng);
+  }
+
+  // Homogeneous silicon: everything shares one cluster — report the combined
+  // pressure on "big" (the only cluster) and zero on little.
+  if (!dev.asymmetric) {
+    u.big = std::min(1.0, u.big + (training ? 0.5 : 0.0));
+    u.little = 0.0;
+  }
+
+  u.memory_pressure = std::min(1.0, 0.6 * u.little + 0.5 * u.big);
+  u.big = std::clamp(u.big, 0.0, 1.0);
+  u.little = std::clamp(u.little, 0.0, 1.0);
+  return u;
+}
+
+double CpuModel::training_slowdown(const DeviceProfile& dev, AppStatus status,
+                                   AppKind app) const noexcept {
+  if (status != AppStatus::kApp) return 1.0;
+  double slowdown = 0.0;
+  switch (app_intensity(app)) {
+    case AppIntensity::kLight:
+      slowdown = config_.slowdown_light;
+      break;
+    case AppIntensity::kMedium:
+      slowdown = config_.slowdown_medium;
+      break;
+    case AppIntensity::kHeavy:
+      slowdown = config_.slowdown_heavy;
+      break;
+  }
+  if (!dev.asymmetric) slowdown += config_.homogeneous_penalty;
+  return 1.0 + slowdown;
+}
+
+}  // namespace fedco::device

@@ -1,0 +1,67 @@
+// big.LITTLE CPU utilization model.
+//
+// The paper's energy-saving mechanism rests on the asymmetric ARM
+// microarchitecture: training threads pinned (by the vendor cpuset) to the
+// LITTLE cluster run at 95-98% utilization while foreground apps keep the
+// big cluster at 30-50% — so co-running barely raises the shared-resource
+// power state (Observation 1). This model produces those utilization figures
+// and the contention-driven training slowdown (Observation 2), and is
+// consumed by the FPS model and by diagnostics.
+#pragma once
+
+#include "device/power_model.hpp"
+#include "device/profiles.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::device {
+
+/// Utilization snapshot of the two clusters, in [0, 1].
+struct CpuUtilization {
+  double big = 0.0;
+  double little = 0.0;
+  /// Shared memory-bandwidth pressure in [0, 1]; drives co-run interference.
+  double memory_pressure = 0.0;
+};
+
+/// Model parameters (defaults reproduce the paper's reported ranges).
+struct CpuModelConfig {
+  double training_little_util_lo = 0.95;  ///< Observation 1
+  double training_little_util_hi = 0.98;
+  double app_big_util_light = 0.30;       ///< Observation 1: 30-50% by app
+  double app_big_util_medium = 0.40;
+  double app_big_util_heavy = 0.50;
+  double idle_util = 0.03;
+  /// Training slowdown under co-running by app intensity (Observation 2:
+  /// none for light apps, 10-15% for heavy ones).
+  double slowdown_light = 0.0;
+  double slowdown_medium = 0.05;
+  double slowdown_heavy = 0.125;
+  /// Extra slowdown on homogeneous silicon (Nexus 6) where training and app
+  /// contend for the same cluster and cache.
+  double homogeneous_penalty = 0.15;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuModelConfig config = {}) noexcept : config_(config) {}
+
+  /// Utilization of both clusters for a decision/app state. Noise (when rng
+  /// provided) jitters within the measured ranges.
+  [[nodiscard]] CpuUtilization utilization(const DeviceProfile& dev,
+                                           Decision decision, AppStatus status,
+                                           AppKind app,
+                                           util::Rng* rng = nullptr) const noexcept;
+
+  /// Multiplicative training-time factor (>= 1) for co-running with `app`
+  /// on `dev`; 1.0 when training runs alone.
+  [[nodiscard]] double training_slowdown(const DeviceProfile& dev,
+                                         AppStatus status,
+                                         AppKind app) const noexcept;
+
+  [[nodiscard]] const CpuModelConfig& config() const noexcept { return config_; }
+
+ private:
+  CpuModelConfig config_;
+};
+
+}  // namespace fedco::device

@@ -1,0 +1,53 @@
+#include "device/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedco::device {
+
+double select_frequency(Governor governor, double utilization,
+                        const FrequencyLadder& ladder) noexcept {
+  if (ladder.freqs_ghz.empty()) return 0.0;
+  switch (governor) {
+    case Governor::kPowersave:
+      return ladder.min();
+    case Governor::kPerformance:
+      return ladder.max();
+    case Governor::kSchedutil: {
+      // schedutil picks the lowest frequency covering util * 1.25 headroom.
+      const double target =
+          std::clamp(utilization, 0.0, 1.0) * 1.25 * ladder.max();
+      for (const double f : ladder.freqs_ghz) {
+        if (f >= target) return f;
+      }
+      return ladder.max();
+    }
+  }
+  return ladder.max();
+}
+
+double dynamic_power_scale(double freq_ghz, double max_freq_ghz) noexcept {
+  if (max_freq_ghz <= 0.0) return 0.0;
+  const double ratio = std::clamp(freq_ghz / max_freq_ghz, 0.0, 1.0);
+  return ratio * ratio * ratio;
+}
+
+void ThermalModel::step(double power_w, double dt) noexcept {
+  if (dt <= 0.0) return;
+  // Heating from dissipated energy, Newtonian cooling toward ambient.
+  temperature_c_ += power_w * dt * config_.heating_c_per_joule;
+  temperature_c_ += (config_.ambient_c - temperature_c_) *
+                    std::min(config_.cooling_fraction_per_s * dt, 1.0);
+  temperature_c_ = std::max(temperature_c_, config_.ambient_c);
+}
+
+double ThermalModel::throttle_factor() const noexcept {
+  if (temperature_c_ <= config_.throttle_onset_c) return 1.0;
+  const double span = config_.critical_c - config_.throttle_onset_c;
+  if (span <= 0.0) return config_.max_slowdown;
+  const double frac =
+      std::min((temperature_c_ - config_.throttle_onset_c) / span, 1.0);
+  return 1.0 + frac * (config_.max_slowdown - 1.0);
+}
+
+}  // namespace fedco::device

@@ -1,0 +1,84 @@
+// Dynamic voltage/frequency scaling and thermal throttling.
+//
+// The paper motivates asynchrony with "worst-case stragglers could be orders
+// of magnitude slower than the average execution... especially when the
+// stragglers are experiencing heavy thermal throttling and user
+// interference" (Sec. I) and notes the CPU "typically stays at the maximum
+// frequency during training". This module supplies:
+//  - a frequency ladder + governor that picks an operating point from
+//    utilization (powersave / performance / schedutil-like);
+//  - the cubic dynamic-power scaling between operating points;
+//  - a lumped thermal model whose throttle factor elongates training when
+//    the die heats past the throttling onset — the straggler mechanism used
+//    by the experiment driver's optional thermal mode.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fedco::device {
+
+/// Discrete operating points of one cluster, ascending GHz.
+struct FrequencyLadder {
+  std::vector<double> freqs_ghz{0.3, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4};
+
+  [[nodiscard]] double min() const noexcept { return freqs_ghz.front(); }
+  [[nodiscard]] double max() const noexcept { return freqs_ghz.back(); }
+};
+
+enum class Governor {
+  kPowersave,    ///< always the lowest operating point
+  kPerformance,  ///< always the highest (training: "CPU stays at max")
+  kSchedutil,    ///< frequency proportional to utilization (with headroom)
+};
+
+/// Frequency (GHz) the governor selects for a utilization in [0, 1].
+[[nodiscard]] double select_frequency(Governor governor, double utilization,
+                                      const FrequencyLadder& ladder) noexcept;
+
+/// Dynamic power scale between operating points: (f / f_max)^3 (the
+/// classic capacitive P ~ C V^2 f with V ~ f).
+[[nodiscard]] double dynamic_power_scale(double freq_ghz,
+                                         double max_freq_ghz) noexcept;
+
+struct ThermalConfig {
+  double ambient_c = 25.0;
+  double throttle_onset_c = 45.0;  ///< throttling begins here
+  double critical_c = 65.0;        ///< full throttling (max slowdown)
+  /// Lumped die+case model tuned so board-class draw (~8 W) equilibrates
+  /// near 55 C (deep throttling) while phone-class training (~2 W) levels
+  /// off around 32 C: steady-state dT = P * heating / cooling.
+  double heating_c_per_joule = 0.075;
+  double cooling_fraction_per_s = 0.02;  ///< Newtonian cooling toward ambient
+  double max_slowdown = 3.0;       ///< execution-time multiplier at critical
+};
+
+/// Lumped-parameter thermal state of one device.
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config = {}) noexcept
+      : config_(config), temperature_c_(config.ambient_c) {}
+
+  /// Advance `dt` seconds while drawing `power_w`.
+  void step(double power_w, double dt) noexcept;
+
+  [[nodiscard]] double temperature_c() const noexcept { return temperature_c_; }
+
+  /// Execution-time multiplier in [1, max_slowdown]: 1 below the onset,
+  /// ramping linearly to max_slowdown at the critical temperature.
+  [[nodiscard]] double throttle_factor() const noexcept;
+
+  [[nodiscard]] bool throttling() const noexcept {
+    return temperature_c_ > config_.throttle_onset_c;
+  }
+
+  void reset() noexcept { temperature_c_ = config_.ambient_c; }
+
+  [[nodiscard]] const ThermalConfig& config() const noexcept { return config_; }
+
+ private:
+  ThermalConfig config_;
+  double temperature_c_;
+};
+
+}  // namespace fedco::device

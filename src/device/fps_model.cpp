@@ -1,0 +1,35 @@
+#include "device/fps_model.hpp"
+
+#include <algorithm>
+
+namespace fedco::device {
+
+double FpsModel::sample_fps(const DeviceProfile& dev, AppKind app,
+                            bool corunning, util::Rng& rng) const noexcept {
+  const double target = app_target_fps(app);
+  // Frame time relative to the target's budget (1.0 == hitting target).
+  double frame_time = 1.0 + rng.normal(0.0, config_.jitter);
+  if (corunning) {
+    frame_time += dev.asymmetric ? config_.corun_inflation_asym
+                                 : config_.corun_inflation_homog;
+    if (rng.bernoulli(config_.spike_probability)) {
+      frame_time += config_.spike_inflation * rng.uniform();
+    }
+  }
+  frame_time = std::max(frame_time, 0.5);
+  // Displays cap at the vsync rate: can't render faster than the target.
+  return std::min(target, target / frame_time);
+}
+
+util::TimeSeries FpsModel::trace(const DeviceProfile& dev, AppKind app,
+                                 bool corunning, double seconds,
+                                 util::Rng& rng) const {
+  util::TimeSeries series{std::string{app_name(app)} +
+                          (corunning ? "+training" : "")};
+  for (double t = 0.0; t < seconds; t += 1.0) {
+    series.add(t, sample_fps(dev, app, corunning, rng));
+  }
+  return series;
+}
+
+}  // namespace fedco::device

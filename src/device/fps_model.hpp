@@ -1,0 +1,50 @@
+// Foreground frame-rate model (paper Fig. 2 and Observation 3).
+//
+// The paper measures FPS with and without a co-running training task and
+// finds the average stays pinned at the app's target (60 or 30 fps) with
+// only sporadic dips. We model per-second FPS as the target divided by a
+// frame-time inflation factor: contention from the LITTLE-cluster training
+// adds a small mean inflation plus occasional interference spikes when
+// memory pressure is high.
+#pragma once
+
+#include "device/cpu.hpp"
+#include "device/profiles.hpp"
+#include "util/rng.hpp"
+#include "util/time_series.hpp"
+
+namespace fedco::device {
+
+struct FpsModelConfig {
+  /// Mean frame-time inflation while co-running on big.LITTLE silicon.
+  double corun_inflation_asym = 0.02;
+  /// Mean inflation on homogeneous silicon (same-cluster contention).
+  double corun_inflation_homog = 0.12;
+  /// Probability of an interference spike in any second while co-running.
+  double spike_probability = 0.04;
+  /// Frame-time multiplier during a spike.
+  double spike_inflation = 0.6;
+  /// Gaussian jitter of the per-second frame time (fraction of target).
+  double jitter = 0.04;
+};
+
+class FpsModel {
+ public:
+  explicit FpsModel(FpsModelConfig config = {}) noexcept : config_(config) {}
+
+  /// Instantaneous FPS for one second of rendering.
+  [[nodiscard]] double sample_fps(const DeviceProfile& dev, AppKind app,
+                                  bool corunning, util::Rng& rng) const noexcept;
+
+  /// A (t, fps) trace over `seconds` of app execution (Fig. 2 series).
+  [[nodiscard]] util::TimeSeries trace(const DeviceProfile& dev, AppKind app,
+                                       bool corunning, double seconds,
+                                       util::Rng& rng) const;
+
+  [[nodiscard]] const FpsModelConfig& config() const noexcept { return config_; }
+
+ private:
+  FpsModelConfig config_;
+};
+
+}  // namespace fedco::device

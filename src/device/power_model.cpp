@@ -1,0 +1,68 @@
+#include "device/power_model.hpp"
+
+namespace fedco::device {
+
+std::string_view decision_name(Decision d) noexcept {
+  return d == Decision::kSchedule ? "schedule" : "idle";
+}
+
+std::string_view app_status_name(AppStatus s) noexcept {
+  return s == AppStatus::kApp ? "app" : "no_app";
+}
+
+double power_w(const DeviceProfile& dev, Decision decision, AppStatus status,
+               AppKind app) noexcept {
+  if (decision == Decision::kSchedule) {
+    return status == AppStatus::kApp ? dev.app(app).corun_power_w
+                                     : dev.train_power_w;
+  }
+  return status == AppStatus::kApp ? dev.app(app).app_power_w
+                                   : dev.idle_power_w;
+}
+
+double energy_j(const DeviceProfile& dev, Decision decision, AppStatus status,
+                AppKind app, double seconds) noexcept {
+  return power_w(dev, decision, status, app) * seconds;
+}
+
+double training_duration_s(const DeviceProfile& dev, AppStatus status,
+                           AppKind app) noexcept {
+  return status == AppStatus::kApp ? dev.app(app).corun_time_s
+                                   : dev.train_time_s;
+}
+
+bool satisfies_power_ordering(const DeviceProfile& dev, AppKind app) noexcept {
+  const AppPowerEntry& e = dev.app(app);
+  return e.corun_power_w > e.app_power_w && e.app_power_w > dev.train_power_w &&
+         dev.train_power_w > dev.idle_power_w;
+}
+
+void EnergyMeter::accrue(const DeviceProfile& dev, Decision decision,
+                         AppStatus status, AppKind app, double seconds) noexcept {
+  const double joules = energy_j(dev, decision, status, app, seconds);
+  total_j_ += joules;
+  if (decision == Decision::kSchedule) {
+    if (status == AppStatus::kApp) {
+      corun_j_ += joules;
+    } else {
+      training_j_ += joules;
+    }
+  } else {
+    if (status == AppStatus::kApp) {
+      app_j_ += joules;
+    } else {
+      idle_j_ += joules;
+    }
+  }
+}
+
+void EnergyMeter::accrue_decision_overhead(const DeviceProfile& dev,
+                                           double seconds) noexcept {
+  // Marginal cost of evaluating Eq. (21): the delta between the Table III
+  // compute and idle power levels over the evaluation window.
+  const double joules = (dev.decision_power_w - dev.idle_power_w) * seconds;
+  overhead_j_ += joules;
+  total_j_ += joules;
+}
+
+}  // namespace fedco::device

@@ -1,0 +1,236 @@
+#include "device/profiles.hpp"
+
+namespace fedco::device {
+
+namespace {
+
+// Table II rows, in AppKind order:
+// {P_a (W), P_a' (W), co-run time (s), reported saving}.
+//
+// The "Map" row corresponds to the GPS/Map application in Fig. 1, "News" to
+// YahooNews, "CandyCrush" to CandyCru in the table.
+
+constexpr DeviceProfile kNexus6Profile{
+    .kind = DeviceKind::kNexus6,
+    .name = "Nexus6",
+    .train_power_w = 1.8,
+    .train_time_s = 204.0,
+    .idle_power_w = 0.238,      // Table III
+    .decision_power_w = 0.245,  // Table III
+    .big_cores = 4,             // homogeneous quad Krait: modelled as one cluster
+    .little_cores = 0,
+    .background_cores = 1,
+    .asymmetric = false,
+    .apps = {{
+        {3.4, 3.5, 274.0, 0.26},    // Map
+        {1.7, 2.2, 239.0, 0.32},    // News
+        {1.4, 2.4, 236.0, 0.17},    // Etrade
+        {0.5, 1.9, 284.0, -0.04},   // Youtube
+        {1.6, 2.3, 296.0, 0.18},    // Tiktok
+        {1.2, 2.1, 370.0, 0.04},    // Zoom
+        {1.3, 2.3, 997.0, -0.39},   // CandyCrush
+        {2.5, 2.8, 400.0, 0.18},    // Angrybird
+    }},
+};
+
+constexpr DeviceProfile kNexus6PProfile{
+    .kind = DeviceKind::kNexus6P,
+    .name = "Nexus6P",
+    .train_power_w = 0.9,
+    .train_time_s = 211.0,
+    .idle_power_w = 0.486,      // Table III
+    .decision_power_w = 0.525,  // Table III
+    .big_cores = 4,
+    .little_cores = 4,
+    .background_cores = 1,      // Sec. VI: one little core for background
+    .asymmetric = true,
+    .apps = {{
+        {0.5, 1.3, 225.0, 0.03},
+        {0.44, 1.2, 362.0, -0.24},
+        {0.48, 0.96, 228.0, 0.27},
+        {0.53, 1.2, 220.0, 0.14},
+        {1.0, 1.1, 675.0, 0.14},
+        {1.4, 1.6, 340.0, 0.18},
+        {0.7, 1.3, 280.0, 0.09},
+        {1.1, 1.2, 620.0, 0.15},
+    }},
+};
+
+// HiKey970 is wall-powered through the Monsoon monitor; Table III omits it.
+// Idle/decision power below are assumptions documented in DESIGN.md §2:
+// idle draw of the Kirin 970 board ~1.1 W, decision compute +8%.
+constexpr DeviceProfile kHikey970Profile{
+    .kind = DeviceKind::kHikey970,
+    .name = "Hikey970",
+    .train_power_w = 7.87,
+    .train_time_s = 213.0,
+    .idle_power_w = 1.10,
+    .decision_power_w = 1.19,
+    .big_cores = 4,
+    .little_cores = 4,
+    .background_cores = 1,      // Sec. VI: one little core
+    .asymmetric = true,
+    .apps = {{
+        {8.82, 9.42, 186.0, 0.47},
+        {9.17, 9.76, 210.0, 0.43},
+        {8.50, 9.15, 195.0, 0.47},
+        {9.15, 11.45, 210.0, 0.33},
+        {11.0, 11.2, 271.0, 0.35},
+        {7.89, 8.53, 209.0, 0.46},
+        {11.1, 11.26, 233.0, 0.38},
+        {10.1, 10.7, 200.0, 0.42},
+    }},
+};
+
+constexpr DeviceProfile kPixel2Profile{
+    .kind = DeviceKind::kPixel2,
+    .name = "Pixel2",
+    .train_power_w = 1.35,
+    .train_time_s = 223.0,
+    .idle_power_w = 0.689,      // Table III
+    .decision_power_w = 0.736,  // Table III
+    .big_cores = 4,
+    .little_cores = 4,
+    .background_cores = 2,      // Sec. VI: Pixel2 uses the two little cores
+    .asymmetric = true,
+    .apps = {{
+        {1.60, 2.20, 196.0, 0.30},
+        {1.82, 2.40, 197.0, 0.28},
+        {1.72, 2.23, 206.0, 0.30},
+        {2.04, 2.21, 226.0, 0.35},
+        {2.37, 2.52, 212.0, 0.34},
+        {2.57, 3.11, 206.0, 0.23},
+        {2.89, 2.92, 199.0, 0.34},
+        {2.86, 2.88, 285.0, 0.26},
+    }},
+};
+
+// Canonical device: strictly ordered P_a' > P_a > P_b > P_d for every app,
+// used by property tests of the Eq. (10)/(22)/(23) decision logic.
+constexpr DeviceProfile kCanonicalProfile{
+    .kind = DeviceKind::kPixel2,
+    .name = "Canonical",
+    .train_power_w = 1.2,
+    .train_time_s = 200.0,
+    .idle_power_w = 0.25,
+    .decision_power_w = 0.27,
+    .big_cores = 4,
+    .little_cores = 4,
+    .background_cores = 2,
+    .asymmetric = true,
+    .apps = {{
+        {1.6, 2.2, 210.0, 0.0},
+        {1.5, 2.1, 205.0, 0.0},
+        {1.7, 2.3, 215.0, 0.0},
+        {1.9, 2.5, 220.0, 0.0},
+        {2.0, 2.6, 212.0, 0.0},
+        {2.2, 2.8, 225.0, 0.0},
+        {2.4, 3.0, 230.0, 0.0},
+        {2.3, 2.9, 240.0, 0.0},
+    }},
+};
+
+constexpr std::array<DeviceKind, kDeviceKinds> kAllDevices{
+    DeviceKind::kNexus6, DeviceKind::kNexus6P, DeviceKind::kHikey970,
+    DeviceKind::kPixel2};
+
+constexpr std::array<AppKind, kAppKinds> kAllApps{
+    AppKind::kMap,    AppKind::kNews, AppKind::kEtrade,     AppKind::kYoutube,
+    AppKind::kTiktok, AppKind::kZoom, AppKind::kCandyCrush, AppKind::kAngrybird};
+
+}  // namespace
+
+std::string_view device_name(DeviceKind kind) noexcept {
+  return profile(kind).name;
+}
+
+std::string_view app_name(AppKind kind) noexcept {
+  switch (kind) {
+    case AppKind::kMap:
+      return "Map";
+    case AppKind::kNews:
+      return "News";
+    case AppKind::kEtrade:
+      return "Etrade";
+    case AppKind::kYoutube:
+      return "Youtube";
+    case AppKind::kTiktok:
+      return "Tiktok";
+    case AppKind::kZoom:
+      return "Zoom";
+    case AppKind::kCandyCrush:
+      return "CandyCrush";
+    case AppKind::kAngrybird:
+      return "Angrybird";
+  }
+  return "?";
+}
+
+std::span<const DeviceKind> all_devices() noexcept { return kAllDevices; }
+std::span<const AppKind> all_apps() noexcept { return kAllApps; }
+
+AppIntensity app_intensity(AppKind kind) noexcept {
+  switch (kind) {
+    case AppKind::kMap:
+    case AppKind::kNews:
+    case AppKind::kEtrade:
+      return AppIntensity::kLight;
+    case AppKind::kYoutube:
+    case AppKind::kZoom:
+      return AppIntensity::kMedium;
+    case AppKind::kTiktok:
+    case AppKind::kCandyCrush:
+    case AppKind::kAngrybird:
+      return AppIntensity::kHeavy;
+  }
+  return AppIntensity::kLight;
+}
+
+double app_target_fps(AppKind kind) noexcept {
+  switch (kind) {
+    case AppKind::kAngrybird:
+    case AppKind::kCandyCrush:
+      return 60.0;  // games render at the display rate (Fig. 2a)
+    case AppKind::kTiktok:
+    case AppKind::kYoutube:
+    case AppKind::kZoom:
+      return 30.0;  // video pipelines cap at 30 fps (Fig. 2b)
+    case AppKind::kMap:
+    case AppKind::kNews:
+    case AppKind::kEtrade:
+      return 60.0;
+  }
+  return 60.0;
+}
+
+const DeviceProfile& profile(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kNexus6:
+      return kNexus6Profile;
+    case DeviceKind::kNexus6P:
+      return kNexus6PProfile;
+    case DeviceKind::kHikey970:
+      return kHikey970Profile;
+    case DeviceKind::kPixel2:
+      return kPixel2Profile;
+  }
+  return kPixel2Profile;
+}
+
+const DeviceProfile& canonical_profile() noexcept { return kCanonicalProfile; }
+
+double corun_saving_fraction(const DeviceProfile& dev, AppKind app) noexcept {
+  const AppPowerEntry& entry = dev.app(app);
+  const double corun = entry.corun_power_w * entry.corun_time_s;
+  const double separate = dev.train_power_w * dev.train_time_s +
+                          entry.app_power_w * entry.corun_time_s;
+  return separate <= 0.0 ? 0.0 : 1.0 - corun / separate;
+}
+
+double corun_saving_joules(const DeviceProfile& dev, AppKind app) noexcept {
+  const AppPowerEntry& entry = dev.app(app);
+  return (dev.train_power_w + entry.app_power_w - entry.corun_power_w) *
+         entry.corun_time_s;
+}
+
+}  // namespace fedco::device

@@ -1,0 +1,85 @@
+#include "fl/aggregation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::fl {
+
+std::string_view aggregation_name(AggregationKind kind) noexcept {
+  switch (kind) {
+    case AggregationKind::kReplace:
+      return "replace";
+    case AggregationKind::kFedAsync:
+      return "fedasync";
+    case AggregationKind::kDelayComp:
+      return "delay-comp";
+  }
+  return "?";
+}
+
+double fedasync_mixing_weight(const AggregationConfig& cfg,
+                              std::uint64_t lag) noexcept {
+  const double denom =
+      std::pow(1.0 + static_cast<double>(lag), cfg.fedasync_decay);
+  return cfg.fedasync_alpha0 / (denom <= 0.0 ? 1.0 : denom);
+}
+
+double apply_async_update(const AggregationConfig& cfg,
+                          std::vector<float>& global,
+                          std::span<const float> client,
+                          std::span<const float> at_download,
+                          std::uint64_t lag) {
+  if (client.size() != global.size()) {
+    throw std::invalid_argument{"apply_async_update: size mismatch"};
+  }
+  double gap_sq = 0.0;
+  switch (cfg.kind) {
+    case AggregationKind::kReplace: {
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        const double d = static_cast<double>(global[i]) -
+                         static_cast<double>(client[i]);
+        gap_sq += d * d;
+        global[i] = client[i];
+      }
+      break;
+    }
+    case AggregationKind::kFedAsync: {
+      const auto a = static_cast<float>(fedasync_mixing_weight(cfg, lag));
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        const float next = (1.0f - a) * global[i] + a * client[i];
+        const double d = static_cast<double>(global[i]) -
+                         static_cast<double>(next);
+        gap_sq += d * d;
+        global[i] = next;
+      }
+      break;
+    }
+    case AggregationKind::kDelayComp: {
+      if (at_download.size() != global.size()) {
+        throw std::invalid_argument{
+            "apply_async_update: kDelayComp needs the download snapshot"};
+      }
+      const auto lambda = static_cast<float>(cfg.delay_comp_lambda);
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        // Client's learned delta, computed against its stale base...
+        const float delta = client[i] - at_download[i];
+        // ...with a first-order correction shrinking the step by how far
+        // the global model has already moved since the download (the
+        // diagonal-Hessian approximation of DC-ASGD collapses to this
+        // damping when applied to the parameter delta).
+        const float drift = global[i] - at_download[i];
+        const float next = global[i] + delta - lambda * drift *
+                                                   std::abs(delta) /
+                                                   (std::abs(delta) + 1e-6f);
+        const double d = static_cast<double>(global[i]) -
+                         static_cast<double>(next);
+        gap_sq += d * d;
+        global[i] = next;
+      }
+      break;
+    }
+  }
+  return std::sqrt(gap_sq);
+}
+
+}  // namespace fedco::fl

@@ -1,0 +1,53 @@
+// Pluggable server-side aggregation strategies for asynchronous updates.
+//
+// The paper's own server uses pure replacement (Sec. VI: "The server
+// replaces the current copy of the global model upon receiving it"). The
+// related work it builds on proposes staleness-aware alternatives, which we
+// implement as comparators:
+//  - kReplace      — the paper's semantics (last writer wins);
+//  - kFedAsync     — staleness-weighted mixing theta <- (1-a)theta + a*theta_c
+//                    with a = alpha0 / (1 + lag)^decay  (Xie et al. [11]);
+//  - kDelayComp    — first-order delay compensation (Zheng et al. [10]):
+//                    the incoming delta is corrected toward the current
+//                    model with a lambda * (theta_now - theta_at_download)
+//                    term approximating the missed curvature.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fedco::fl {
+
+enum class AggregationKind { kReplace, kFedAsync, kDelayComp };
+
+[[nodiscard]] std::string_view aggregation_name(AggregationKind kind) noexcept;
+
+struct AggregationConfig {
+  AggregationKind kind = AggregationKind::kReplace;
+  /// FedAsync: base mixing weight and polynomial staleness decay exponent.
+  double fedasync_alpha0 = 0.8;
+  double fedasync_decay = 0.5;
+  /// Delay compensation strength lambda (0 = plain replacement of deltas).
+  double delay_comp_lambda = 0.5;
+};
+
+/// Mixing weight a(lag) used by kFedAsync; in (0, alpha0].
+[[nodiscard]] double fedasync_mixing_weight(const AggregationConfig& cfg,
+                                            std::uint64_t lag) noexcept;
+
+/// Apply one asynchronous client update to `global` in place.
+///
+/// `client` is the uploaded parameter vector; `at_download` is the global
+/// model the client started from (needed by kDelayComp; kReplace/kFedAsync
+/// ignore it and callers may pass an empty span).
+/// Returns the L2 norm of the change actually applied to the global model
+/// (the realised gradient gap of this update).
+double apply_async_update(const AggregationConfig& cfg,
+                          std::vector<float>& global,
+                          std::span<const float> client,
+                          std::span<const float> at_download,
+                          std::uint64_t lag);
+
+}  // namespace fedco::fl

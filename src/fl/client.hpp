@@ -1,0 +1,82 @@
+// Federated client: owns a local data shard, a model replica, and an
+// SGD-with-momentum optimizer; runs local epochs between model exchanges.
+// Mirrors the paper's Training App (Sec. VI): download the global model,
+// train one local epoch in batches of 20, upload the parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::fl {
+
+struct LocalEpochResult {
+  double mean_loss = 0.0;
+  double mean_accuracy = 0.0;
+  std::size_t batches = 0;
+  double momentum_norm = 0.0;  ///< ||v_t||_2 after the epoch (for Eq. 4)
+};
+
+class FlClient {
+ public:
+  FlClient(std::uint32_t id, data::Dataset shard, nn::Network model,
+           nn::SgdConfig sgd, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const data::Dataset& shard() const noexcept { return shard_; }
+  [[nodiscard]] std::size_t param_count() const { return model_.param_count(); }
+
+  /// Adopt the downloaded global parameters. Momentum is preserved across
+  /// rounds (standard in async FL clients; it is the carrier of Eq. (1)).
+  void load_global(std::span<const float> params);
+
+  /// Run one local epoch over the shard with the configured batch size.
+  LocalEpochResult train_local_epoch(std::size_t batch_size);
+
+  /// Current local parameters, flattened for upload.
+  [[nodiscard]] std::vector<float> upload() const { return model_.flatten_params(); }
+
+  /// ||v_t||_2 of the client's momentum vector.
+  [[nodiscard]] double momentum_norm() const noexcept {
+    return optimizer_.momentum_norm();
+  }
+
+  /// Override the learning rate for the next epochs (gap-aware staleness
+  /// mitigation scales eta down when the adopted global model is far from
+  /// the client's last upload; Barkai et al., "Gap-aware Mitigation of
+  /// Gradient Staleness").
+  void set_learning_rate(double eta) noexcept {
+    optimizer_.set_learning_rate(eta);
+  }
+  [[nodiscard]] double learning_rate() const noexcept {
+    return optimizer_.config().learning_rate;
+  }
+
+  [[nodiscard]] const nn::Network& model() const noexcept { return model_; }
+  [[nodiscard]] nn::Network& model() noexcept { return model_; }
+
+ private:
+  std::uint32_t id_;
+  data::Dataset shard_;
+  nn::Network model_;
+  nn::SgdMomentum optimizer_;
+  util::Rng rng_;
+};
+
+/// Evaluate a flat parameter vector on a dataset using a template network
+/// (architecture prototype). Returns mean loss/accuracy over the whole set.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+[[nodiscard]] EvalResult evaluate_params(const nn::Network& prototype,
+                                         std::span<const float> params,
+                                         const data::Dataset& dataset,
+                                         std::size_t batch_size = 100);
+
+}  // namespace fedco::fl

@@ -1,0 +1,99 @@
+#include "fl/server.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::fl {
+
+ParameterServer::ParameterServer(std::vector<float> initial_params, double eta,
+                                 double beta, AggregationConfig aggregation)
+    : params_(std::move(initial_params)),
+      velocity_(params_.size(), 0.0f),
+      eta_(eta),
+      beta_(beta),
+      aggregation_(aggregation) {
+  if (params_.empty()) {
+    throw std::invalid_argument{"ParameterServer: empty initial params"};
+  }
+  if (eta_ <= 0.0) {
+    throw std::invalid_argument{"ParameterServer: eta must be positive"};
+  }
+}
+
+GlobalModel ParameterServer::download() const {
+  return GlobalModel{params_, lag_tracker_.version()};
+}
+
+void ParameterServer::observe_delta(std::span<const float> old_params) {
+  // Back out v ~= (theta_old - theta_new)/eta and smooth it with beta, so
+  // the server-side ||v_t|| tracks the client momentum magnitude without
+  // clients shipping their optimizer state.
+  const auto inv_eta = static_cast<float>(1.0 / eta_);
+  const auto b = static_cast<float>(beta_);
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const float step = (old_params[i] - params_[i]) * inv_eta;
+    velocity_[i] = b * velocity_[i] + (1.0f - b) * step;
+    norm_sq += static_cast<double>(velocity_[i]) * static_cast<double>(velocity_[i]);
+  }
+  momentum_norm_ema_ = std::sqrt(norm_sq);
+}
+
+UpdateReceipt ParameterServer::submit_async(
+    std::span<const float> client_params, std::uint64_t version_at_download,
+    std::span<const float> params_at_download) {
+  if (client_params.size() != params_.size()) {
+    throw std::invalid_argument{"submit_async: parameter size mismatch"};
+  }
+  UpdateReceipt receipt;
+  receipt.lag = lag_tracker_.lag_since(version_at_download);
+
+  const std::vector<float> old_params = params_;
+  receipt.gradient_gap = apply_async_update(
+      aggregation_, params_, client_params, params_at_download, receipt.lag);
+  observe_delta(old_params);
+
+  receipt.version = lag_tracker_.on_global_update();
+  gap_history_.push_back(receipt.gradient_gap);
+  return receipt;
+}
+
+void ParameterServer::stage_sync(std::span<const float> client_params) {
+  if (client_params.size() != params_.size()) {
+    throw std::invalid_argument{"stage_sync: parameter size mismatch"};
+  }
+  if (sync_accumulator_.empty()) {
+    sync_accumulator_.assign(params_.size(), 0.0f);
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    sync_accumulator_[i] += client_params[i];
+  }
+  ++staged_count_;
+}
+
+UpdateReceipt ParameterServer::aggregate_sync() {
+  if (staged_count_ == 0) {
+    throw std::logic_error{"aggregate_sync: no staged updates"};
+  }
+  const auto inv = 1.0f / static_cast<float>(staged_count_);
+  UpdateReceipt receipt;
+  double gap_sq = 0.0;
+  const std::vector<float> old_params = params_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const float averaged = sync_accumulator_[i] * inv;
+    const double d =
+        static_cast<double>(params_[i]) - static_cast<double>(averaged);
+    gap_sq += d * d;
+    params_[i] = averaged;
+  }
+  receipt.gradient_gap = std::sqrt(gap_sq);
+  observe_delta(old_params);
+  receipt.version = lag_tracker_.on_global_update();
+  receipt.lag = 0;  // the barrier aligns all updates
+  sync_accumulator_.clear();
+  staged_count_ = 0;
+  gap_history_.push_back(receipt.gradient_gap);
+  return receipt;
+}
+
+}  // namespace fedco::fl

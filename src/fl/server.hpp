@@ -1,0 +1,105 @@
+// Parameter server.
+//
+// ASync-SGD mode replicates the paper's Sec. VI behaviour: "The server
+// replaces the current copy of the global model upon receiving it", and the
+// version counter implements the lag of Def. 1. Sync mode implements the
+// FedAvg barrier (aggregate-then-average) used as the Sync-SGD baseline.
+// The server also maintains a momentum estimate v_t from successive global
+// parameter deltas so Eq. (3)/(4) can be evaluated against the live model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fl/aggregation.hpp"
+#include "fl/staleness.hpp"
+
+namespace fedco::fl {
+
+/// Snapshot a client receives on download.
+struct GlobalModel {
+  std::vector<float> params;
+  std::uint64_t version = 0;  ///< update count at download (for lag)
+};
+
+/// Result of applying one client update.
+struct UpdateReceipt {
+  std::uint64_t version = 0;       ///< global version after this update
+  std::uint64_t lag = 0;           ///< Def. 1 lag of the applied update
+  double gradient_gap = 0.0;       ///< Def. 2 gap ||theta_new - theta_old||_2
+};
+
+class ParameterServer {
+ public:
+  /// `eta`/`beta`: the training hyper-parameters; used to back out a
+  /// momentum-vector estimate from parameter deltas (theta moves by
+  /// -eta * v per Eq. (1)). `aggregation` selects the async update rule;
+  /// the default is the paper's pure replacement.
+  ParameterServer(std::vector<float> initial_params, double eta, double beta,
+                  AggregationConfig aggregation = {});
+
+  /// Current global model (copy) + version.
+  [[nodiscard]] GlobalModel download() const;
+
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return lag_tracker_.version();
+  }
+  [[nodiscard]] std::size_t param_count() const noexcept {
+    return params_.size();
+  }
+
+  /// ASync-SGD: apply a client update under the configured aggregation
+  /// rule, recording the realised gradient gap and the Def. 1 lag.
+  /// `params_at_download` is required by AggregationKind::kDelayComp (the
+  /// client's starting snapshot); other rules ignore it.
+  UpdateReceipt submit_async(std::span<const float> client_params,
+                             std::uint64_t version_at_download,
+                             std::span<const float> params_at_download = {});
+
+  [[nodiscard]] const AggregationConfig& aggregation() const noexcept {
+    return aggregation_;
+  }
+
+  /// Sync-SGD/FedAvg: stage one client update for the current round.
+  void stage_sync(std::span<const float> client_params);
+  /// Number of staged updates awaiting aggregation.
+  [[nodiscard]] std::size_t staged() const noexcept { return staged_count_; }
+  /// Average all staged updates into the global model (one version bump —
+  /// the round barrier makes all client lags zero by construction).
+  UpdateReceipt aggregate_sync();
+
+  /// ||v_t||_2 estimated from the last global parameter delta:
+  /// v ~= (theta_old - theta_new) / eta, smoothed by beta like Eq. (1).
+  [[nodiscard]] double momentum_norm() const noexcept { return momentum_norm_ema_; }
+
+  /// Momentum-vector estimate (same smoothing), for Eq. (3) prediction.
+  [[nodiscard]] std::span<const float> momentum_estimate() const noexcept {
+    return velocity_;
+  }
+
+  /// Measured gradient gap trace: one sample per applied update.
+  [[nodiscard]] std::span<const double> gap_history() const noexcept {
+    return gap_history_;
+  }
+
+  [[nodiscard]] double eta() const noexcept { return eta_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+ private:
+  void observe_delta(std::span<const float> old_params);
+
+  std::vector<float> params_;
+  std::vector<float> velocity_;  ///< smoothed (theta_old - theta_new)/eta
+  double eta_;
+  double beta_;
+  AggregationConfig aggregation_;
+  double momentum_norm_ema_ = 0.0;
+  LagTracker lag_tracker_;
+  std::vector<float> sync_accumulator_;
+  std::size_t staged_count_ = 0;
+  std::vector<double> gap_history_;
+};
+
+}  // namespace fedco::fl

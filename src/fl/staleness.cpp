@@ -1,0 +1,35 @@
+#include "fl/staleness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::fl {
+
+double momentum_amplification(double beta, double lag) noexcept {
+  if (lag <= 0.0) return 0.0;
+  if (beta <= 0.0) return 1.0;
+  if (beta >= 1.0) return lag;  // lim_{b->1} (1-b^l)/(1-b) = l
+  return (1.0 - std::pow(beta, lag)) / (1.0 - beta);
+}
+
+double gradient_gap(double eta, double beta, double lag,
+                    double momentum_norm) noexcept {
+  return std::abs(eta) * momentum_amplification(beta, lag) *
+         std::abs(momentum_norm);
+}
+
+void predict_weights(std::span<const float> theta, std::span<const float> velocity,
+                     double eta, double beta, double lag,
+                     std::vector<float>& out) {
+  if (theta.size() != velocity.size()) {
+    throw std::invalid_argument{"predict_weights: theta/velocity size mismatch"};
+  }
+  const auto scale =
+      static_cast<float>(eta * momentum_amplification(beta, lag));
+  out.resize(theta.size());
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    out[i] = theta[i] - scale * velocity[i];
+  }
+}
+
+}  // namespace fedco::fl

@@ -1,0 +1,131 @@
+// Gradient-staleness machinery: lag (Def. 1), gradient gap (Def. 2), linear
+// weight prediction (Eq. 3) and its closed-form norm (Eq. 4), plus the
+// per-slot accumulation rule of Eq. (12).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace fedco::fl {
+
+/// Momentum amplification factor (1 - beta^lag) / (1 - beta) from Eq. (3).
+/// For beta == 1 the limit is `lag` (the geometric sum degenerates).
+[[nodiscard]] double momentum_amplification(double beta, double lag) noexcept;
+
+/// Closed-form gradient gap of Eq. (4):
+///   g(t, t+tau) = || eta * (1 - beta^lag)/(1 - beta) * v_t ||_2
+/// with ||v_t||_2 supplied by the caller (momentum_norm).
+[[nodiscard]] double gradient_gap(double eta, double beta, double lag,
+                                  double momentum_norm) noexcept;
+
+/// Linear weight prediction of Eq. (3):
+///   theta_{t+tau} = theta_t - eta * (1 - beta^lag)/(1 - beta) * v_t
+/// Writes into `out` (resized to theta.size()).
+void predict_weights(std::span<const float> theta, std::span<const float> velocity,
+                     double eta, double beta, double lag,
+                     std::vector<float>& out);
+
+/// Per-user gradient-gap state following Eq. (12): while idle the gap grows
+/// by epsilon each slot; on "schedule" it is recomputed from the closed form
+/// with the lag expected over the training duration.
+class GapTracker {
+ public:
+  explicit GapTracker(double epsilon) noexcept : epsilon_(epsilon) {}
+
+  /// Idle slot: gap accumulates by epsilon.
+  void accrue_idle() noexcept { gap_ += epsilon_; }
+
+  /// Schedule decision: gap is the closed-form estimate for this session.
+  void on_schedule(double eta, double beta, double lag,
+                   double momentum_norm) noexcept {
+    gap_ = gradient_gap(eta, beta, lag, momentum_norm);
+  }
+
+  /// The update reached the server: staleness for this user is settled.
+  void on_update_applied() noexcept { gap_ = 0.0; }
+
+  [[nodiscard]] double gap() const noexcept { return gap_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  void reset() noexcept { gap_ = 0.0; }
+
+ private:
+  double epsilon_;
+  double gap_ = 0.0;
+};
+
+/// Server-side lag accounting (Def. 1): the lag of a user update is the
+/// number of global-model updates applied between the user's model download
+/// (version v0) and its own update arriving.
+class LagTracker {
+ public:
+  /// Record that the global model received one update; returns the new
+  /// version number.
+  std::uint64_t on_global_update() noexcept { return ++version_; }
+
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Lag of an update computed from the version at download time.
+  [[nodiscard]] std::uint64_t lag_since(std::uint64_t version_at_download) const noexcept {
+    return version_ >= version_at_download ? version_ - version_at_download : 0;
+  }
+
+ private:
+  std::uint64_t version_ = 0;
+};
+
+/// ||v_t||_2 source used by schedulers to evaluate Eq. (4).
+///
+/// With real training the norm comes from the actual momentum vector; in
+/// scheduler-only simulations SyntheticMomentumModel (below) supplies a
+/// realistic decaying process.
+class MomentumNormSource {
+ public:
+  virtual ~MomentumNormSource() = default;
+  [[nodiscard]] virtual double momentum_norm() const noexcept = 0;
+};
+
+/// Parametric ||v_t|| model calibrated to the shape in Fig. 5(a): large
+/// during early training, decaying roughly hyperbolically with the number of
+/// global updates, with a persistent floor from gradient noise.
+///   ||v_k|| = floor + scale / (1 + k / half_life)
+class SyntheticMomentumModel final : public MomentumNormSource {
+ public:
+  struct Config {
+    double initial = 12.0;     ///< ||v|| at the first update (Fig. 5a peak ~15)
+    double floor = 1.5;        ///< late-training noise floor
+    double half_life = 40.0;   ///< updates until the decaying part halves
+  };
+
+  SyntheticMomentumModel() noexcept : SyntheticMomentumModel(Config{}) {}
+  explicit SyntheticMomentumModel(Config config) noexcept : config_(config) {}
+
+  /// Advance by one applied global update.
+  void on_global_update() noexcept { ++updates_; }
+
+  [[nodiscard]] double momentum_norm() const noexcept override {
+    const double decaying = (config_.initial - config_.floor) /
+                            (1.0 + static_cast<double>(updates_) / config_.half_life);
+    return config_.floor + decaying;
+  }
+
+  [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+
+ private:
+  Config config_;
+  std::uint64_t updates_ = 0;
+};
+
+/// Fixed norm source (tests / analytical examples).
+class FixedMomentumNorm final : public MomentumNormSource {
+ public:
+  explicit FixedMomentumNorm(double norm) noexcept : norm_(norm) {}
+  [[nodiscard]] double momentum_norm() const noexcept override { return norm_; }
+
+ private:
+  double norm_;
+};
+
+}  // namespace fedco::fl

@@ -1,0 +1,189 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::nn {
+
+namespace {
+void require_matrix(const Tensor& t, const char* who) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument{std::string{who} + ": expected rank-2 tensor, got " +
+                                shape_to_string(t.shape())};
+  }
+}
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "gemm A");
+  require_matrix(b, "gemm B");
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument{"gemm: inner dims differ"};
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) {
+    c = Tensor{{m, n}};
+  } else {
+    c.zero();
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "gemm_at_b A");
+  require_matrix(b, "gemm_at_b B");
+  const std::size_t k = a.dim(0);
+  const std::size_t m = a.dim(1);
+  const std::size_t n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument{"gemm_at_b: inner dims differ"};
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) {
+    c = Tensor{{m, n}};
+  } else {
+    c.zero();
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require_matrix(a, "gemm_a_bt A");
+  require_matrix(b, "gemm_a_bt B");
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument{"gemm_a_bt: inner dims differ"};
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) {
+    c = Tensor{{m, n}};
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * static_cast<double>(brow[p]);
+      }
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void im2col(const Tensor& input, std::size_t batch_index, const ConvGeometry& g,
+            Tensor& columns) {
+  if (input.rank() != 4) throw std::invalid_argument{"im2col: expected NCHW"};
+  const std::size_t rows = g.patch_size();
+  const std::size_t cols = g.positions();
+  if (columns.rank() != 2 || columns.dim(0) != rows || columns.dim(1) != cols) {
+    columns = Tensor{{rows, cols}};
+  }
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  float* out = columns.data();
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t row = (c * g.kernel + kh) * g.kernel + kw;
+        float* out_row = out + row * cols;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float value = 0.0f;
+            if (in_y >= 0 && in_y < static_cast<std::ptrdiff_t>(g.in_h) &&
+                in_x >= 0 && in_x < static_cast<std::ptrdiff_t>(g.in_w)) {
+              value = input.at4(batch_index, c, static_cast<std::size_t>(in_y),
+                                static_cast<std::size_t>(in_x));
+            }
+            out_row[y * ow + x] = value;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, std::size_t batch_index,
+            const ConvGeometry& g, Tensor& grad_input) {
+  if (grad_input.rank() != 4) throw std::invalid_argument{"col2im: expected NCHW"};
+  const std::size_t cols = g.positions();
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const float* in = columns.data();
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t row = (c * g.kernel + kh) * g.kernel + kw;
+        const float* in_row = in + row * cols;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            grad_input.at4(batch_index, c, static_cast<std::size_t>(in_y),
+                           static_cast<std::size_t>(in_x)) += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& out) {
+  if (logits.rank() != 2) throw std::invalid_argument{"softmax_rows: rank-2 only"};
+  if (!out.same_shape(logits)) out = Tensor{logits.shape()};
+  const std::size_t n = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* dst = out.data() + i * k;
+    float max_logit = row[0];
+    for (std::size_t j = 1; j < k; ++j) max_logit = std::max(max_logit, row[j]);
+    double total = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - max_logit));
+      dst[j] = static_cast<float>(e);
+      total += e;
+    }
+    const auto inv = static_cast<float>(1.0 / total);
+    for (std::size_t j = 0; j < k; ++j) dst[j] *= inv;
+  }
+}
+
+}  // namespace fedco::nn

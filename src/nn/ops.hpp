@@ -1,0 +1,59 @@
+// Numeric kernels: GEMM, im2col/col2im convolution lowering, pooling and
+// softmax. These replace the OpenBLAS backend the paper cross-compiled for
+// ARM; the cache-friendly ikj GEMM is plenty for LeNet-scale models.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/tensor.hpp"
+
+namespace fedco::nn {
+
+/// C (m×n) = A (m×k) · B (k×n). C is overwritten.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C (m×n) += A^T (m×k as k×m stored) · B (k×n): C = A'B with A given (k×m).
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C (m×n) = A (m×k) · B^T (n×k stored). C is overwritten.
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Geometry of a 2-D convolution / pooling window.
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 1;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  [[nodiscard]] std::size_t out_h() const noexcept {
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const noexcept {
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  /// Rows of the im2col matrix: channels × kernel².
+  [[nodiscard]] std::size_t patch_size() const noexcept {
+    return in_channels * kernel * kernel;
+  }
+  /// Columns of the im2col matrix: output positions.
+  [[nodiscard]] std::size_t positions() const noexcept {
+    return out_h() * out_w();
+  }
+};
+
+/// Lower one image (C,H,W slice at batch index n of a NCHW tensor) into a
+/// (patch_size × positions) column matrix.
+void im2col(const Tensor& input, std::size_t batch_index, const ConvGeometry& g,
+            Tensor& columns);
+
+/// Scatter-add the column matrix back into the image gradient (inverse of
+/// im2col); the batch slice of `grad_input` is accumulated into, not cleared.
+void col2im(const Tensor& columns, std::size_t batch_index,
+            const ConvGeometry& g, Tensor& grad_input);
+
+/// Row-wise softmax of a (N, K) logits matrix into `out` (same shape).
+void softmax_rows(const Tensor& logits, Tensor& out);
+
+}  // namespace fedco::nn

@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedco::nn {
+
+void SgdMomentum::step(Network& net) {
+  const auto params = net.params();
+  const auto grads = net.grads();
+  if (params.size() != grads.size()) {
+    throw std::logic_error{"SgdMomentum::step: params/grads mismatch"};
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const Tensor* p : params) velocity_.emplace_back(p->shape());
+  } else if (velocity_.size() != params.size()) {
+    throw std::logic_error{"SgdMomentum::step: network shape changed"};
+  }
+
+  const auto beta = static_cast<float>(config_.momentum);
+  const auto eta = static_cast<float>(config_.learning_rate);
+  const auto decay = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& theta = *params[i];
+    Tensor& g = *grads[i];
+    Tensor& v = velocity_[i];
+    if (!theta.same_shape(v)) {
+      throw std::logic_error{"SgdMomentum::step: velocity shape drift"};
+    }
+
+    float clip_scale = 1.0f;
+    if (config_.grad_clip > 0.0) {
+      const double norm = g.l2_norm();
+      if (norm > config_.grad_clip) {
+        clip_scale = static_cast<float>(config_.grad_clip / norm);
+      }
+    }
+
+    float* pv = v.data();
+    float* pt = theta.data();
+    const float* pg = g.data();
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      const float grad = pg[j] * clip_scale + decay * pt[j];
+      pv[j] = beta * pv[j] + (1.0f - beta) * grad;
+      pt[j] -= eta * pv[j];
+    }
+  }
+}
+
+void SgdMomentum::reset() { velocity_.clear(); }
+
+double SgdMomentum::momentum_norm() const noexcept {
+  double acc = 0.0;
+  for (const Tensor& v : velocity_) {
+    for (const float x : v.flat()) {
+      acc += static_cast<double>(x) * static_cast<double>(x);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<float> SgdMomentum::flatten_momentum() const {
+  std::vector<float> flat;
+  for (const Tensor& v : velocity_) {
+    flat.insert(flat.end(), v.flat().begin(), v.flat().end());
+  }
+  return flat;
+}
+
+}  // namespace fedco::nn

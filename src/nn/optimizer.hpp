@@ -1,0 +1,50 @@
+// SGD with momentum exactly as the paper's Eq. (1):
+//   v_t = beta * v_{t-1} + (1 - beta) * g_t
+//   theta_t = theta_{t-1} - eta * v_t
+//
+// The momentum vector v_t is first-class here because the gradient-gap
+// staleness metric (Eq. 4) and linear weight prediction (Eq. 3) consume its
+// norm; see fl/staleness.hpp.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/tensor.hpp"
+
+namespace fedco::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;  ///< eta in Eq. (1)
+  double momentum = 0.9;        ///< beta in Eq. (1); 0 disables momentum
+  double weight_decay = 0.0;    ///< optional L2 regularisation
+  double grad_clip = 0.0;       ///< clip each grad tensor's L2 norm; 0 = off
+};
+
+class SgdMomentum {
+ public:
+  explicit SgdMomentum(SgdConfig config) : config_(config) {}
+
+  /// Apply one update step to the network from its accumulated gradients.
+  void step(Network& net);
+
+  /// Reset momentum buffers (e.g., when a client adopts fresh global params).
+  void reset();
+
+  /// L2 norm of the concatenated momentum vector ||v_t||_2; 0 before the
+  /// first step.
+  [[nodiscard]] double momentum_norm() const noexcept;
+
+  /// Flattened copy of the momentum vector (layer order); empty before the
+  /// first step.
+  [[nodiscard]] std::vector<float> flatten_momentum() const;
+
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+  void set_learning_rate(double eta) noexcept { config_.learning_rate = eta; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace fedco::nn

@@ -1,0 +1,71 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedco::nn {
+
+namespace {
+constexpr std::size_t kHeaderSize = sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, T value) {
+  const auto old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  if (offset + sizeof(T) > bytes.size()) {
+    throw std::runtime_error{"decode_model: truncated buffer"};
+  }
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_model(const ModelBlobHeader& header,
+                                       std::span<const float> params) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(params.size()));
+  append_pod(out, header.magic);
+  append_pod(out, header.device_id);
+  append_pod(out, header.round);
+  append_pod(out, static_cast<std::uint64_t>(params.size()));
+  const auto old = out.size();
+  out.resize(old + params.size() * sizeof(float));
+  if (!params.empty()) {
+    std::memcpy(out.data() + old, params.data(), params.size() * sizeof(float));
+  }
+  return out;
+}
+
+DecodedModel decode_model(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  DecodedModel decoded;
+  decoded.header.magic = read_pod<std::uint32_t>(bytes, offset);
+  if (decoded.header.magic != ModelBlobHeader{}.magic) {
+    throw std::runtime_error{"decode_model: bad magic"};
+  }
+  decoded.header.device_id = read_pod<std::uint32_t>(bytes, offset);
+  decoded.header.round = read_pod<std::uint64_t>(bytes, offset);
+  decoded.header.param_count = read_pod<std::uint64_t>(bytes, offset);
+  const std::size_t payload = bytes.size() - offset;
+  if (payload != decoded.header.param_count * sizeof(float)) {
+    throw std::runtime_error{"decode_model: payload size mismatch"};
+  }
+  decoded.params.resize(decoded.header.param_count);
+  if (!decoded.params.empty()) {
+    std::memcpy(decoded.params.data(), bytes.data() + offset, payload);
+  }
+  return decoded;
+}
+
+std::size_t encoded_size(std::size_t param_count) noexcept {
+  return kHeaderSize + param_count * sizeof(float);
+}
+
+}  // namespace fedco::nn

@@ -1,0 +1,36 @@
+// Binary (de)serialisation of flat parameter vectors. Stands in for the
+// paper's Retrofit file upload of the ~2.5 MB DL4J model: the byte size
+// computed here drives the network-transfer timing in src/net.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedco::nn {
+
+/// Metadata carried with every model exchange (paper Sec. VI: "device ID,
+/// round #" accompany each upload).
+struct ModelBlobHeader {
+  std::uint32_t magic = 0xFEDC0001;  ///< format tag / endianness canary
+  std::uint32_t device_id = 0;
+  std::uint64_t round = 0;
+  std::uint64_t param_count = 0;
+};
+
+/// Encode header + float parameters into a contiguous byte buffer.
+[[nodiscard]] std::vector<std::uint8_t> encode_model(const ModelBlobHeader& header,
+                                                     std::span<const float> params);
+
+/// Decode a buffer produced by encode_model. Throws std::runtime_error on a
+/// corrupt or truncated buffer.
+struct DecodedModel {
+  ModelBlobHeader header;
+  std::vector<float> params;
+};
+[[nodiscard]] DecodedModel decode_model(std::span<const std::uint8_t> bytes);
+
+/// Serialized size in bytes for a parameter count (header + payload).
+[[nodiscard]] std::size_t encoded_size(std::size_t param_count) noexcept;
+
+}  // namespace fedco::nn

@@ -1,0 +1,121 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedco::nn {
+
+std::size_t shape_volume(const Shape& shape) noexcept {
+  std::size_t volume = 1;
+  for (const std::size_t d : shape) volume *= d;
+  return shape.empty() ? 0 : volume;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(Shape{shape}) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_volume(shape_)) {
+    throw std::invalid_argument{"Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_)};
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::out_of_range{"Tensor::dim: axis " + std::to_string(axis) +
+                            " for shape " + shape_to_string(shape_)};
+  }
+  return shape_[axis];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_volume(new_shape) != data_.size()) {
+    throw std::invalid_argument{"Tensor::reshaped: volume mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape)};
+  }
+  return Tensor{std::move(new_shape), data_};
+}
+
+void Tensor::fill(float value) noexcept {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::add_(const Tensor& other) { axpy_(1.0f, other); }
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  if (!same_shape(other)) {
+    throw std::invalid_argument{"Tensor::axpy_: shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(other.shape_)};
+  }
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale_(float alpha) noexcept {
+  for (auto& x : data_) x *= alpha;
+}
+
+double Tensor::l2_norm() const noexcept {
+  double acc = 0.0;
+  for (const float x : data_) {
+    acc += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return std::sqrt(acc);
+}
+
+double Tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (const float x : data_) acc += static_cast<double>(x);
+  return acc;
+}
+
+float Tensor::max_abs() const noexcept {
+  float best = 0.0f;
+  for (const float x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+Tensor subtract(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument{"subtract: shape mismatch"};
+  }
+  Tensor out{a.shape()};
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double l2_distance(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument{"l2_distance: shape mismatch"};
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace fedco::nn

@@ -1,0 +1,98 @@
+// Dense row-major float tensor — the numeric workhorse of the from-scratch
+// training substrate that stands in for the paper's DL4J/OpenBLAS stack.
+//
+// Kept deliberately small: fedco's models (LeNet-5 class) need only
+// contiguous storage, shape bookkeeping, and a few elementwise helpers; all
+// heavy math lives in ops.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedco::nn {
+
+/// Shape of a tensor; empty shape denotes a default-constructed tensor.
+using Shape = std::vector<std::size_t>;
+
+[[nodiscard]] std::size_t shape_volume(const Shape& shape) noexcept;
+[[nodiscard]] std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  /// Tensor with explicit contents; data.size() must equal the shape volume.
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> flat() const noexcept { return data_; }
+
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessors (matrices); bounds-checked in debug builds only.
+  [[nodiscard]] float& at2(std::size_t r, std::size_t c) noexcept {
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at2(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 4-D accessor (N, C, H, W) for image tensors.
+  [[nodiscard]] float& at4(std::size_t n, std::size_t c, std::size_t h,
+                           std::size_t w) noexcept {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const noexcept {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Reinterpret the same storage under a new shape of equal volume.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void add_(const Tensor& other);
+  /// this += alpha * other (shapes must match).
+  void axpy_(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void scale_(float alpha) noexcept;
+
+  [[nodiscard]] double l2_norm() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] float max_abs() const noexcept;
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Elementwise a - b into a fresh tensor; shapes must match.
+[[nodiscard]] Tensor subtract(const Tensor& a, const Tensor& b);
+
+/// Euclidean distance ||a - b||_2 without materialising the difference.
+[[nodiscard]] double l2_distance(const Tensor& a, const Tensor& b);
+
+}  // namespace fedco::nn

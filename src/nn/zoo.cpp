@@ -1,0 +1,49 @@
+#include "nn/zoo.hpp"
+
+#include <memory>
+
+namespace fedco::nn {
+
+Network make_lenet5(std::size_t classes, util::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Conv2D>(3, 6, 5, 1, 0, rng));   // 32 -> 28
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));                 // 28 -> 14
+  net.add(std::make_unique<Conv2D>(6, 16, 5, 1, 0, rng));  // 14 -> 10
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));                 // 10 -> 5
+  net.add(std::make_unique<Flatten>());                    // 16*5*5 = 400
+  net.add(std::make_unique<Dense>(400, 120, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(120, 84, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(84, classes, rng));
+  return net;
+}
+
+Network make_lenet_small(std::size_t classes, util::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Conv2D>(3, 6, 5, 1, 2, rng));   // 16 -> 16
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));                 // 16 -> 8
+  net.add(std::make_unique<Conv2D>(6, 16, 5, 1, 0, rng));  // 8 -> 4
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));                 // 4 -> 2
+  net.add(std::make_unique<Flatten>());                    // 16*2*2 = 64
+  net.add(std::make_unique<Dense>(64, 48, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(48, classes, rng));
+  return net;
+}
+
+Network make_mlp(std::size_t input_dim, std::size_t hidden, std::size_t classes,
+                 util::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Flatten>());  // accept NCHW image batches directly
+  net.add(std::make_unique<Dense>(input_dim, hidden, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(hidden, classes, rng));
+  return net;
+}
+
+}  // namespace fedco::nn

@@ -1,0 +1,25 @@
+// Model zoo: the LeNet-5 the paper trains on CIFAR-10 plus reduced variants
+// used to keep simulation-scale experiments fast.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::nn {
+
+/// Classic LeNet-5 adapted to 3x32x32 inputs (the paper's CIFAR-10 setup):
+/// conv(3->6,k5) - pool2 - conv(6->16,k5) - pool2 - 120 - 84 - classes.
+[[nodiscard]] Network make_lenet5(std::size_t classes, util::Rng& rng);
+
+/// Reduced LeNet for 3x16x16 synthetic images; same topology, smaller
+/// spatial extent. Used by the simulation benches so full federated runs
+/// complete in seconds rather than hours.
+[[nodiscard]] Network make_lenet_small(std::size_t classes, util::Rng& rng);
+
+/// Two-layer MLP on flattened input; the cheapest model for unit tests.
+[[nodiscard]] Network make_mlp(std::size_t input_dim, std::size_t hidden,
+                               std::size_t classes, util::Rng& rng);
+
+}  // namespace fedco::nn

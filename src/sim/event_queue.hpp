@@ -1,0 +1,68 @@
+// Deterministic future-event list keyed by slot. Events scheduled for the
+// same slot fire in insertion order (stable), which keeps multi-user
+// simulations reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace fedco::sim {
+
+/// Priority queue of (slot, callback) events.
+class EventQueue {
+ public:
+  using Callback = std::function<void(Slot)>;
+
+  /// Schedule `fn` to fire at `at` (must not be in the past relative to the
+  /// last pop; enforced by the driver).
+  void schedule(Slot at, Callback fn) {
+    heap_.push(Entry{at, next_sequence_++, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Slot of the earliest pending event; undefined when empty.
+  [[nodiscard]] Slot next_slot() const { return heap_.top().at; }
+
+  /// Fire every event scheduled at or before `upto`, in (slot, insertion)
+  /// order. Returns the number of events fired. Callbacks may schedule
+  /// further events, including at the current slot.
+  std::size_t run_until(Slot upto) {
+    std::size_t fired = 0;
+    while (!heap_.empty() && heap_.top().at <= upto) {
+      Entry entry = heap_.top();
+      heap_.pop();
+      entry.fn(entry.at);
+      ++fired;
+    }
+    return fired;
+  }
+
+  void clear() {
+    heap_ = {};
+    next_sequence_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Slot at;
+    std::uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace fedco::sim

@@ -1,0 +1,51 @@
+// Named collection of time series recorded during one simulation run.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace fedco::sim {
+
+/// Recorder owning one TimeSeries per name; creates on first use.
+class TraceRecorder {
+ public:
+  /// Record (t, value) into the series `name`.
+  void record(const std::string& name, double t, double value) {
+    series(name).add(t, value);
+  }
+
+  /// Series accessor; creates an empty series if absent.
+  util::TimeSeries& series(const std::string& name) {
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      it = series_.emplace(name, util::TimeSeries{name}).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const util::TimeSeries* find(const std::string& name) const {
+    const auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return series_.contains(name);
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [name, unused] : series_) out.push_back(name);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return series_.size(); }
+
+ private:
+  std::map<std::string, util::TimeSeries> series_;
+};
+
+}  // namespace fedco::sim

@@ -1,0 +1,24 @@
+#include "util/export.hpp"
+
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace fedco::util {
+
+std::optional<std::string> csv_export_dir() {
+  const char* dir = std::getenv("FEDCO_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string{dir};
+}
+
+void export_time_series(const std::string& dir, const std::string& name,
+                        const TimeSeries& series) {
+  CsvWriter csv{dir + "/" + name + ".csv"};
+  csv.write_row(std::vector<std::string>{"time_s", "value"});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    csv.write_row(std::vector<double>{series.time_at(i), series.value_at(i)});
+  }
+}
+
+}  // namespace fedco::util

@@ -1,0 +1,22 @@
+// Optional CSV export of figure series. Bench binaries print their tables
+// to stdout always; when the FEDCO_CSV_DIR environment variable names a
+// writable directory they additionally dump each series as a CSV that a
+// plotting script can consume.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/time_series.hpp"
+
+namespace fedco::util {
+
+/// Directory named by FEDCO_CSV_DIR, if set and non-empty.
+[[nodiscard]] std::optional<std::string> csv_export_dir();
+
+/// Write a (time,value) series to `<dir>/<name>.csv` with a header row.
+/// Throws std::runtime_error if the file cannot be opened.
+void export_time_series(const std::string& dir, const std::string& name,
+                        const TimeSeries& series);
+
+}  // namespace fedco::util

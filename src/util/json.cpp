@@ -1,0 +1,161 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedco::util {
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (root_written_) {
+      throw std::logic_error{"JsonWriter: multiple root values"};
+    }
+    root_written_ = true;
+    return;
+  }
+  Scope& top = stack_.back();
+  if (top.is_object) {
+    if (!top.expecting_value) {
+      throw std::logic_error{"JsonWriter: object value without key"};
+    }
+    top.expecting_value = false;
+    return;
+  }
+  if (top.has_elements) out_ += ',';
+  top.has_elements = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({true, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || !stack_.back().is_object ||
+      stack_.back().expecting_value) {
+    throw std::logic_error{"JsonWriter: mismatched end_object"};
+  }
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({false, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().is_object) {
+    throw std::logic_error{"JsonWriter: mismatched end_array"};
+  }
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || !stack_.back().is_object ||
+      stack_.back().expecting_value) {
+    throw std::logic_error{"JsonWriter: key outside object"};
+  }
+  if (stack_.back().has_elements) out_ += ',';
+  stack_.back().has_elements = true;
+  stack_.back().expecting_value = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << number;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  before_value();
+  out_ += boolean ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error{"JsonWriter: unterminated containers"};
+  }
+  return out_;
+}
+
+}  // namespace fedco::util

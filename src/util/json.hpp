@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer (no DOM, no parsing) used to export
+// experiment results for external tooling. Handles string escaping,
+// comma placement, and non-finite numbers (emitted as null per RFC 8259).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedco::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container begin.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool boolean);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text) { return value(std::string{text}); }
+  JsonWriter& null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  JsonWriter& member(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finished document; throws std::logic_error if containers are still
+  /// open.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// Stack of (is_object, has_elements) container states.
+  struct Scope {
+    bool is_object = false;
+    bool has_elements = false;
+    bool expecting_value = false;  // object: key was just written
+  };
+  std::vector<Scope> stack_;
+  bool root_written_ = false;
+};
+
+}  // namespace fedco::util

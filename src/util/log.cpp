@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace fedco::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  const std::scoped_lock lock{g_emit_mutex};
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace fedco::util

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fedco::util {
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) noexcept {
+  if (lambda <= 0.0) return 0.0;
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) would be -inf.
+  while (u == 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+double Rng::gamma(double shape, double scale) noexcept {
+  if (shape <= 0.0 || scale <= 0.0) return 0.0;
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia–Tsang trick).
+    const double boosted = gamma(shape + 1.0, 1.0);
+    double u = uniform();
+    while (u == 0.0) u = uniform();
+    return boosted * std::pow(u, 1.0 / shape) * scale;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t k) noexcept {
+  std::vector<double> weights(k, 0.0);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = gamma(alpha, 1.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    const double uniform_share = k == 0 ? 0.0 : 1.0 / static_cast<double>(k);
+    for (auto& w : weights) w = uniform_share;
+    return weights;
+  }
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace fedco::util

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedco::util {
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  os.flush();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream stream;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->stream.open(path, std::ios::trunc);
+  if (!impl_->stream) {
+    delete impl_;
+    impl_ = nullptr;
+    throw std::runtime_error{"CsvWriter: cannot open " + path};
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+CsvWriter::CsvWriter(CsvWriter&& other) noexcept : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+
+CsvWriter& CsvWriter::operator=(CsvWriter&& other) noexcept {
+  if (this != &other) {
+    delete impl_;
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (impl_ == nullptr) throw std::runtime_error{"CsvWriter: moved-from"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) impl_->stream << ',';
+    impl_->stream << csv_escape(cells[i]);
+  }
+  impl_->stream << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  std::ostringstream os;
+  for (const double v : cells) {
+    os.str("");
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace fedco::util

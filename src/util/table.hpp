@@ -1,0 +1,58 @@
+// Plain-text table and CSV emission for the benchmark harnesses. Every
+// bench binary prints the rows/series the paper reports through these
+// helpers so output formatting is consistent and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedco::util {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format a double with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting) for exporting figure series that a
+/// plotting script can consume.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) noexcept;
+  CsvWriter& operator=(CsvWriter&&) noexcept;
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// Escape one CSV cell per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace fedco::util

@@ -1,0 +1,58 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedco::util {
+
+void TimeSeries::add(double t, double value) {
+  if (!times_.empty() && t < times_.back()) {
+    throw std::invalid_argument{"TimeSeries::add: non-monotonic time"};
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double TimeSeries::last_value() const {
+  if (values_.empty()) throw std::out_of_range{"TimeSeries::last_value: empty"};
+  return values_.back();
+}
+
+double TimeSeries::at(double t) const noexcept {
+  if (times_.empty()) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return values_.front();
+  const auto idx = static_cast<std::size_t>(std::distance(times_.begin(), it)) - 1;
+  return values_[idx];
+}
+
+double TimeSeries::time_average() const noexcept {
+  if (times_.size() < 2) return values_.empty() ? 0.0 : values_.front();
+  double integral = 0.0;
+  for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+    integral += values_[i] * (times_[i + 1] - times_[i]);
+  }
+  const double span = times_.back() - times_.front();
+  return span <= 0.0 ? values_.back() : integral / span;
+}
+
+double TimeSeries::first_crossing(double threshold) const noexcept {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] >= threshold) return times_[i];
+  }
+  return -1.0;
+}
+
+TimeSeries TimeSeries::decimate(std::size_t k) const {
+  if (k == 0) throw std::invalid_argument{"TimeSeries::decimate: k must be >= 1"};
+  TimeSeries out{name_};
+  for (std::size_t i = 0; i < times_.size(); i += k) {
+    out.add(times_[i], values_[i]);
+  }
+  if (!times_.empty() && (times_.size() - 1) % k != 0) {
+    out.add(times_.back(), values_.back());
+  }
+  return out;
+}
+
+}  // namespace fedco::util

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fit.hpp"
+#include "analysis/theorem1.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::analysis {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.samples, 4u);
+}
+
+TEST(FitLinear, NoisyLineHasHighR2) {
+  util::Rng rng{5};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(-2.0 + 0.5 * xi + rng.normal(0.0, 0.05));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(FitLinear, Degenerates) {
+  const LinearFit empty = fit_linear({}, {});
+  EXPECT_EQ(empty.samples, 0u);
+  const std::vector<double> one_x{3.0};
+  const std::vector<double> one_y{7.0};
+  const LinearFit single = fit_linear(one_x, one_y);
+  EXPECT_EQ(single.slope, 0.0);
+  EXPECT_EQ(single.intercept, 7.0);
+  // Constant x: zero variance.
+  const std::vector<double> cx{2.0, 2.0, 2.0};
+  const std::vector<double> cy{1.0, 2.0, 3.0};
+  const LinearFit flat = fit_linear(cx, cy);
+  EXPECT_EQ(flat.slope, 0.0);
+  EXPECT_NEAR(flat.intercept, 2.0, 1e-12);
+}
+
+TEST(FitReciprocal, RecoversTheorem1Shape) {
+  // y = 3 + 100/x (P* = 3, B = 100).
+  std::vector<double> x;
+  std::vector<double> y;
+  for (const double v : {10.0, 20.0, 50.0, 100.0, 500.0, 1000.0}) {
+    x.push_back(v);
+    y.push_back(3.0 + 100.0 / v);
+  }
+  const LinearFit fit = fit_reciprocal(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 100.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitReciprocal, SkipsNonPositiveX) {
+  const std::vector<double> x{-1.0, 0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{99.0, 99.0, 5.0, 3.0, 2.0};
+  const LinearFit fit = fit_reciprocal(x, y);
+  EXPECT_EQ(fit.samples, 3u);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1.0; v <= 20.0; v += 1.0) {
+    x.push_back(v);
+    y.push_back(std::exp(0.3 * v));  // nonlinear but strictly increasing
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-9);
+  for (auto& value : y) value = -value;
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-9);
+}
+
+TEST(Spearman, TiesAndDegenerates) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> tied{5.0, 5.0, 6.0, 6.0};
+  EXPECT_GT(spearman(x, tied), 0.8);
+  EXPECT_EQ(spearman(std::vector<double>{1.0}, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Theorem1Check, SyntheticCompliantSweepPasses) {
+  std::vector<VSweepPoint> sweep;
+  for (const double v : {500.0, 1000.0, 4000.0, 16000.0, 64000.0}) {
+    VSweepPoint p;
+    p.v = v;
+    p.avg_power_w = 10.0 + 5000.0 / v;  // Eq. 24 shape
+    p.avg_backlog = 2.0 + 0.01 * v;     // Eq. 25 shape
+    sweep.push_back(p);
+  }
+  const Theorem1Report report = check_theorem1(sweep);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_NEAR(report.pstar_estimate, 10.0, 0.1);
+  EXPECT_NEAR(report.backlog_growth_per_v, 0.01, 1e-6);
+}
+
+TEST(Theorem1Check, ViolatingSweepFails) {
+  std::vector<VSweepPoint> sweep;
+  for (const double v : {500.0, 1000.0, 4000.0, 16000.0}) {
+    VSweepPoint p;
+    p.v = v;
+    p.avg_power_w = 1.0 + v * 0.001;  // power GROWING in V: violation
+    p.avg_backlog = 100.0 - v * 0.001;
+    sweep.push_back(p);
+  }
+  EXPECT_FALSE(check_theorem1(sweep).consistent);
+}
+
+TEST(Theorem1Check, NeedsThreePoints) {
+  std::vector<VSweepPoint> sweep(2);
+  sweep[0].v = 1.0;
+  sweep[1].v = 2.0;
+  EXPECT_THROW(check_theorem1(sweep), std::invalid_argument);
+  // V = 0 entries are ignored, not counted.
+  std::vector<VSweepPoint> zeros(5);
+  EXPECT_THROW(check_theorem1(zeros), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedco::analysis

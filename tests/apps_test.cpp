@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "apps/arrival.hpp"
+#include "apps/session.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::apps {
+namespace {
+
+TEST(BernoulliArrivalsTest, RateMatchesProbability) {
+  util::Rng rng{5};
+  BernoulliArrivals arrivals{0.01};
+  int hits = 0;
+  const int slots = 100000;
+  for (int t = 0; t < slots; ++t) hits += arrivals.poll(t, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / slots, 0.01, 0.002);
+}
+
+TEST(BernoulliArrivalsTest, ZeroAndOneProbability) {
+  util::Rng rng{7};
+  BernoulliArrivals never{0.0};
+  BernoulliArrivals always{1.0};
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(never.poll(t, rng).has_value());
+    EXPECT_TRUE(always.poll(t, rng).has_value());
+  }
+}
+
+TEST(BernoulliArrivalsTest, AppsAreUniform) {
+  util::Rng rng{11};
+  BernoulliArrivals arrivals{1.0};
+  std::vector<int> counts(device::kAppKinds, 0);
+  const int draws = 40000;
+  for (int t = 0; t < draws; ++t) {
+    ++counts[static_cast<std::size_t>(arrivals.poll(t, rng)->app)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 8.0, 0.01);
+  }
+}
+
+TEST(DiurnalArrivalsTest, MeanOverDayEqualsMeanProbability) {
+  DiurnalArrivals arrivals{0.001, 0.8};
+  double total = 0.0;
+  const int slots = 86400;
+  for (int t = 0; t < slots; ++t) total += arrivals.probability_at(t);
+  EXPECT_NEAR(total / slots, 0.001, 5e-5);
+}
+
+TEST(DiurnalArrivalsTest, PeakAtConfiguredHour) {
+  DiurnalArrivals arrivals{0.001, 0.8, 1.0, 20.0};
+  const double at_peak = arrivals.probability_at(20 * 3600);
+  const double at_trough = arrivals.probability_at(8 * 3600);
+  EXPECT_GT(at_peak, 2.0 * at_trough);
+  EXPECT_NEAR(at_peak, 0.001 * 1.8, 1e-6);
+}
+
+TEST(DiurnalArrivalsTest, ZeroSwingIsFlat) {
+  DiurnalArrivals arrivals{0.01, 0.0};
+  EXPECT_DOUBLE_EQ(arrivals.probability_at(0), arrivals.probability_at(43200));
+}
+
+TEST(ScriptedArrivalsTest, FiresExactlyAtScriptedSlots) {
+  ScriptedArrivals arrivals{{{5, device::AppKind::kZoom},
+                             {3, device::AppKind::kMap},
+                             {9, device::AppKind::kTiktok}}};
+  util::Rng rng{13};
+  std::vector<int> fired;
+  for (int t = 0; t < 12; ++t) {
+    if (const auto a = arrivals.poll(t, rng)) {
+      fired.push_back(t);
+      if (t == 3) EXPECT_EQ(a->app, device::AppKind::kMap);
+      if (t == 5) EXPECT_EQ(a->app, device::AppKind::kZoom);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 5, 9}));
+}
+
+TEST(ScriptedArrivalsTest, SkipsMissedEvents) {
+  ScriptedArrivals arrivals{{{2, device::AppKind::kMap},
+                             {4, device::AppKind::kZoom}}};
+  util::Rng rng{17};
+  // Caller jumps straight to slot 4: event at 2 is skipped, not replayed.
+  EXPECT_TRUE(arrivals.poll(4, rng).has_value());
+  EXPECT_FALSE(arrivals.poll(5, rng).has_value());
+}
+
+TEST(TraceCsvTest, ParsesNamesIndicesHeaderAndComments) {
+  const std::string path = "/tmp/fedco_trace_test.csv";
+  {
+    std::ofstream out{path};
+    out << "slot,app\n"            // header row
+        << "# comment line\n"
+        << "5,Tiktok\n"
+        << "12,3\n"                // numeric index = Youtube
+        << "900,CandyCrush\r\n";   // CRLF tolerated
+  }
+  const auto events = load_arrival_trace_csv(path);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at, 5);
+  EXPECT_EQ(events[0].app, device::AppKind::kTiktok);
+  EXPECT_EQ(events[1].app, device::AppKind::kYoutube);
+  EXPECT_EQ(events[2].at, 900);
+  EXPECT_EQ(events[2].app, device::AppKind::kCandyCrush);
+}
+
+TEST(TraceCsvTest, ErrorPaths) {
+  EXPECT_THROW(load_arrival_trace_csv("/no/such/file.csv"), std::runtime_error);
+  const std::string path = "/tmp/fedco_trace_bad.csv";
+  {
+    std::ofstream out{path};
+    out << "42\n";  // no comma
+  }
+  EXPECT_THROW(load_arrival_trace_csv(path), std::invalid_argument);
+  {
+    std::ofstream out{path};
+    out << "0,NotAnApp\n";
+  }
+  EXPECT_THROW(load_arrival_trace_csv(path), std::invalid_argument);
+  {
+    std::ofstream out{path};
+    out << "xyz,Map\n0,Map\n";  // first line treated as header, second OK
+  }
+  EXPECT_EQ(load_arrival_trace_csv(path).size(), 1u);
+}
+
+TEST(ParseAppName, RoundTripsAllApps) {
+  for (const auto kind : device::all_apps()) {
+    device::AppKind parsed{};
+    ASSERT_TRUE(parse_app_name(device::app_name(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  device::AppKind unused{};
+  EXPECT_FALSE(parse_app_name("Fortnite", unused));
+}
+
+TEST(SessionTest, LifecycleMatchesTableIIDuration) {
+  // One scripted arrival of Zoom on Pixel2: session lasts ceil(206 s).
+  auto arrivals = std::make_unique<ScriptedArrivals>(
+      std::vector<ScriptedArrivals::Event>{{0, device::AppKind::kZoom}});
+  AppSessionTracker tracker{std::move(arrivals), 1.0};
+  util::Rng rng{19};
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  tracker.tick(0, dev, rng);
+  EXPECT_TRUE(tracker.app_running());
+  EXPECT_EQ(tracker.current_app(), device::AppKind::kZoom);
+  sim::Slot running = 0;
+  for (sim::Slot t = 1; t < 400; ++t) {
+    tracker.tick(t, dev, rng);
+    if (tracker.app_running()) ++running;
+  }
+  EXPECT_NEAR(static_cast<double>(running), 206.0, 2.0);
+  EXPECT_FALSE(tracker.app_running());
+  EXPECT_EQ(tracker.sessions_started(), 1u);
+}
+
+TEST(SessionTest, OverlappingArrivalIsAbsorbed) {
+  auto arrivals = std::make_unique<ScriptedArrivals>(
+      std::vector<ScriptedArrivals::Event>{{0, device::AppKind::kZoom},
+                                           {5, device::AppKind::kMap}});
+  AppSessionTracker tracker{std::move(arrivals), 1.0};
+  util::Rng rng{23};
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  for (sim::Slot t = 0; t < 10; ++t) tracker.tick(t, dev, rng);
+  EXPECT_EQ(tracker.sessions_started(), 1u);
+  EXPECT_EQ(tracker.current_app(), device::AppKind::kZoom);
+}
+
+TEST(SessionTest, ExtendToCoverTraining) {
+  auto arrivals = std::make_unique<ScriptedArrivals>(
+      std::vector<ScriptedArrivals::Event>{{0, device::AppKind::kMap}});
+  AppSessionTracker tracker{std::move(arrivals), 1.0};
+  util::Rng rng{29};
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  tracker.tick(0, dev, rng);
+  sim::Clock clock{1.0};
+  tracker.extend_to_cover(500.0, clock);  // longer than Map's 196 s
+  sim::Slot running = 0;
+  for (sim::Slot t = 1; t <= 600; ++t) {
+    tracker.tick(t, dev, rng);
+    if (tracker.app_running()) ++running;
+  }
+  EXPECT_GE(running, 498);
+}
+
+TEST(SessionTest, CopyIsIndependent) {
+  auto arrivals = std::make_unique<ScriptedArrivals>(
+      std::vector<ScriptedArrivals::Event>{{0, device::AppKind::kMap}});
+  AppSessionTracker a{std::move(arrivals), 1.0};
+  util::Rng rng{31};
+  const auto& dev = device::profile(device::DeviceKind::kPixel2);
+  AppSessionTracker b = a;
+  a.tick(0, dev, rng);
+  EXPECT_TRUE(a.app_running());
+  EXPECT_FALSE(b.app_running());
+}
+
+TEST(SessionTest, NullArrivalsRejected) {
+  EXPECT_THROW(AppSessionTracker(nullptr, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedco::apps

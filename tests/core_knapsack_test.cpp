@@ -1,0 +1,239 @@
+// Offline knapsack (Algorithm 1): DP optimality vs exhaustive search,
+// capacity feasibility, greedy comparison, and the Lemma 1 lag bound checked
+// against a brute-force enumeration of all decision combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/knapsack.hpp"
+#include "core/offline_planner.hpp"
+#include "device/profiles.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::core {
+namespace {
+
+TEST(Knapsack, EmptyAndDegenerate) {
+  EXPECT_EQ(solve_knapsack({}, 10.0).total_value, 0.0);
+  const std::vector<KnapsackItem> items{{5.0, 2.0}};
+  EXPECT_EQ(solve_knapsack(items, 0.0).total_value, 0.0);
+  EXPECT_EQ(solve_knapsack(items, 10.0, 0).total_value, 0.0);
+  EXPECT_THROW(solve_knapsack({{-1.0, 2.0}}, 10.0), std::invalid_argument);
+  EXPECT_THROW(solve_knapsack({{1.0, -2.0}}, 10.0), std::invalid_argument);
+}
+
+TEST(Knapsack, TextbookInstance) {
+  // values {60,100,120}, weights {10,20,30}, capacity 50 -> take {1,2} = 220.
+  const std::vector<KnapsackItem> items{{60.0, 10.0}, {100.0, 20.0}, {120.0, 30.0}};
+  const KnapsackSolution s = solve_knapsack(items, 50.0, 50);
+  EXPECT_DOUBLE_EQ(s.total_value, 220.0);
+  EXPECT_FALSE(s.selected[0]);
+  EXPECT_TRUE(s.selected[1]);
+  EXPECT_TRUE(s.selected[2]);
+}
+
+TEST(Knapsack, OverweightItemNeverSelected) {
+  const std::vector<KnapsackItem> items{{1000.0, 100.0}, {1.0, 0.5}};
+  const KnapsackSolution s = solve_knapsack(items, 10.0);
+  EXPECT_FALSE(s.selected[0]);
+  EXPECT_TRUE(s.selected[1]);
+}
+
+TEST(Knapsack, ZeroWeightItemsAreFree) {
+  const std::vector<KnapsackItem> items{{3.0, 0.0}, {4.0, 0.0}, {5.0, 10.0}};
+  const KnapsackSolution s = solve_knapsack(items, 10.0);
+  EXPECT_DOUBLE_EQ(s.total_value, 12.0);
+}
+
+class KnapsackRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandom, DpMatchesExhaustiveAndRespectsCapacity) {
+  util::Rng rng{GetParam()};
+  const std::size_t n = 2 + rng.uniform_int(std::uint64_t{11});  // 2..12 items
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.value = rng.uniform(0.0, 100.0);
+    item.weight = rng.uniform(0.1, 20.0);
+  }
+  const double capacity = rng.uniform(5.0, 60.0);
+
+  const KnapsackSolution exact = solve_knapsack_exact(items, capacity);
+  // Fine grid: ceil-rounding costs at most (n * capacity / grid) weight.
+  const KnapsackSolution dp = solve_knapsack(items, capacity, 20000);
+  const KnapsackSolution greedy = solve_knapsack_greedy(items, capacity);
+
+  EXPECT_LE(dp.total_weight, capacity + 1e-9);
+  EXPECT_LE(greedy.total_weight, capacity + 1e-9);
+  // DP on a fine grid is within a hair of the continuous optimum and never
+  // beats it.
+  EXPECT_LE(dp.total_value, exact.total_value + 1e-9);
+  EXPECT_GE(dp.total_value, 0.98 * exact.total_value);
+  // Greedy never beats the optimum.
+  EXPECT_LE(greedy.total_value, exact.total_value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandom,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Knapsack, ExactRejectsLargeInstances) {
+  std::vector<KnapsackItem> items(25, KnapsackItem{1.0, 1.0});
+  EXPECT_THROW(solve_knapsack_exact(items, 10.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Lemma 1
+
+/// Brute-force "true lag": for every combination of everyone's decisions
+/// (start at begin or at app_arrival), count others finishing inside user
+/// i's actual execution window; the maximum over combos must not exceed the
+/// Lemma 1 bound.
+std::size_t true_max_lag(const std::vector<UserWindow>& users, std::size_t i) {
+  const std::size_t n = users.size();
+  std::size_t worst = 0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    const double my_start = ((mask >> i) & 1U) != 0 ? users[i].app_arrival
+                                                    : users[i].begin;
+    const double my_end = my_start + users[i].duration;
+    std::size_t lag = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double their_start = ((mask >> j) & 1U) != 0 ? users[j].app_arrival
+                                                         : users[j].begin;
+      const double their_end = their_start + users[j].duration;
+      if (their_end >= my_start && their_end <= my_end) ++lag;
+    }
+    worst = std::max(worst, lag);
+  }
+  return worst;
+}
+
+class Lemma1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma1Property, BoundDominatesTrueLagForAllDecisions) {
+  util::Rng rng{GetParam()};
+  const std::size_t n = 3 + rng.uniform_int(std::uint64_t{6});  // 3..8 users
+  std::vector<UserWindow> users(n);
+  for (auto& u : users) {
+    u.begin = rng.uniform(0.0, 500.0);
+    u.app_arrival = u.begin + rng.uniform(0.0, 500.0);
+    u.duration = rng.uniform(50.0, 400.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(lag_upper_bound(users, i), true_max_lag(users, i))
+        << "seed=" << GetParam() << " user=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Lemma1, NeverExceedsNMinusOne) {
+  // The trivial bound of Sec. IV: lag <= n - 1.
+  util::Rng rng{123};
+  std::vector<UserWindow> users(10);
+  for (auto& u : users) {
+    u.begin = 0.0;
+    u.app_arrival = 0.0;
+    u.duration = 100.0;
+  }
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    EXPECT_LE(lag_upper_bound(users, i), users.size() - 1);
+  }
+}
+
+TEST(Lemma1, DisjointWindowsGiveZero) {
+  std::vector<UserWindow> users(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    users[i].begin = static_cast<double>(i) * 1000.0;
+    users[i].app_arrival = users[i].begin;
+    users[i].duration = 10.0;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(lag_upper_bound(users, i), 0u);
+  }
+  EXPECT_THROW(lag_upper_bound(users, 5), std::out_of_range);
+}
+
+// ------------------------------------------------------- offline planner
+
+OfflinePlannerConfig planner_config(double lb) {
+  OfflinePlannerConfig cfg;
+  cfg.lb = lb;
+  cfg.window_slots = 500;
+  cfg.epsilon = 0.05;
+  cfg.eta = 0.05;
+  cfg.beta = 0.9;
+  return cfg;
+}
+
+TEST(OfflinePlanner, EmptyInput) {
+  const auto plan = plan_window(0, {}, planner_config(100.0));
+  EXPECT_TRUE(plan.plans.empty());
+}
+
+TEST(OfflinePlanner, RelaxedBudgetWaitsForApps) {
+  // Paper Fig. 4a: with Lb = 1000 the offline solution acts like a greedy
+  // always-wait-for-co-running scheme.
+  std::vector<OfflineUserInput> users(5);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    users[i].dev = &device::profile(device::DeviceKind::kPixel2);
+    users[i].next_arrival = static_cast<sim::Slot>(50 + 30 * i);
+    users[i].arrival_app = device::AppKind::kMap;
+    users[i].momentum_norm = 10.0;
+  }
+  const auto plan = plan_window(0, users, planner_config(1000.0));
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    EXPECT_EQ(plan.plans[i].action, OfflineAction::kWaitForApp);
+    EXPECT_EQ(plan.plans[i].start_slot, *users[i].next_arrival);
+  }
+}
+
+TEST(OfflinePlanner, TightBudgetSchedulesImmediately) {
+  std::vector<OfflineUserInput> users(5);
+  for (auto& u : users) {
+    u.dev = &device::profile(device::DeviceKind::kPixel2);
+    u.next_arrival = 100;
+    u.arrival_app = device::AppKind::kMap;
+    u.momentum_norm = 10.0;
+    u.current_gap = 5.0;
+  }
+  // Budget too small for anyone's gap weight.
+  const auto plan = plan_window(0, users, planner_config(1e-6));
+  for (const auto& p : plan.plans) {
+    EXPECT_EQ(p.action, OfflineAction::kScheduleNow);
+  }
+}
+
+TEST(OfflinePlanner, NoArrivalSelectedMeansDefer) {
+  std::vector<OfflineUserInput> users(2);
+  users[0].dev = &device::profile(device::DeviceKind::kHikey970);
+  users[1].dev = &device::profile(device::DeviceKind::kHikey970);
+  // No arrivals at all: deferring saves (P_b - P_d) * d, still worth picking
+  // under a relaxed budget.
+  const auto plan = plan_window(0, users, planner_config(1000.0));
+  for (const auto& p : plan.plans) {
+    EXPECT_EQ(p.action, OfflineAction::kDefer);
+  }
+}
+
+TEST(OfflinePlanner, StalenessBudgetIsRespected) {
+  util::Rng rng{77};
+  std::vector<OfflineUserInput> users(12);
+  for (auto& u : users) {
+    u.dev = &device::profile(static_cast<device::DeviceKind>(
+        rng.uniform_int(device::kDeviceKinds)));
+    if (rng.bernoulli(0.7)) {
+      u.next_arrival = static_cast<sim::Slot>(rng.uniform_int(std::uint64_t{400}));
+      u.arrival_app = static_cast<device::AppKind>(
+          rng.uniform_int(device::kAppKinds));
+    }
+    u.current_gap = rng.uniform(0.0, 10.0);
+    u.momentum_norm = rng.uniform(1.0, 15.0);
+  }
+  const double lb = 30.0;
+  const auto plan = plan_window(0, users, planner_config(lb));
+  EXPECT_LE(plan.knapsack.total_weight, lb + 1e-9);
+  EXPECT_EQ(plan.lag_bounds.size(), users.size());
+}
+
+}  // namespace
+}  // namespace fedco::core

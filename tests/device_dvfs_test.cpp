@@ -1,0 +1,98 @@
+// DVFS governor, cubic power scaling, and the thermal throttle model.
+#include <gtest/gtest.h>
+
+#include "device/dvfs.hpp"
+
+namespace fedco::device {
+namespace {
+
+TEST(Governor, PowersaveAndPerformancePinEndpoints) {
+  const FrequencyLadder ladder;
+  EXPECT_DOUBLE_EQ(select_frequency(Governor::kPowersave, 1.0, ladder),
+                   ladder.min());
+  EXPECT_DOUBLE_EQ(select_frequency(Governor::kPerformance, 0.0, ladder),
+                   ladder.max());
+}
+
+TEST(Governor, SchedutilTracksUtilizationWithHeadroom) {
+  const FrequencyLadder ladder;
+  // util 0 -> lowest step; util 1 -> max.
+  EXPECT_DOUBLE_EQ(select_frequency(Governor::kSchedutil, 0.0, ladder),
+                   ladder.min());
+  EXPECT_DOUBLE_EQ(select_frequency(Governor::kSchedutil, 1.0, ladder),
+                   ladder.max());
+  // util 0.5 with x1.25 headroom on max 2.4 -> target 1.5 -> first step >= 1.5.
+  EXPECT_DOUBLE_EQ(select_frequency(Governor::kSchedutil, 0.5, ladder), 1.5);
+  // Monotone in utilization.
+  double prev = 0.0;
+  for (double util = 0.0; util <= 1.0; util += 0.05) {
+    const double f = select_frequency(Governor::kSchedutil, util, ladder);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Governor, EmptyLadderIsZero) {
+  FrequencyLadder empty;
+  empty.freqs_ghz.clear();
+  EXPECT_EQ(select_frequency(Governor::kSchedutil, 0.5, empty), 0.0);
+}
+
+TEST(DynamicPower, CubicScaling) {
+  EXPECT_DOUBLE_EQ(dynamic_power_scale(2.4, 2.4), 1.0);
+  EXPECT_NEAR(dynamic_power_scale(1.2, 2.4), 0.125, 1e-12);  // (1/2)^3
+  EXPECT_DOUBLE_EQ(dynamic_power_scale(0.0, 2.4), 0.0);
+  EXPECT_DOUBLE_EQ(dynamic_power_scale(3.0, 2.4), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(dynamic_power_scale(1.0, 0.0), 0.0);  // degenerate
+}
+
+TEST(Thermal, StartsAtAmbientNoThrottle) {
+  ThermalModel model;
+  EXPECT_DOUBLE_EQ(model.temperature_c(), 25.0);
+  EXPECT_DOUBLE_EQ(model.throttle_factor(), 1.0);
+  EXPECT_FALSE(model.throttling());
+}
+
+TEST(Thermal, HeatsUnderLoadCoolsAtIdle) {
+  ThermalModel model;
+  for (int i = 0; i < 600; ++i) model.step(8.0, 1.0);  // HiKey-class draw
+  const double hot = model.temperature_c();
+  EXPECT_GT(hot, model.config().throttle_onset_c);
+  EXPECT_GT(model.throttle_factor(), 1.0);
+  EXPECT_TRUE(model.throttling());
+  for (int i = 0; i < 600; ++i) model.step(0.2, 1.0);  // idle
+  EXPECT_LT(model.temperature_c(), hot);
+}
+
+TEST(Thermal, ReachesSteadyStateBelowCritical) {
+  // Sustained 2 W (phone-class training) equilibrates: heating rate equals
+  // cooling rate well before the critical temperature.
+  ThermalModel model;
+  for (int i = 0; i < 5000; ++i) model.step(2.0, 1.0);
+  const double t1 = model.temperature_c();
+  for (int i = 0; i < 1000; ++i) model.step(2.0, 1.0);
+  EXPECT_NEAR(model.temperature_c(), t1, 0.1);
+  EXPECT_LT(model.temperature_c(), model.config().critical_c);
+}
+
+TEST(Thermal, ThrottleFactorSaturatesAtMaxSlowdown) {
+  ThermalConfig cfg;
+  cfg.max_slowdown = 2.5;
+  ThermalModel model{cfg};
+  for (int i = 0; i < 100000; ++i) model.step(50.0, 1.0);
+  EXPECT_LE(model.throttle_factor(), 2.5 + 1e-12);
+  EXPECT_GT(model.throttle_factor(), 2.0);
+  model.reset();
+  EXPECT_DOUBLE_EQ(model.temperature_c(), cfg.ambient_c);
+}
+
+TEST(Thermal, NeverCoolsBelowAmbient) {
+  ThermalModel model;
+  for (int i = 0; i < 1000; ++i) model.step(0.0, 1.0);
+  EXPECT_GE(model.temperature_c(), model.config().ambient_c);
+  model.step(1.0, 0.0);  // dt = 0 is a no-op
+  EXPECT_DOUBLE_EQ(model.temperature_c(), model.config().ambient_c);
+}
+
+}  // namespace
+}  // namespace fedco::device

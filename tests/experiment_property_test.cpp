@@ -1,0 +1,141 @@
+// Parameterized invariant suite: the full simulation driver must uphold a
+// set of conservation and sanity properties for every scheduler across
+// random seeds and arrival regimes.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+
+#include "core/experiment.hpp"
+#include "core/result_io.hpp"
+
+namespace fedco::core {
+namespace {
+
+struct PropertyCase {
+  SchedulerKind scheduler;
+  std::uint64_t seed;
+  double arrival_p;
+};
+
+class ExperimentInvariants : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ExperimentInvariants, HoldAcrossSchedulersAndSeeds) {
+  const PropertyCase param = GetParam();
+  ExperimentConfig cfg;
+  cfg.scheduler = param.scheduler;
+  cfg.num_users = 12;
+  cfg.horizon_slots = 3000;
+  cfg.arrival_probability = param.arrival_p;
+  cfg.seed = param.seed;
+  cfg.record_per_user_gaps = true;
+  const ExperimentResult r = run_experiment(cfg);
+
+  // Energy conservation: breakdown sums to the total, all non-negative.
+  const double parts = r.training_j + r.corun_j + r.app_j + r.idle_j +
+                       r.network_j + r.overhead_j;
+  EXPECT_NEAR(r.total_energy_j, parts, 1e-6);
+  for (const double component :
+       {r.training_j, r.corun_j, r.app_j, r.idle_j, r.network_j, r.overhead_j}) {
+    EXPECT_GE(component, 0.0);
+  }
+
+  // Lower bound: every device idles at least at P_d for the horizon
+  // (cheapest profile is Nexus 6 at 0.238 W).
+  EXPECT_GE(r.total_energy_j,
+            0.238 * 12.0 * static_cast<double>(cfg.horizon_slots) * 0.99);
+
+  // Session/update accounting: applied + dropped never exceeds sessions,
+  // and all sessions have a type.
+  EXPECT_GE(r.corun_sessions + r.separate_sessions,
+            r.total_updates + r.dropped_updates);
+  EXPECT_GT(r.total_updates + r.dropped_updates, 0u);
+
+  // Queue sanity: Q is the count of waiting users, bounded by n; H >= 0.
+  EXPECT_GE(r.avg_queue_q, 0.0);
+  EXPECT_LE(r.avg_queue_q, 12.0 + 1e-9);
+  EXPECT_GE(r.avg_queue_h, 0.0);
+
+  // Staleness sanity. Note Def. 1 lag counts *updates*, not users: a slow
+  // co-run session (e.g. Nexus6/CandyCrush at 997 s) can watch a fast
+  // device complete several rounds, so lag can exceed n-1; it is bounded
+  // by the total updates ever applied.
+  EXPECT_GE(r.avg_lag, 0.0);
+  EXPECT_LE(r.avg_lag, static_cast<double>(r.total_updates));
+  for (const auto& sample : r.lag_gap_samples) {
+    EXPECT_GE(sample.gap, 0.0);
+    EXPECT_LE(sample.lag, r.total_updates);
+  }
+
+  // Gap traces are recorded and non-negative.
+  for (std::size_t u = 0; u < 12; ++u) {
+    const auto* gaps = r.traces.find("gap_user" + std::to_string(u));
+    ASSERT_NE(gaps, nullptr);
+    for (const double g : gaps->values()) EXPECT_GE(g, 0.0);
+  }
+
+  // JSON export round-trips through the writer without structural errors
+  // and contains the scheduler tag.
+  const std::string json = result_to_json(cfg, r);
+  EXPECT_NE(json.find(scheduler_name(cfg.scheduler)), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = scheduler_name(info.param.scheduler);
+  // gtest parameter names must be alphanumeric ("Sync-SGD" is not).
+  std::erase_if(name, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
+  name += "_seed" + std::to_string(info.param.seed);
+  name += info.param.arrival_p >= 0.01 ? "_busy" : "_quiet";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExperimentInvariants,
+    ::testing::Values(
+        PropertyCase{SchedulerKind::kImmediate, 1, 0.001},
+        PropertyCase{SchedulerKind::kImmediate, 2, 0.05},
+        PropertyCase{SchedulerKind::kSyncSgd, 1, 0.001},
+        PropertyCase{SchedulerKind::kSyncSgd, 2, 0.05},
+        PropertyCase{SchedulerKind::kOffline, 1, 0.001},
+        PropertyCase{SchedulerKind::kOffline, 2, 0.05},
+        PropertyCase{SchedulerKind::kOnline, 1, 0.001},
+        PropertyCase{SchedulerKind::kOnline, 2, 0.05},
+        PropertyCase{SchedulerKind::kOnline, 3, 0.0}),
+    case_name);
+
+TEST(ResultJson, FileExportAndOptions) {
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kOnline;
+  cfg.num_users = 4;
+  cfg.horizon_slots = 500;
+  cfg.seed = 5;
+  const ExperimentResult r = run_experiment(cfg);
+
+  const std::string path = "/tmp/fedco_result_test.json";
+  write_result_json(path, cfg, r);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string contents{std::istreambuf_iterator<char>{in},
+                       std::istreambuf_iterator<char>{}};
+  EXPECT_NE(contents.find("\"energy_j\""), std::string::npos);
+  EXPECT_NE(contents.find("\"traces\""), std::string::npos);
+
+  ResultJsonOptions no_traces;
+  no_traces.include_traces = false;
+  const std::string lean = result_to_json(cfg, r, no_traces);
+  EXPECT_EQ(lean.find("\"traces\""), std::string::npos);
+  EXPECT_LT(lean.size(), contents.size());
+
+  ResultJsonOptions with_samples;
+  with_samples.include_lag_gap_samples = true;
+  const std::string full = result_to_json(cfg, r, with_samples);
+  EXPECT_NE(full.find("\"lag_gap\""), std::string::npos);
+
+  EXPECT_THROW(write_result_json("/no_such_dir_xyz/out.json", cfg, r),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedco::core

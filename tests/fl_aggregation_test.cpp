@@ -1,0 +1,127 @@
+// Async aggregation strategies: the paper's replacement rule and the
+// staleness-mitigation comparators (FedAsync mixing, delay compensation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/aggregation.hpp"
+#include "fl/server.hpp"
+
+namespace fedco::fl {
+namespace {
+
+TEST(AggregationNames, Stable) {
+  EXPECT_EQ(aggregation_name(AggregationKind::kReplace), "replace");
+  EXPECT_EQ(aggregation_name(AggregationKind::kFedAsync), "fedasync");
+  EXPECT_EQ(aggregation_name(AggregationKind::kDelayComp), "delay-comp");
+}
+
+TEST(FedAsyncWeight, DecaysPolynomiallyInLag) {
+  AggregationConfig cfg;
+  cfg.kind = AggregationKind::kFedAsync;
+  cfg.fedasync_alpha0 = 0.8;
+  cfg.fedasync_decay = 0.5;
+  EXPECT_DOUBLE_EQ(fedasync_mixing_weight(cfg, 0), 0.8);
+  EXPECT_NEAR(fedasync_mixing_weight(cfg, 3), 0.8 / 2.0, 1e-12);  // (1+3)^0.5
+  double prev = 1.0;
+  for (std::uint64_t lag = 0; lag < 50; lag += 5) {
+    const double w = fedasync_mixing_weight(cfg, lag);
+    EXPECT_LT(w, prev);
+    EXPECT_GT(w, 0.0);
+    prev = w;
+  }
+}
+
+TEST(ApplyUpdate, ReplaceIsLastWriterWins) {
+  AggregationConfig cfg;  // kReplace
+  std::vector<float> global{1.0f, 2.0f};
+  const std::vector<float> client{4.0f, 6.0f};
+  const double gap = apply_async_update(cfg, global, client, {}, 7);
+  EXPECT_EQ(global, client);
+  EXPECT_NEAR(gap, 5.0, 1e-6);
+}
+
+TEST(ApplyUpdate, FedAsyncMovesProportionally) {
+  AggregationConfig cfg;
+  cfg.kind = AggregationKind::kFedAsync;
+  cfg.fedasync_alpha0 = 0.5;
+  cfg.fedasync_decay = 0.0;  // constant alpha = 0.5
+  std::vector<float> global{0.0f};
+  const std::vector<float> client{10.0f};
+  const double gap = apply_async_update(cfg, global, client, {}, 0);
+  EXPECT_NEAR(global[0], 5.0f, 1e-6f);
+  EXPECT_NEAR(gap, 5.0, 1e-6);
+  // High lag shrinks the move.
+  cfg.fedasync_decay = 1.0;
+  std::vector<float> global2{0.0f};
+  (void)apply_async_update(cfg, global2, client, {}, 9);  // alpha = 0.05
+  EXPECT_NEAR(global2[0], 0.5f, 1e-5f);
+}
+
+TEST(ApplyUpdate, DelayCompNoDriftEqualsDeltaApplication) {
+  // If the global model has not moved since the download, the corrector
+  // applies the client's delta exactly (same endpoint as replacement).
+  AggregationConfig cfg;
+  cfg.kind = AggregationKind::kDelayComp;
+  cfg.delay_comp_lambda = 0.7;
+  std::vector<float> global{2.0f, -1.0f};
+  const std::vector<float> at_download{2.0f, -1.0f};  // no drift
+  const std::vector<float> client{3.0f, -2.5f};
+  (void)apply_async_update(cfg, global, client, at_download, 4);
+  EXPECT_NEAR(global[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(global[1], -2.5f, 1e-6f);
+}
+
+TEST(ApplyUpdate, DelayCompDampsAgainstDrift) {
+  // The global model moved +1 since download; the correction pulls the
+  // result below plain delta application.
+  AggregationConfig cfg;
+  cfg.kind = AggregationKind::kDelayComp;
+  cfg.delay_comp_lambda = 0.5;
+  std::vector<float> global{1.0f};            // drifted from 0 to 1
+  const std::vector<float> at_download{0.0f};
+  const std::vector<float> client{2.0f};      // client learned delta +2
+  (void)apply_async_update(cfg, global, client, at_download, 3);
+  // Plain delta application would land at 3.0; damping keeps it below.
+  EXPECT_LT(global[0], 3.0f);
+  EXPECT_GT(global[0], 1.0f);  // still moves forward
+}
+
+TEST(ApplyUpdate, ErrorPaths) {
+  AggregationConfig cfg;
+  std::vector<float> global{1.0f};
+  EXPECT_THROW(apply_async_update(cfg, global, std::vector<float>{1.0f, 2.0f},
+                                  {}, 0),
+               std::invalid_argument);
+  cfg.kind = AggregationKind::kDelayComp;
+  EXPECT_THROW(apply_async_update(cfg, global, std::vector<float>{1.0f}, {}, 0),
+               std::invalid_argument);
+}
+
+TEST(ServerIntegration, FedAsyncKeepsGlobalBetweenEndpoints) {
+  AggregationConfig agg;
+  agg.kind = AggregationKind::kFedAsync;
+  agg.fedasync_alpha0 = 0.5;
+  agg.fedasync_decay = 0.0;
+  ParameterServer server{{0.0f}, 0.1, 0.9, agg};
+  (void)server.submit_async(std::vector<float>{10.0f}, 0);
+  EXPECT_NEAR(server.download().params[0], 5.0f, 1e-6f);
+  EXPECT_EQ(server.version(), 1u);
+}
+
+TEST(ServerIntegration, DelayCompViaServer) {
+  AggregationConfig agg;
+  agg.kind = AggregationKind::kDelayComp;
+  ParameterServer server{{0.0f}, 0.1, 0.9, agg};
+  const auto snapshot = server.download();
+  // Another client replaces-ish first (drift), then ours lands with lag 1.
+  (void)server.submit_async(std::vector<float>{1.0f}, snapshot.version,
+                            snapshot.params);
+  const auto receipt = server.submit_async(std::vector<float>{2.0f},
+                                           snapshot.version, snapshot.params);
+  EXPECT_EQ(receipt.lag, 1u);
+  EXPECT_GT(server.download().params[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace fedco::fl

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::net {
+namespace {
+
+TEST(LinkTest, NominalTransferTime) {
+  LinkConfig cfg;
+  cfg.bandwidth_mbps = 40.0;
+  cfg.latency_ms = 20.0;
+  Link link{cfg};
+  // 2.5 MB at 40 Mbps = 0.5 s + 20 ms latency.
+  EXPECT_NEAR(link.nominal_transfer_s(2'500'000), 0.02 + 0.5, 1e-6);
+  EXPECT_NEAR(link.nominal_transfer_s(0), 0.02, 1e-9);
+}
+
+TEST(LinkTest, LosslessTransferSucceedsFirstAttempt) {
+  Link link{wifi_link()};
+  util::Rng rng{3};
+  const TransferResult r = link.transfer(2'500'000, rng);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(LinkTest, LossyLinkRetries) {
+  LinkConfig cfg = wifi_link();
+  cfg.loss_probability = 0.5;
+  cfg.max_retries = 10;
+  Link link{cfg};
+  util::Rng rng{5};
+  double attempts = 0.0;
+  const int trials = 2000;
+  int successes = 0;
+  for (int i = 0; i < trials; ++i) {
+    const TransferResult r = link.transfer(1'000'000, rng);
+    attempts += static_cast<double>(r.attempts);
+    successes += r.success ? 1 : 0;
+  }
+  EXPECT_NEAR(attempts / trials, 2.0, 0.15);  // geometric mean 1/(1-p)
+  // Failure needs 11 straight losses: P = 0.5^11 ~ 5e-4.
+  EXPECT_GT(static_cast<double>(successes) / trials, 0.99);
+}
+
+TEST(LinkTest, AlwaysLosingLinkFails) {
+  LinkConfig cfg = wifi_link();
+  cfg.loss_probability = 1.0;
+  cfg.max_retries = 2;
+  Link link{cfg};
+  util::Rng rng{7};
+  const TransferResult r = link.transfer(1'000, rng);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.attempts, 3u);  // initial + 2 retries
+}
+
+TEST(LinkTest, TailEnergyAccounted) {
+  LinkConfig cfg = wifi_link();
+  cfg.loss_probability = 0.0;
+  Link link{cfg};
+  util::Rng rng{11};
+  const TransferResult r = link.transfer(2'500'000, rng);
+  const double radio = cfg.radio_power_w * link.nominal_transfer_s(2'500'000);
+  const double tail = cfg.tail_power_w * cfg.tail_seconds;
+  EXPECT_NEAR(r.energy_j, radio + tail, 1e-9);
+}
+
+TEST(LinkTest, LteIsSlowerAndHungrierThanWifi) {
+  const Link wifi{wifi_link()};
+  const Link lte{lte_link()};
+  EXPECT_GT(lte.nominal_transfer_s(2'500'000),
+            wifi.nominal_transfer_s(2'500'000));
+  EXPECT_GT(lte.config().tail_seconds, wifi.config().tail_seconds);
+}
+
+TEST(TransferPolicyTest, WifiGate) {
+  TransferPolicy policy;
+  policy.require_wifi = true;
+  EXPECT_TRUE(policy.admits(LinkTech::kWifi, 1.0, 0.0));
+  EXPECT_FALSE(policy.admits(LinkTech::kLte, 1.0, 0.0));
+}
+
+TEST(TransferPolicyTest, BatteryGate) {
+  TransferPolicy policy;
+  policy.min_battery_soc = 0.3;
+  EXPECT_TRUE(policy.admits(LinkTech::kWifi, 0.31, 0.0));
+  EXPECT_FALSE(policy.admits(LinkTech::kWifi, 0.29, 0.0));
+}
+
+TEST(TransferPolicyTest, ExecutionWindow) {
+  TransferPolicy policy;
+  policy.window_begin_s = 3600.0;   // 01:00
+  policy.window_end_s = 7200.0;     // 02:00
+  EXPECT_TRUE(policy.admits(LinkTech::kWifi, 1.0, 5000.0));
+  EXPECT_FALSE(policy.admits(LinkTech::kWifi, 1.0, 8000.0));
+}
+
+TEST(TransferPolicyTest, WrappingOvernightWindow) {
+  TransferPolicy policy;
+  policy.window_begin_s = 22.0 * 3600.0;  // 22:00
+  policy.window_end_s = 6.0 * 3600.0;     // 06:00 next day
+  EXPECT_TRUE(policy.admits(LinkTech::kWifi, 1.0, 23.0 * 3600.0));
+  EXPECT_TRUE(policy.admits(LinkTech::kWifi, 1.0, 3.0 * 3600.0));
+  EXPECT_FALSE(policy.admits(LinkTech::kWifi, 1.0, 12.0 * 3600.0));
+}
+
+}  // namespace
+}  // namespace fedco::net

@@ -1,0 +1,127 @@
+// Error-path and edge-case coverage for the NN substrate: malformed
+// geometries, shape mismatches, and cloning semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "nn/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::nn {
+namespace {
+
+TEST(ConvEdge, RejectsBadGeometry) {
+  util::Rng rng{1};
+  EXPECT_THROW(Conv2D(0, 3, 3, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2D(3, 0, 3, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2D(3, 3, 0, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2D(3, 3, 3, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(ConvEdge, KernelLargerThanInputThrows) {
+  util::Rng rng{2};
+  Conv2D conv{1, 1, 5, 1, 0, rng};
+  Tensor tiny{{1, 1, 3, 3}};
+  EXPECT_THROW(conv.forward(tiny), std::invalid_argument);
+}
+
+TEST(ConvEdge, WrongChannelCountThrows) {
+  util::Rng rng{3};
+  Conv2D conv{3, 4, 3, 1, 0, rng};
+  Tensor wrong{{1, 2, 8, 8}};
+  EXPECT_THROW(conv.forward(wrong), std::invalid_argument);
+  Tensor flat{{4, 9}};
+  EXPECT_THROW(conv.forward(flat), std::invalid_argument);
+}
+
+TEST(ConvEdge, StrideTwoOutputShape) {
+  util::Rng rng{4};
+  Conv2D conv{1, 2, 3, 2, 1, rng};
+  Tensor input{{2, 1, 8, 8}};
+  const Tensor out = conv.forward(input);
+  EXPECT_EQ(out.shape(), (Shape{2, 2, 4, 4}));
+}
+
+TEST(DenseEdge, RejectsZeroSizesAndBadInput) {
+  util::Rng rng{5};
+  EXPECT_THROW(Dense(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(Dense(4, 0, rng), std::invalid_argument);
+  Dense dense{4, 2, rng};
+  Tensor wrong{{3, 5}};
+  EXPECT_THROW(dense.forward(wrong), std::invalid_argument);
+  Tensor rank1{{4}};
+  EXPECT_THROW(dense.forward(rank1), std::invalid_argument);
+}
+
+TEST(PoolEdge, WindowLargerThanInputThrows) {
+  MaxPool2D pool{4};
+  Tensor tiny{{1, 1, 2, 2}};
+  EXPECT_THROW(pool.forward(tiny), std::invalid_argument);
+  EXPECT_THROW(MaxPool2D{0}, std::invalid_argument);
+}
+
+TEST(PoolEdge, NonDivisibleInputTruncates) {
+  // 5x5 input with window 2 -> floor to 2x2 output (remainder ignored, as
+  // in classic LeNet pooling).
+  MaxPool2D pool{2};
+  Tensor input{{1, 1, 5, 5}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  const Tensor out = pool.forward(input);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at4(0, 0, 0, 0), 6.0f);  // max of {0,1,5,6}
+}
+
+TEST(CloneSemantics, LayersAreIndependentAfterClone) {
+  util::Rng rng{6};
+  Dense original{3, 2, rng};
+  auto copy = original.clone();
+  Tensor input{{1, 3}, {1.0f, 2.0f, 3.0f}};
+  const Tensor a = original.forward(input);
+  // Mutate the original's weight; the clone must not move.
+  (*original.params()[0])[0] += 10.0f;
+  auto* cloned = dynamic_cast<Dense*>(copy.get());
+  ASSERT_NE(cloned, nullptr);
+  const Tensor b = cloned->forward(input);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(NetworkEdge, BackwardShapeMismatchThrows) {
+  util::Rng rng{7};
+  Network net = make_mlp(4, 4, 2, rng);
+  Tensor input{{2, 4}};
+  (void)net.forward(input.reshaped({2, 4, 1, 1}));
+  Tensor wrong_grad{{3, 2}};
+  EXPECT_THROW(net.backward(wrong_grad), std::invalid_argument);
+}
+
+TEST(NetworkEdge, ZeroGradClearsAccumulation) {
+  util::Rng rng{8};
+  Network net = make_mlp(4, 4, 2, rng);
+  Tensor x{{2, 4, 1, 1}};
+  x.fill(1.0f);
+  (void)net.train_batch(x, {0, 1});
+  double norm_before = 0.0;
+  for (const Tensor* g : net.grads()) norm_before += g->l2_norm();
+  EXPECT_GT(norm_before, 0.0);
+  net.zero_grad();
+  double norm_after = 0.0;
+  for (const Tensor* g : net.grads()) norm_after += g->l2_norm();
+  EXPECT_EQ(norm_after, 0.0);
+}
+
+TEST(LossEdge, BadLabelsRejected) {
+  Tensor logits{{2, 3}};
+  Tensor grad;
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}, grad), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}, grad), std::out_of_range);
+  Tensor rank1{{6}};
+  EXPECT_THROW(softmax_cross_entropy(rank1, {0, 1}, grad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedco::nn

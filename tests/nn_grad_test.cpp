@@ -1,0 +1,249 @@
+// Finite-difference gradient checks for every layer and the loss — the
+// correctness bedrock of the training substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::nn {
+namespace {
+
+/// Scalar objective for gradient checking: sum of 0.5 * out^2 so that
+/// dL/d(out) = out.
+double objective(const Tensor& out) {
+  double acc = 0.0;
+  for (const float v : out.flat()) {
+    acc += 0.5 * static_cast<double>(v) * static_cast<double>(v);
+  }
+  return acc;
+}
+
+Tensor random_input(const Shape& shape, util::Rng& rng) {
+  Tensor t{shape};
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+/// Check dL/d(input) and dL/d(params) of `layer` against central differences.
+void check_layer_gradients(Layer& layer, const Shape& in_shape,
+                           util::Rng& rng, double tolerance = 2e-2) {
+  Tensor input = random_input(in_shape, rng);
+
+  // Analytic gradients.
+  layer.zero_grad();
+  Tensor out = layer.forward(input);
+  Tensor grad_out{out.shape()};
+  for (std::size_t i = 0; i < out.size(); ++i) grad_out[i] = out[i];
+  const Tensor grad_in = layer.backward(grad_out);
+
+  const float h = 1e-2f;
+
+  // Input gradient.
+  for (std::size_t i = 0; i < input.size(); i += std::max<std::size_t>(1, input.size() / 17)) {
+    const float saved = input[i];
+    input[i] = saved + h;
+    const double plus = objective(layer.forward(input));
+    input[i] = saved - h;
+    const double minus = objective(layer.forward(input));
+    input[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * static_cast<double>(h));
+    EXPECT_NEAR(grad_in[i], numeric, tolerance)
+        << layer.name() << " d/d(input[" << i << "])";
+  }
+
+  // Parameter gradients (re-run forward/backward to refresh caches after the
+  // probing above).
+  layer.zero_grad();
+  out = layer.forward(input);
+  for (std::size_t i = 0; i < out.size(); ++i) grad_out[i] = out[i];
+  (void)layer.backward(grad_out);
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& theta = *params[p];
+    const Tensor& analytic = *grads[p];
+    for (std::size_t i = 0; i < theta.size();
+         i += std::max<std::size_t>(1, theta.size() / 13)) {
+      const float saved = theta[i];
+      theta[i] = saved + h;
+      const double plus = objective(layer.forward(input));
+      theta[i] = saved - h;
+      const double minus = objective(layer.forward(input));
+      theta[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * static_cast<double>(h));
+      EXPECT_NEAR(analytic[i], numeric, tolerance)
+          << layer.name() << " d/d(param" << p << "[" << i << "])";
+    }
+  }
+}
+
+TEST(GradCheck, Dense) {
+  util::Rng rng{101};
+  Dense layer{7, 5, rng};
+  check_layer_gradients(layer, {3, 7}, rng);
+}
+
+TEST(GradCheck, Conv2D) {
+  util::Rng rng{103};
+  Conv2D layer{2, 3, 3, 1, 0, rng};
+  check_layer_gradients(layer, {2, 2, 6, 6}, rng);
+}
+
+TEST(GradCheck, Conv2DPaddedStrided) {
+  util::Rng rng{107};
+  Conv2D layer{1, 2, 3, 2, 1, rng};
+  check_layer_gradients(layer, {2, 1, 7, 7}, rng);
+}
+
+TEST(GradCheck, ReLU) {
+  util::Rng rng{109};
+  ReLU layer;
+  // Shift inputs away from the kink at zero for a clean finite difference.
+  Tensor input = random_input({4, 6}, rng);
+  for (auto& v : input.flat()) {
+    if (std::abs(v) < 0.1f) v += v >= 0.0f ? 0.2f : -0.2f;
+  }
+  Tensor out = layer.forward(input);
+  Tensor grad_out{out.shape()};
+  for (std::size_t i = 0; i < out.size(); ++i) grad_out[i] = out[i];
+  const Tensor grad_in = layer.backward(grad_out);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + h;
+    const double plus = objective(layer.forward(input));
+    input[i] = saved - h;
+    const double minus = objective(layer.forward(input));
+    input[i] = saved;
+    EXPECT_NEAR(grad_in[i], (plus - minus) / (2.0 * static_cast<double>(h)), 1e-2);
+  }
+}
+
+TEST(GradCheck, Tanh) {
+  util::Rng rng{113};
+  Tanh layer;
+  check_layer_gradients(layer, {3, 8}, rng);
+}
+
+TEST(GradCheck, MaxPool) {
+  util::Rng rng{127};
+  MaxPool2D layer{2};
+  check_layer_gradients(layer, {2, 2, 4, 4}, rng);
+}
+
+TEST(GradCheck, AvgPool) {
+  util::Rng rng{139};
+  AvgPool2D layer{2};
+  check_layer_gradients(layer, {2, 3, 4, 4}, rng);
+}
+
+TEST(AvgPoolSemantics, AveragesWindows) {
+  AvgPool2D layer{2};
+  Tensor img{{1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 6.0f}};
+  const Tensor out = layer.forward(img);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 3.0f, 1e-6f);
+  EXPECT_THROW(AvgPool2D{0}, std::invalid_argument);
+}
+
+TEST(DropoutSemantics, EvalModeIsIdentity) {
+  util::Rng rng{149};
+  Dropout layer{0.5, rng};
+  layer.set_training(false);
+  Tensor x = random_input({4, 8}, rng);
+  const Tensor out = layer.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(out[i], x[i]);
+  // Backward in eval mode passes the gradient through unchanged.
+  const Tensor grad = layer.backward(out);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(grad[i], out[i]);
+}
+
+TEST(DropoutSemantics, TrainingPreservesExpectationAndMasksGradient) {
+  util::Rng rng{151};
+  Dropout layer{0.3, rng};
+  Tensor x{{1, 10000}};
+  x.fill(1.0f);
+  const Tensor out = layer.forward(x);
+  // Inverted dropout: E[out] == x.
+  double mean_out = out.sum() / static_cast<double>(out.size());
+  EXPECT_NEAR(mean_out, 1.0, 0.05);
+  // Zeroed activations must have zeroed gradients.
+  Tensor grad_out{out.shape()};
+  grad_out.fill(1.0f);
+  const Tensor grad_in = layer.backward(grad_out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == 0.0f) {
+      EXPECT_EQ(grad_in[i], 0.0f);
+    } else {
+      EXPECT_GT(grad_in[i], 1.0f);  // scaled by 1/keep
+    }
+  }
+  EXPECT_THROW(Dropout(1.0, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1, rng), std::invalid_argument);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  util::Rng rng{131};
+  Tensor logits = random_input({4, 5}, rng);
+  const std::vector<std::size_t> labels{0, 2, 4, 1};
+  Tensor grad;
+  (void)softmax_cross_entropy(logits, labels, grad);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    Tensor unused;
+    logits[i] = saved + h;
+    const double plus = softmax_cross_entropy(logits, labels, unused).loss;
+    logits[i] = saved - h;
+    const double minus = softmax_cross_entropy(logits, labels, unused).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(grad[i], (plus - minus) / (2.0 * static_cast<double>(h)), 1e-3);
+  }
+}
+
+TEST(GradCheck, WholeNetworkChainRule) {
+  // Two-layer MLP: finite differences through Network::forward must match
+  // the chained backward pass.
+  util::Rng rng{137};
+  Network net;
+  net.add(std::make_unique<Dense>(6, 4, rng));
+  net.add(std::make_unique<Tanh>());
+  net.add(std::make_unique<Dense>(4, 3, rng));
+  Tensor input = random_input({2, 6}, rng);
+  const std::vector<std::size_t> labels{1, 2};
+
+  net.zero_grad();
+  Tensor logits = net.forward(input);
+  Tensor grad_logits;
+  (void)softmax_cross_entropy(logits, labels, grad_logits);
+  net.backward(grad_logits);
+
+  const auto params = net.params();
+  const auto grads = net.grads();
+  const float h = 1e-2f;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& theta = *params[p];
+    for (std::size_t i = 0; i < theta.size();
+         i += std::max<std::size_t>(1, theta.size() / 7)) {
+      const float saved = theta[i];
+      Tensor unused;
+      theta[i] = saved + h;
+      const double plus =
+          softmax_cross_entropy(net.forward(input), labels, unused).loss;
+      theta[i] = saved - h;
+      const double minus =
+          softmax_cross_entropy(net.forward(input), labels, unused).loss;
+      theta[i] = saved;
+      EXPECT_NEAR((*grads[p])[i],
+                  (plus - minus) / (2.0 * static_cast<double>(h)), 2e-2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedco::nn

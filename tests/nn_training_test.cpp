@@ -1,0 +1,206 @@
+// Network container, optimizer semantics (paper Eq. 1), model zoo, and
+// end-to-end learning sanity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::nn {
+namespace {
+
+TEST(NetworkTest, FlattenLoadRoundTrip) {
+  util::Rng rng{7};
+  Network net = make_mlp(10, 8, 3, rng);
+  const auto flat = net.flatten_params();
+  EXPECT_EQ(flat.size(), net.param_count());
+  Network other = make_mlp(10, 8, 3, rng);  // different random init
+  other.load_params(flat);
+  EXPECT_EQ(other.flatten_params(), flat);
+  // Wrong sizes rejected.
+  std::vector<float> short_vec(flat.size() - 1);
+  EXPECT_THROW(other.load_params(short_vec), std::invalid_argument);
+  std::vector<float> long_vec(flat.size() + 1);
+  EXPECT_THROW(other.load_params(long_vec), std::invalid_argument);
+}
+
+TEST(NetworkTest, CopyIsDeep) {
+  util::Rng rng{11};
+  Network net = make_mlp(4, 6, 2, rng);
+  Network copy = net;
+  auto params = copy.params();
+  (*params[0])[0] += 1.0f;
+  EXPECT_NE(net.flatten_params()[0], copy.flatten_params()[0]);
+}
+
+TEST(NetworkTest, SummaryMentionsLayersAndParams) {
+  util::Rng rng{13};
+  Network net = make_lenet_small(10, rng);
+  const std::string s = net.summary();
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("params="), std::string::npos);
+}
+
+TEST(NetworkTest, AddNullLayerThrows) {
+  Network net;
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(ZooTest, Lenet5ShapesFor32x32) {
+  util::Rng rng{17};
+  Network net = make_lenet5(10, rng);
+  Tensor batch{{2, 3, 32, 32}};
+  const Tensor logits = net.forward(batch);
+  EXPECT_EQ(logits.dim(0), 2u);
+  EXPECT_EQ(logits.dim(1), 10u);
+  // 62,006 params: the classic LeNet-5-on-CIFAR parameterisation.
+  EXPECT_EQ(net.param_count(), 62'006u);
+}
+
+TEST(ZooTest, LenetSmallShapesFor16x16) {
+  util::Rng rng{19};
+  Network net = make_lenet_small(10, rng);
+  Tensor batch{{3, 3, 16, 16}};
+  const Tensor logits = net.forward(batch);
+  EXPECT_EQ(logits.dim(0), 3u);
+  EXPECT_EQ(logits.dim(1), 10u);
+}
+
+TEST(ZooTest, MlpAcceptsImagesViaFlatten) {
+  util::Rng rng{23};
+  Network net = make_mlp(3 * 8 * 8, 16, 4, rng);
+  Tensor batch{{2, 3, 8, 8}};
+  const Tensor logits = net.forward(batch);
+  EXPECT_EQ(logits.dim(1), 4u);
+}
+
+// ------------------------------------------------------------- optimizer
+
+TEST(SgdMomentum, MatchesEquationOneByHand) {
+  // One Dense(1->1) layer, no bias contribution: check
+  //   v1 = (1-beta)*g1 ; theta1 = theta0 - eta*v1
+  //   v2 = beta*v1 + (1-beta)*g2 ; theta2 = theta1 - eta*v2
+  util::Rng rng{29};
+  Network net;
+  net.add(std::make_unique<Dense>(1, 1, rng));
+  auto params = net.params();
+  auto grads = net.grads();
+  (*params[0])[0] = 1.0f;  // weight
+  (*params[1])[0] = 0.0f;  // bias
+
+  SgdMomentum opt{{0.1, 0.5, 0.0, 0.0}};
+
+  (*grads[0])[0] = 2.0f;
+  opt.step(net);
+  // v = 0.5*0 + 0.5*2 = 1 ; theta = 1 - 0.1*1 = 0.9
+  EXPECT_NEAR((*params[0])[0], 0.9f, 1e-6f);
+
+  (*grads[0])[0] = 4.0f;
+  opt.step(net);
+  // v = 0.5*1 + 0.5*4 = 2.5 ; theta = 0.9 - 0.25 = 0.65
+  EXPECT_NEAR((*params[0])[0], 0.65f, 1e-6f);
+  EXPECT_NEAR(opt.momentum_norm(), 2.5, 1e-6);
+}
+
+TEST(SgdMomentum, ZeroMomentumIsPlainSgd) {
+  util::Rng rng{31};
+  Network net;
+  net.add(std::make_unique<Dense>(1, 1, rng));
+  auto params = net.params();
+  auto grads = net.grads();
+  (*params[0])[0] = 0.0f;
+  SgdMomentum opt{{1.0, 0.0, 0.0, 0.0}};
+  (*grads[0])[0] = 3.0f;
+  opt.step(net);
+  EXPECT_NEAR((*params[0])[0], -3.0f, 1e-6f);
+}
+
+TEST(SgdMomentum, WeightDecayShrinksParams) {
+  util::Rng rng{37};
+  Network net;
+  net.add(std::make_unique<Dense>(1, 1, rng));
+  auto params = net.params();
+  (*params[0])[0] = 10.0f;
+  SgdMomentum opt{{0.1, 0.0, 0.5, 0.0}};
+  net.zero_grad();
+  opt.step(net);  // grad = 0 + decay*theta = 5 ; theta = 10 - 0.5 = 9.5
+  EXPECT_NEAR((*params[0])[0], 9.5f, 1e-5f);
+}
+
+TEST(SgdMomentum, GradClipBoundsStep) {
+  util::Rng rng{41};
+  Network net;
+  net.add(std::make_unique<Dense>(1, 1, rng));
+  auto params = net.params();
+  auto grads = net.grads();
+  (*params[0])[0] = 0.0f;
+  SgdMomentum opt{{1.0, 0.0, 0.0, 1.0}};  // clip grads to norm 1
+  (*grads[0])[0] = 100.0f;
+  opt.step(net);
+  EXPECT_NEAR((*params[0])[0], -1.0f, 1e-5f);
+}
+
+TEST(SgdMomentum, ResetClearsVelocity) {
+  util::Rng rng{43};
+  Network net;
+  net.add(std::make_unique<Dense>(2, 2, rng));
+  SgdMomentum opt{{0.1, 0.9, 0.0, 0.0}};
+  auto grads = net.grads();
+  for (auto* g : grads) g->fill(1.0f);
+  opt.step(net);
+  EXPECT_GT(opt.momentum_norm(), 0.0);
+  opt.reset();
+  EXPECT_EQ(opt.momentum_norm(), 0.0);
+  EXPECT_TRUE(opt.flatten_momentum().empty());
+}
+
+// ------------------------------------------------------------- learning
+
+TEST(Learning, MlpLearnsLinearlySeparableTask) {
+  // Two Gaussian blobs; a tiny MLP must exceed 90% train accuracy quickly.
+  util::Rng rng{47};
+  Network net = make_mlp(2, 8, 2, rng);
+  SgdMomentum opt{{0.05, 0.9, 0.0, 0.0}};
+  const std::size_t batch = 32;
+  double last_acc = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    Tensor x{{batch, 2}};
+    std::vector<std::size_t> y(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const bool positive = rng.bernoulli(0.5);
+      y[i] = positive ? 1u : 0u;
+      const double cx = positive ? 1.5 : -1.5;
+      x.at2(i, 0) = static_cast<float>(rng.normal(cx, 0.5));
+      x.at2(i, 1) = static_cast<float>(rng.normal(-cx, 0.5));
+    }
+    // MLP's leading Flatten accepts rank-2 input as-is.
+    const LossResult r = net.train_batch(x.reshaped({batch, 2, 1, 1}), y);
+    opt.step(net);
+    last_acc = r.accuracy;
+  }
+  EXPECT_GT(last_acc, 0.9);
+}
+
+TEST(Learning, LossDecreasesOnFixedBatch) {
+  util::Rng rng{53};
+  Network net = make_lenet_small(4, rng);
+  SgdMomentum opt{{0.05, 0.9, 0.0, 0.0}};
+  Tensor x{{8, 3, 16, 16}};
+  for (auto& v : x.flat()) v = static_cast<float>(rng.uniform());
+  std::vector<std::size_t> y{0, 1, 2, 3, 0, 1, 2, 3};
+  const double first = net.train_batch(x, y).loss;
+  opt.step(net);
+  double last = first;
+  for (int i = 0; i < 30; ++i) {
+    last = net.train_batch(x, y).loss;
+    opt.step(net);
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace fedco::nn

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+namespace fedco::sim {
+namespace {
+
+TEST(ClockTest, AdvanceAndSeconds) {
+  Clock clock{2.0};
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.seconds(), 0.0);
+  clock.advance(3);
+  EXPECT_EQ(clock.now(), 3);
+  EXPECT_EQ(clock.seconds(), 6.0);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(ClockTest, SlotsForSecondsRoundsUp) {
+  Clock clock{1.0};
+  EXPECT_EQ(clock.slots_for_seconds(0.0), 0);
+  EXPECT_EQ(clock.slots_for_seconds(-5.0), 0);
+  EXPECT_EQ(clock.slots_for_seconds(1.0), 1);
+  EXPECT_EQ(clock.slots_for_seconds(1.2), 2);
+  EXPECT_EQ(clock.slots_for_seconds(204.0), 204);
+  Clock half{0.5};
+  EXPECT_EQ(half.slots_for_seconds(1.2), 3);
+}
+
+TEST(ClockTest, NonPositiveSlotLengthFallsBackToOne) {
+  Clock clock{0.0};
+  EXPECT_EQ(clock.slot_seconds(), 1.0);
+}
+
+TEST(EventQueueTest, FiresInSlotOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(5, [&fired](Slot) { fired.push_back(5); });
+  q.schedule(1, [&fired](Slot) { fired.push_back(1); });
+  q.schedule(3, [&fired](Slot) { fired.push_back(3); });
+  EXPECT_EQ(q.run_until(10), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueueTest, SameSlotPreservesInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(7, [&fired, i](Slot) { fired.push_back(i); });
+  }
+  q.run_until(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&fired](Slot) { ++fired; });
+  q.schedule(2, [&fired](Slot) { ++fired; });
+  q.schedule(3, [&fired](Slot) { ++fired; });
+  EXPECT_EQ(q.run_until(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_slot(), 3);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<Slot> fired;
+  q.schedule(0, [&](Slot at) {
+    fired.push_back(at);
+    q.schedule(at, [&fired](Slot inner) { fired.push_back(inner + 100); });
+    q.schedule(at + 2, [&fired](Slot inner) { fired.push_back(inner); });
+  });
+  q.run_until(5);
+  EXPECT_EQ(fired, (std::vector<Slot>{0, 100, 2}));
+}
+
+TEST(EventQueueTest, ClearEmpties) {
+  EventQueue q;
+  q.schedule(1, [](Slot) {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run_until(100), 0u);
+}
+
+TEST(TraceRecorderTest, CreatesAndRecords) {
+  TraceRecorder rec;
+  rec.record("q", 0.0, 1.0);
+  rec.record("q", 1.0, 2.0);
+  rec.record("h", 0.0, 5.0);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(rec.contains("q"));
+  EXPECT_FALSE(rec.contains("x"));
+  ASSERT_NE(rec.find("q"), nullptr);
+  EXPECT_EQ(rec.find("q")->size(), 2u);
+  EXPECT_EQ(rec.find("missing"), nullptr);
+  const auto names = rec.names();
+  EXPECT_EQ(names, (std::vector<std::string>{"h", "q"}));
+}
+
+}  // namespace
+}  // namespace fedco::sim

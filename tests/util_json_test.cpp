@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace fedco::util {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .member("name", "fedco")
+      .member("count", std::uint64_t{3})
+      .member("ratio", 0.5)
+      .member("ok", true)
+      .end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"fedco","count":3,"ratio":0.5,"ok":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object().key("xs").begin_array();
+  json.value(std::int64_t{1}).value(std::int64_t{2});
+  json.begin_object().member("deep", false).end_object();
+  json.end_array().key("n").null().end_object();
+  EXPECT_EQ(json.str(), R"({"xs":[1,2,{"deep":false}],"n":null})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string{"\x01"}), "\\u0001");
+  JsonWriter json;
+  json.value("quote \" here");
+  EXPECT_EQ(json.str(), R"("quote \" here")");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, StructuralErrors) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("x"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), std::logic_error);  // unterminated
+  }
+  {
+    JsonWriter json;
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), std::logic_error);  // two roots
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("k");
+    EXPECT_THROW(json.end_object(), std::logic_error);  // dangling key
+  }
+}
+
+TEST(JsonWriter, RootScalarsAllowed) {
+  JsonWriter json;
+  json.value(42.0);
+  EXPECT_EQ(json.str(), "42");
+}
+
+}  // namespace
+}  // namespace fedco::util

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace fedco::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(LogTest, SuppressedBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error("should not appear");
+  log_warn("nor this");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LogTest, EmitsAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_debug("hidden");
+  log_info("visible ", 42, " units");
+  log_error("also visible");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("[INFO] visible 42 units"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR] also visible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedco::util
