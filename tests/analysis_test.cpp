@@ -121,10 +121,10 @@ TEST(Theorem1Check, NeedsThreePoints) {
   std::vector<VSweepPoint> sweep(2);
   sweep[0].v = 1.0;
   sweep[1].v = 2.0;
-  EXPECT_THROW(check_theorem1(sweep), std::invalid_argument);
+  EXPECT_THROW((void)check_theorem1(sweep), std::invalid_argument);
   // V = 0 entries are ignored, not counted.
   std::vector<VSweepPoint> zeros(5);
-  EXPECT_THROW(check_theorem1(zeros), std::invalid_argument);
+  EXPECT_THROW((void)check_theorem1(zeros), std::invalid_argument);
 }
 
 }  // namespace

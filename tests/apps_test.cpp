@@ -72,8 +72,12 @@ TEST(ScriptedArrivalsTest, FiresExactlyAtScriptedSlots) {
   for (int t = 0; t < 12; ++t) {
     if (const auto a = arrivals.poll(t, rng)) {
       fired.push_back(t);
-      if (t == 3) EXPECT_EQ(a->app, device::AppKind::kMap);
-      if (t == 5) EXPECT_EQ(a->app, device::AppKind::kZoom);
+      if (t == 3) {
+        EXPECT_EQ(a->app, device::AppKind::kMap);
+      }
+      if (t == 5) {
+        EXPECT_EQ(a->app, device::AppKind::kZoom);
+      }
     }
   }
   EXPECT_EQ(fired, (std::vector<int>{3, 5, 9}));

@@ -1,0 +1,38 @@
+# CLI smoke test, run via ctest:
+#   1. `fedco_sim --help` must exit 0 and print a usage string.
+#   2. A tiny 60-slot online run must exit 0 and print a non-empty result.
+# Invoked as: cmake -DFEDCO_SIM=<path-to-binary> -P cli_smoke_test.cmake
+
+if(NOT DEFINED FEDCO_SIM)
+  message(FATAL_ERROR "FEDCO_SIM (path to the fedco_sim binary) not set")
+endif()
+
+execute_process(
+  COMMAND ${FEDCO_SIM} --help
+  OUTPUT_VARIABLE help_out
+  ERROR_VARIABLE help_err
+  RESULT_VARIABLE help_rc
+)
+if(NOT help_rc EQUAL 0)
+  message(FATAL_ERROR "fedco_sim --help exited with ${help_rc}:\n${help_out}${help_err}")
+endif()
+string(STRIP "${help_out}${help_err}" help_all)
+if(help_all STREQUAL "")
+  message(FATAL_ERROR "fedco_sim --help produced no output")
+endif()
+
+execute_process(
+  COMMAND ${FEDCO_SIM} --scheduler online --horizon 60 --users 4 --seed 7
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err
+  RESULT_VARIABLE run_rc
+)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "fedco_sim 60-slot online run exited with ${run_rc}:\n${run_out}${run_err}")
+endif()
+string(STRIP "${run_out}" run_stripped)
+if(run_stripped STREQUAL "")
+  message(FATAL_ERROR "fedco_sim 60-slot online run produced no result output")
+endif()
+
+message(STATUS "cli_smoke_test OK")

@@ -150,7 +150,7 @@ TEST(Lemma1, DisjointWindowsGiveZero) {
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(lag_upper_bound(users, i), 0u);
   }
-  EXPECT_THROW(lag_upper_bound(users, 5), std::out_of_range);
+  EXPECT_THROW((void)lag_upper_bound(users, 5), std::out_of_range);
 }
 
 // ------------------------------------------------------- offline planner

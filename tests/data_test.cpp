@@ -34,7 +34,7 @@ TEST(DatasetTest, AddAndAccess) {
   EXPECT_EQ(d.num_classes(), 3u);  // labels 0..2
   EXPECT_EQ(d.image(1)[0], 5.0f);
   EXPECT_EQ(d.label(1), 2u);
-  EXPECT_THROW(d.image(2), std::out_of_range);
+  EXPECT_THROW((void)d.image(2), std::out_of_range);
   EXPECT_THROW(d.add({1.0f}, 0), std::invalid_argument);
 }
 

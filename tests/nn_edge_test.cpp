@@ -116,10 +116,10 @@ TEST(NetworkEdge, ZeroGradClearsAccumulation) {
 TEST(LossEdge, BadLabelsRejected) {
   Tensor logits{{2, 3}};
   Tensor grad;
-  EXPECT_THROW(softmax_cross_entropy(logits, {0}, grad), std::invalid_argument);
-  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}, grad), std::out_of_range);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0}, grad), std::invalid_argument);
+  EXPECT_THROW((void)softmax_cross_entropy(logits, {0, 3}, grad), std::out_of_range);
   Tensor rank1{{6}};
-  EXPECT_THROW(softmax_cross_entropy(rank1, {0, 1}, grad),
+  EXPECT_THROW((void)softmax_cross_entropy(rank1, {0, 1}, grad),
                std::invalid_argument);
 }
 

@@ -27,8 +27,8 @@ TEST(ArgParser, NumericParsingAndErrors) {
   EXPECT_EQ(args.get_int("n", 0), 42);
   EXPECT_EQ(args.get_int("absent", 7), 7);
   EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 1e-3);
-  EXPECT_THROW(args.get_int("bad", 0), std::invalid_argument);
-  EXPECT_THROW(args.get_double("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("bad", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("bad", 0.0), std::invalid_argument);
 }
 
 TEST(ArgParser, Booleans) {
@@ -38,7 +38,7 @@ TEST(ArgParser, Booleans) {
   EXPECT_FALSE(args.get_bool("no", true));
   EXPECT_FALSE(args.get_bool("absent", false));
   EXPECT_TRUE(args.get_bool("absent2", true));
-  EXPECT_THROW(args.get_bool("odd", false), std::invalid_argument);
+  EXPECT_THROW((void)args.get_bool("odd", false), std::invalid_argument);
 }
 
 TEST(ArgParser, PositionalAndValueLookahead) {

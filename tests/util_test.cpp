@@ -219,7 +219,7 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_NEAR(percentile(v, 0.0), 1.0, 1e-12);
   EXPECT_NEAR(percentile(v, 100.0), 4.0, 1e-12);
   EXPECT_NEAR(percentile(v, 50.0), 2.5, 1e-12);
-  EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 101.0), std::invalid_argument);
   EXPECT_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
 }
 
@@ -244,7 +244,7 @@ TEST(HistogramTest, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_NEAR(h.bin_lo(1), 2.0, 1e-12);
   EXPECT_NEAR(h.bin_hi(1), 4.0, 1e-12);
-  EXPECT_THROW(h.bin_count(5), std::out_of_range);
+  EXPECT_THROW((void)h.bin_count(5), std::out_of_range);
   EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
 }
@@ -371,7 +371,7 @@ TEST(TimeSeriesTest, DecimateKeepsEndpoints) {
 
 TEST(TimeSeriesTest, LastValueThrowsOnEmpty) {
   TimeSeries s;
-  EXPECT_THROW(s.last_value(), std::out_of_range);
+  EXPECT_THROW((void)s.last_value(), std::out_of_range);
   s.add(0.0, 3.0);
   EXPECT_EQ(s.last_value(), 3.0);
 }
