@@ -7,9 +7,15 @@
 //   4. Arrival-model sensitivity — uniform vs diurnal arrivals at equal
 //      mean rate;
 //   5. Epsilon sensitivity of the online scheduler (Eq. 12 idle increment).
+//
+// Every experiment-sweep ablation runs as a parallel campaign (--jobs N or
+// FEDCO_JOBS); the pure solver ablations (1, 2) stay serial. A grand total
+// of experiments/wall-clock/speedup is logged at the end.
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/knapsack.hpp"
 #include "util/stats.hpp"
@@ -90,7 +96,7 @@ void ablate_lag_bound() {
   std::cout << '\n';
 }
 
-void ablate_gap_estimate() {
+void ablate_gap_estimate(std::size_t jobs, bench::CampaignTotals& totals) {
   // Real training: compare the Eq. (4) estimate recorded at schedule time
   // against the measured parameter-distance gap — reported as correlation.
   core::ExperimentConfig cfg;
@@ -106,7 +112,9 @@ void ablate_gap_estimate() {
   cfg.dataset.train_per_class = 50;
   cfg.dataset.test_per_class = 10;
   cfg.eval_interval_s = 2000.0;
-  const auto r = core::run_experiment(cfg);
+  const auto report = core::run_campaign({cfg}, jobs);
+  totals.add(report);
+  const auto& r = report.results[0];
   std::vector<double> lags;
   std::vector<double> gaps;
   for (const auto& s : r.lag_gap_samples) {
@@ -125,9 +133,8 @@ void ablate_gap_estimate() {
                "as the staleness weight.)\n\n";
 }
 
-void ablate_arrival_model() {
-  TextTable t{"Ablation 4 — uniform vs diurnal arrivals (equal mean rate)"};
-  t.set_header({"arrival model", "energy (kJ)", "co-run sessions", "updates"});
+void ablate_arrival_model(std::size_t jobs, bench::CampaignTotals& totals) {
+  std::vector<core::ExperimentConfig> configs;
   for (const bool diurnal : {false, true}) {
     core::ExperimentConfig cfg;
     cfg.scheduler = core::SchedulerKind::kOnline;
@@ -137,8 +144,15 @@ void ablate_arrival_model() {
     cfg.diurnal = diurnal;
     cfg.diurnal_swing = 0.9;
     cfg.seed = 4;
-    const auto r = core::run_experiment(cfg);
-    t.add_row({diurnal ? "diurnal (swing 0.9)" : "uniform",
+    configs.push_back(cfg);
+  }
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
+  TextTable t{"Ablation 4 — uniform vs diurnal arrivals (equal mean rate)"};
+  t.set_header({"arrival model", "energy (kJ)", "co-run sessions", "updates"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    t.add_row({configs[i].diurnal ? "diurnal (swing 0.9)" : "uniform",
                TextTable::num(r.total_energy_j / 1000.0, 1),
                std::to_string(r.corun_sessions),
                std::to_string(r.total_updates)});
@@ -147,25 +161,30 @@ void ablate_arrival_model() {
   std::cout << '\n';
 }
 
-void ablate_decision_interval() {
+void ablate_decision_interval(std::size_t jobs, bench::CampaignTotals& totals) {
   // Sec. VII "Energy Overhead": instead of making a decision every slot, the
   // controller can evaluate Eq. (21) every k slots — decision-compute energy
   // shrinks by 1/k but co-run windows shorter than k can be missed. The
   // paper defers this trade-off to an extended version; here it is.
+  const std::vector<sim::Slot> intervals{1, 10, 60, 300};
+  core::ExperimentConfig base;
+  base.scheduler = core::SchedulerKind::kOnline;
+  base.num_users = 25;
+  base.horizon_slots = 10800;
+  base.arrival_probability = 0.001;
+  base.seed = 31;
+  base.decision_eval_seconds = 0.010;  // charged only on evaluation slots
+  const auto configs = core::sweep(
+      {base}, intervals, [](core::ExperimentConfig& c, sim::Slot k) {
+        c.decision_interval_slots = k;
+      });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
   TextTable t{"Ablation 5 — scheduling granularity (decision every k slots)"};
   t.set_header({"k (slots)", "energy (kJ)", "overhead (J)", "co-run", "updates"});
-  for (const sim::Slot k : {sim::Slot{1}, sim::Slot{10}, sim::Slot{60},
-                            sim::Slot{300}}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = core::SchedulerKind::kOnline;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.seed = 31;
-    cfg.decision_interval_slots = k;
-    cfg.decision_eval_seconds = 0.010;  // charged only on evaluation slots
-    const auto r = core::run_experiment(cfg);
-    t.add_row({std::to_string(k),
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    t.add_row({std::to_string(configs[i].decision_interval_slots),
                TextTable::num(r.total_energy_j / 1000.0, 1),
                TextTable::num(r.overhead_j, 1),
                std::to_string(r.corun_sessions),
@@ -176,19 +195,26 @@ void ablate_decision_interval() {
                "duration (~200 s) co-run\nopportunities start slipping away.)\n\n";
 }
 
-void ablate_upload_loss() {
+void ablate_upload_loss(std::size_t jobs, bench::CampaignTotals& totals) {
+  const std::vector<double> drop_ps{0.0, 0.1, 0.3};
+  core::ExperimentConfig base;
+  base.scheduler = core::SchedulerKind::kOnline;
+  base.num_users = 25;
+  base.horizon_slots = 10800;
+  base.arrival_probability = 0.001;
+  base.seed = 41;
+  const auto configs =
+      core::sweep({base}, drop_ps, [](core::ExperimentConfig& c, double p) {
+        c.upload_drop_probability = p;
+      });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
   TextTable t{"Ablation 6 — upload failure injection (online scheduler)"};
   t.set_header({"drop prob", "applied updates", "dropped", "energy (kJ)"});
-  for (const double p : {0.0, 0.1, 0.3}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = core::SchedulerKind::kOnline;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.seed = 41;
-    cfg.upload_drop_probability = p;
-    const auto r = core::run_experiment(cfg);
-    t.add_row({TextTable::num(p, 2), std::to_string(r.total_updates),
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    t.add_row({TextTable::num(configs[i].upload_drop_probability, 2),
+               std::to_string(r.total_updates),
                std::to_string(r.dropped_updates),
                TextTable::num(r.total_energy_j / 1000.0, 1)});
   }
@@ -196,77 +222,6 @@ void ablate_upload_loss() {
   std::cout << "(Lost uploads burn the session energy without advancing the "
                "model — the scheduler's\nqueue pressure rises and it "
                "re-serves the affected users.)\n\n";
-}
-
-void ablate_aggregation() {
-  // The paper's server uses pure replacement; the staleness-mitigation
-  // literature it cites ([10] delay compensation, [11] FedAsync) proposes
-  // smarter rules. Compare all three under the online scheduler with real
-  // training.
-  TextTable t{"Ablation 7 — async aggregation rule (real training, online)"};
-  t.set_header({"rule", "final acc %", "t(acc>=0.5) s", "mean gap", "updates"});
-  for (const auto kind : {fl::AggregationKind::kReplace,
-                          fl::AggregationKind::kFedAsync,
-                          fl::AggregationKind::kDelayComp}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = core::SchedulerKind::kOnline;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.seed = 3;
-    cfg.real_training = true;
-    cfg.model = core::ModelKind::kLenetSmall;
-    cfg.dataset.height = 16;
-    cfg.dataset.width = 16;
-    cfg.dataset.train_per_class = 200;
-    cfg.dataset.test_per_class = 40;
-    cfg.dataset.seed = 7;
-    cfg.eval_interval_s = 600.0;
-    cfg.aggregation.kind = kind;
-    const auto r = core::run_experiment(cfg);
-    const double t50 = r.time_to_accuracy(0.5);
-    t.add_row({std::string{fl::aggregation_name(kind)},
-               TextTable::num(100.0 * r.final_accuracy, 1),
-               t50 < 0 ? "never" : TextTable::num(t50, 0),
-               TextTable::num(r.avg_gap, 3),
-               std::to_string(r.total_updates)});
-  }
-  t.print(std::cout);
-  std::cout << "(FedAsync's staleness-decayed mixing damps the realised gap "
-               "per update; replacement is\nthe paper's semantics and the "
-               "fastest mover per update.)\n\n";
-}
-
-void ablate_thermal() {
-  // The paper's straggler motivation (Sec. I): sustained training triggers
-  // thermal throttling. Board-class silicon heats into the throttle band
-  // under immediate scheduling; the online scheduler's idle gaps avoid most
-  // throttled session starts.
-  TextTable t{"Ablation 8 — thermal throttling stragglers (HiKey970 fleet)"};
-  t.set_header({"scheme", "max temp C", "worst slowdown", "throttled/total",
-                "updates"});
-  for (const auto kind : {core::SchedulerKind::kImmediate,
-                          core::SchedulerKind::kOnline}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = kind;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.seed = 37;
-    cfg.fixed_device = device::DeviceKind::kHikey970;
-    cfg.enable_thermal = true;
-    const auto r = core::run_experiment(cfg);
-    t.add_row({core::scheduler_name(kind),
-               TextTable::num(r.max_temperature_c, 1),
-               TextTable::num(r.worst_throttle_factor, 2),
-               std::to_string(r.throttled_sessions) + "/" +
-                   std::to_string(r.corun_sessions + r.separate_sessions),
-               std::to_string(r.total_updates)});
-  }
-  t.print(std::cout);
-  std::cout << "(Back-to-back training keeps the die in the throttle band — "
-               "the paper's straggler\nmechanism; deferred scheduling starts "
-               "sessions cool.)\n\n";
 }
 
 core::ExperimentConfig mitigation_config() {
@@ -287,26 +242,102 @@ core::ExperimentConfig mitigation_config() {
   return cfg;
 }
 
-void ablate_mitigations() {
+void ablate_aggregation(std::size_t jobs, bench::CampaignTotals& totals) {
+  // The paper's server uses pure replacement; the staleness-mitigation
+  // literature it cites ([10] delay compensation, [11] FedAsync) proposes
+  // smarter rules. Compare all three under the online scheduler with real
+  // training.
+  const std::vector<fl::AggregationKind> kinds{fl::AggregationKind::kReplace,
+                                               fl::AggregationKind::kFedAsync,
+                                               fl::AggregationKind::kDelayComp};
+  const auto configs = core::sweep(
+      {mitigation_config()}, kinds,
+      [](core::ExperimentConfig& c, fl::AggregationKind kind) {
+        c.aggregation.kind = kind;
+      });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
+  TextTable t{"Ablation 7 — async aggregation rule (real training, online)"};
+  t.set_header({"rule", "final acc %", "t(acc>=0.5) s", "mean gap", "updates"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    const double t50 = r.time_to_accuracy(0.5);
+    t.add_row({std::string{fl::aggregation_name(configs[i].aggregation.kind)},
+               TextTable::num(100.0 * r.final_accuracy, 1),
+               t50 < 0 ? "never" : TextTable::num(t50, 0),
+               TextTable::num(r.avg_gap, 3),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(FedAsync's staleness-decayed mixing damps the realised gap "
+               "per update; replacement is\nthe paper's semantics and the "
+               "fastest mover per update.)\n\n";
+}
+
+void ablate_thermal(std::size_t jobs, bench::CampaignTotals& totals) {
+  // The paper's straggler motivation (Sec. I): sustained training triggers
+  // thermal throttling. Board-class silicon heats into the throttle band
+  // under immediate scheduling; the online scheduler's idle gaps avoid most
+  // throttled session starts.
+  const std::vector<core::SchedulerKind> kinds{core::SchedulerKind::kImmediate,
+                                               core::SchedulerKind::kOnline};
+  core::ExperimentConfig base;
+  base.num_users = 25;
+  base.horizon_slots = 10800;
+  base.arrival_probability = 0.001;
+  base.seed = 37;
+  base.fixed_device = device::DeviceKind::kHikey970;
+  base.enable_thermal = true;
+  const auto configs = core::sweep(
+      {base}, kinds, [](core::ExperimentConfig& c, core::SchedulerKind kind) {
+        c.scheduler = kind;
+      });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
+  TextTable t{"Ablation 8 — thermal throttling stragglers (HiKey970 fleet)"};
+  t.set_header({"scheme", "max temp C", "worst slowdown", "throttled/total",
+                "updates"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    t.add_row({core::scheduler_name(configs[i].scheduler),
+               TextTable::num(r.max_temperature_c, 1),
+               TextTable::num(r.worst_throttle_factor, 2),
+               std::to_string(r.throttled_sessions) + "/" +
+                   std::to_string(r.corun_sessions + r.separate_sessions),
+               std::to_string(r.total_updates)});
+  }
+  t.print(std::cout);
+  std::cout << "(Back-to-back training keeps the die in the throttle band — "
+               "the paper's straggler\nmechanism; deferred scheduling starts "
+               "sessions cool.)\n\n";
+}
+
+void ablate_mitigations(std::size_t jobs, bench::CampaignTotals& totals) {
   // Client-side staleness mitigations from the literature the paper builds
   // on: gap-aware LR scaling [31] and Eq. (3) weight prediction [32].
-  TextTable t{"Ablation 9 — client-side staleness mitigations (online, real)"};
-  t.set_header({"variant", "final acc %", "t(acc>=0.5) s", "mean gap"});
   struct Variant {
     const char* name;
     bool gap_aware;
     bool predict;
   };
-  for (const Variant v : {Variant{"vanilla", false, false},
-                          Variant{"gap-aware lr", true, false},
-                          Variant{"weight prediction", false, true},
-                          Variant{"both", true, true}}) {
-    auto cfg = mitigation_config();
-    cfg.gap_aware_lr = v.gap_aware;
-    cfg.weight_prediction = v.predict;
-    const auto r = core::run_experiment(cfg);
+  const std::vector<Variant> variants{{"vanilla", false, false},
+                                      {"gap-aware lr", true, false},
+                                      {"weight prediction", false, true},
+                                      {"both", true, true}};
+  const auto configs = core::sweep(
+      {mitigation_config()}, variants,
+      [](core::ExperimentConfig& c, const Variant& v) {
+        c.gap_aware_lr = v.gap_aware;
+        c.weight_prediction = v.predict;
+      });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
+  TextTable t{"Ablation 9 — client-side staleness mitigations (online, real)"};
+  t.set_header({"variant", "final acc %", "t(acc>=0.5) s", "mean gap"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = report.results[i];
     const double t50 = r.time_to_accuracy(0.5);
-    t.add_row({v.name, TextTable::num(100.0 * r.final_accuracy, 1),
+    t.add_row({variants[i].name, TextTable::num(100.0 * r.final_accuracy, 1),
                t50 < 0 ? "never" : TextTable::num(t50, 0),
                TextTable::num(r.avg_gap, 3)});
   }
@@ -314,24 +345,30 @@ void ablate_mitigations() {
   std::cout << '\n';
 }
 
-void ablate_noniid() {
+void ablate_noniid(std::size_t jobs, bench::CampaignTotals& totals) {
   // Label-skew sensitivity: the paper evaluates an equal (IID) partition of
   // CIFAR-10; FL deployments are usually non-IID. Dirichlet(alpha) skew
   // slows convergence for every scheduler but does not change the paper's
   // energy story (scheduling is data-agnostic).
-  TextTable t{"Ablation 10 — non-IID label skew (online scheduler, real)"};
-  t.set_header({"partition", "final acc %", "t(acc>=0.5) s", "energy (kJ)"});
   struct Case {
     const char* label;
     double alpha;
   };
-  for (const Case c : {Case{"IID (paper)", 0.0}, Case{"Dirichlet 1.0", 1.0},
-                       Case{"Dirichlet 0.2", 0.2}}) {
-    auto cfg = mitigation_config();
-    cfg.dirichlet_alpha = c.alpha;
-    const auto r = core::run_experiment(cfg);
+  const std::vector<Case> cases{
+      {"IID (paper)", 0.0}, {"Dirichlet 1.0", 1.0}, {"Dirichlet 0.2", 0.2}};
+  const auto configs =
+      core::sweep({mitigation_config()}, cases,
+                  [](core::ExperimentConfig& c, const Case& cs) {
+                    c.dirichlet_alpha = cs.alpha;
+                  });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
+  TextTable t{"Ablation 10 — non-IID label skew (online scheduler, real)"};
+  t.set_header({"partition", "final acc %", "t(acc>=0.5) s", "energy (kJ)"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& r = report.results[i];
     const double t50 = r.time_to_accuracy(0.5);
-    t.add_row({c.label, TextTable::num(100.0 * r.final_accuracy, 1),
+    t.add_row({cases[i].label, TextTable::num(100.0 * r.final_accuracy, 1),
                t50 < 0 ? "never" : TextTable::num(t50, 0),
                TextTable::num(r.total_energy_j / 1000.0, 1)});
   }
@@ -340,19 +377,24 @@ void ablate_noniid() {
                "moves — co-running is\northogonal to data heterogeneity.)\n\n";
 }
 
-void ablate_epsilon() {
+void ablate_epsilon(std::size_t jobs, bench::CampaignTotals& totals) {
+  const std::vector<double> epsilons{0.005, 0.05, 0.5};
+  core::ExperimentConfig base;
+  base.scheduler = core::SchedulerKind::kOnline;
+  base.num_users = 25;
+  base.horizon_slots = 10800;
+  base.arrival_probability = 0.001;
+  base.seed = 21;
+  const auto configs = core::sweep(
+      {base}, epsilons,
+      [](core::ExperimentConfig& c, double eps) { c.epsilon = eps; });
+  const auto report = core::run_campaign(configs, jobs);
+  totals.add(report);
   TextTable t{"Ablation 11 — Eq. (12) idle gap increment epsilon"};
   t.set_header({"epsilon", "energy (kJ)", "avg H", "updates"});
-  for (const double eps : {0.005, 0.05, 0.5}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = core::SchedulerKind::kOnline;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.epsilon = eps;
-    cfg.seed = 21;
-    const auto r = core::run_experiment(cfg);
-    t.add_row({TextTable::num(eps, 3),
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
+    t.add_row({TextTable::num(configs[i].epsilon, 3),
                TextTable::num(r.total_energy_j / 1000.0, 1),
                TextTable::num(r.avg_queue_h, 1),
                std::to_string(r.total_updates)});
@@ -364,18 +406,21 @@ void ablate_epsilon() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "fedco ablation benches\n\n";
+  const std::size_t jobs = fedco::bench::jobs_from_args(argc, argv);
+  fedco::bench::CampaignTotals totals;
   ablate_knapsack();
   ablate_lag_bound();
-  ablate_gap_estimate();
-  ablate_arrival_model();
-  ablate_decision_interval();
-  ablate_upload_loss();
-  ablate_aggregation();
-  ablate_thermal();
-  ablate_mitigations();
-  ablate_noniid();
-  ablate_epsilon();
+  ablate_gap_estimate(jobs, totals);
+  ablate_arrival_model(jobs, totals);
+  ablate_decision_interval(jobs, totals);
+  ablate_upload_loss(jobs, totals);
+  ablate_aggregation(jobs, totals);
+  ablate_thermal(jobs, totals);
+  ablate_mitigations(jobs, totals);
+  ablate_noniid(jobs, totals);
+  ablate_epsilon(jobs, totals);
+  fedco::bench::log_campaign(totals);
   return 0;
 }

@@ -4,13 +4,18 @@
 //   (b) testing accuracy under scarce arrivals (1e-4 ... 1e-3) with real
 //       training — the offline oracle starves updates when apps are rare,
 //       while the online scheme clears its queue backlog and keeps learning.
+//
+// Both sub-figures run as one parallel campaign (18 scheduling-only + 18
+// real-training experiments); pass --jobs N or set FEDCO_JOBS.
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedco;
   using core::ExperimentConfig;
   using core::SchedulerKind;
@@ -18,13 +23,21 @@ int main() {
 
   std::cout << "Reproduction of Fig. 6 — impact of application arrival rate\n\n";
 
-  // ---- Fig. 6(a): energy vs arrival probability.
-  TextTable fig6a{"Fig. 6(a) — energy (kJ) vs arrival probability"};
-  fig6a.set_header({"arrival p", "Online", "Immediate", "Offline"});
-  for (const double p : {1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2}) {
-    std::vector<std::string> row{TextTable::num(p, 4)};
-    for (const auto kind : {SchedulerKind::kOnline, SchedulerKind::kImmediate,
-                            SchedulerKind::kOffline}) {
+  const std::vector<double> fig6a_rates{1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2};
+  const std::vector<SchedulerKind> fig6a_kinds{SchedulerKind::kOnline,
+                                               SchedulerKind::kImmediate,
+                                               SchedulerKind::kOffline};
+  const std::vector<double> fig6b_rates{1e-4, 5e-4, 1e-3};
+  const std::vector<SchedulerKind> fig6b_kinds{SchedulerKind::kOffline,
+                                               SchedulerKind::kOnline,
+                                               SchedulerKind::kImmediate};
+  constexpr std::size_t kFig6bSeeds = 2;  // mean of 2 seeds damps variance
+
+  // Campaign layout: fig6a rows (rate-major), then fig6b rows with
+  // kFig6bSeeds replications each.
+  std::vector<ExperimentConfig> configs;
+  for (const double p : fig6a_rates) {
+    for (const auto kind : fig6a_kinds) {
       ExperimentConfig cfg;
       cfg.scheduler = kind;
       cfg.num_users = 25;
@@ -33,8 +46,45 @@ int main() {
       cfg.V = 4000.0;
       cfg.lb = 500.0;
       cfg.seed = 99;
-      row.push_back(
-          TextTable::num(core::run_experiment(cfg).total_energy_j / 1000.0, 1));
+      configs.push_back(cfg);
+    }
+  }
+  const std::size_t fig6b_begin = configs.size();
+  for (const double p : fig6b_rates) {
+    for (const auto kind : fig6b_kinds) {
+      ExperimentConfig cfg;
+      cfg.scheduler = kind;
+      cfg.num_users = 25;
+      cfg.horizon_slots = 10800;
+      cfg.arrival_probability = p;
+      cfg.V = 4000.0;
+      cfg.lb = 500.0;
+      cfg.seed = 5;
+      cfg.real_training = true;
+      cfg.model = core::ModelKind::kLenetSmall;
+      cfg.dataset.height = 16;
+      cfg.dataset.width = 16;
+      cfg.dataset.train_per_class = 200;
+      cfg.dataset.test_per_class = 40;
+      cfg.dataset.seed = 7;
+      cfg.eval_interval_s = 600.0;
+      const auto replicas = core::replicate(cfg, kFig6bSeeds);
+      configs.insert(configs.end(), replicas.begin(), replicas.end());
+    }
+  }
+
+  const core::CampaignReport report =
+      core::run_campaign(configs, bench::jobs_from_args(argc, argv));
+
+  // ---- Fig. 6(a): energy vs arrival probability.
+  TextTable fig6a{"Fig. 6(a) — energy (kJ) vs arrival probability"};
+  fig6a.set_header({"arrival p", "Online", "Immediate", "Offline"});
+  std::size_t index = 0;
+  for (const double p : fig6a_rates) {
+    std::vector<std::string> row{TextTable::num(p, 4)};
+    for (std::size_t k = 0; k < fig6a_kinds.size(); ++k) {
+      row.push_back(TextTable::num(
+          report.results[index++].total_energy_j / 1000.0, 1));
     }
     fig6a.add_row(row);
   }
@@ -44,36 +94,20 @@ int main() {
                "largest at low rates and closes as co-running saturates;\n"
                "Offline stays lowest when apps are scarce.\n\n";
 
-  // ---- Fig. 6(b): accuracy under scarce arrivals (real training; mean of
-  // 2 seeds to damp the single-run variance of short federated runs).
+  // ---- Fig. 6(b): accuracy under scarce arrivals (real training).
   TextTable fig6b{"Fig. 6(b) — test accuracy (%) under scarce arrivals "
                   "(mean of 2 seeds)"};
   fig6b.set_header({"arrival p", "Offline", "Online", "Immediate"});
-  for (const double p : {1e-4, 5e-4, 1e-3}) {
+  index = fig6b_begin;
+  for (const double p : fig6b_rates) {
     std::vector<std::string> row{TextTable::num(p, 4)};
-    for (const auto kind : {SchedulerKind::kOffline, SchedulerKind::kOnline,
-                            SchedulerKind::kImmediate}) {
+    for (std::size_t k = 0; k < fig6b_kinds.size(); ++k) {
       double acc_sum = 0.0;
-      for (const std::uint64_t seed : {5ull, 6ull}) {
-        ExperimentConfig cfg;
-        cfg.scheduler = kind;
-        cfg.num_users = 25;
-        cfg.horizon_slots = 10800;
-        cfg.arrival_probability = p;
-        cfg.V = 4000.0;
-        cfg.lb = 500.0;
-        cfg.seed = seed;
-        cfg.real_training = true;
-        cfg.model = core::ModelKind::kLenetSmall;
-        cfg.dataset.height = 16;
-        cfg.dataset.width = 16;
-        cfg.dataset.train_per_class = 200;
-        cfg.dataset.test_per_class = 40;
-        cfg.dataset.seed = 7;
-        cfg.eval_interval_s = 600.0;
-        acc_sum += core::run_experiment(cfg).final_accuracy;
+      for (std::size_t s = 0; s < kFig6bSeeds; ++s) {
+        acc_sum += report.results[index++].final_accuracy;
       }
-      row.push_back(TextTable::num(100.0 * acc_sum / 2.0, 1));
+      row.push_back(TextTable::num(
+          100.0 * acc_sum / static_cast<double>(kFig6bSeeds), 1));
     }
     fig6b.add_row(row);
   }
@@ -83,5 +117,6 @@ int main() {
                "back to immediate-like service); the Offline oracle,\nwhich "
                "keeps waiting for co-running opportunities, starves updates "
                "and loses accuracy.\n";
+  bench::log_campaign(report);
   return 0;
 }

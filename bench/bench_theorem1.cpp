@@ -6,66 +6,82 @@
 // is the quantitative counterpart of the paper's Fig. 4 narrative ("Both
 // Q(t) and H(t) increase linearly after V > 1e4 and this matches with
 // Theorem 1").
+//
+// The V sweep runs as one parallel campaign; pass --jobs N or set
+// FEDCO_JOBS.
 #include <iostream>
 #include <vector>
 
 #include "analysis/theorem1.hpp"
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedco;
   using util::TextTable;
 
   std::cout << "Empirical Theorem 1 check — online scheduler, 25 users, 3 h, "
                "Lb = 500\n\n";
 
+  const std::vector<double> v_values{500.0,   1000.0,  2000.0,
+                                     4000.0,  8000.0,  16000.0,
+                                     32000.0, 64000.0, 128000.0};
+  core::ExperimentConfig base;
+  base.scheduler = core::SchedulerKind::kOnline;
+  base.num_users = 25;
+  base.horizon_slots = 10800;
+  base.arrival_probability = 0.001;
+  base.lb = 500.0;
+  base.seed = 20221;
+  const std::vector<core::ExperimentConfig> configs = core::sweep(
+      {base}, v_values, [](core::ExperimentConfig& c, double v) { c.V = v; });
+
+  const core::CampaignReport report =
+      core::run_campaign(configs, bench::jobs_from_args(argc, argv));
+
   std::vector<analysis::VSweepPoint> sweep;
   TextTable raw{"V sweep"};
   raw.set_header({"V", "avg power (W)", "avg backlog Q+H"});
-  for (const double v : {500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0,
-                         32000.0, 64000.0, 128000.0}) {
-    core::ExperimentConfig cfg;
-    cfg.scheduler = core::SchedulerKind::kOnline;
-    cfg.num_users = 25;
-    cfg.horizon_slots = 10800;
-    cfg.arrival_probability = 0.001;
-    cfg.V = v;
-    cfg.lb = 500.0;
-    cfg.seed = 20221;
-    const auto r = core::run_experiment(cfg);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& r = report.results[i];
     analysis::VSweepPoint point;
-    point.v = v;
+    point.v = configs[i].V;
     point.avg_power_w =
-        r.total_energy_j / static_cast<double>(cfg.horizon_slots);
+        r.total_energy_j / static_cast<double>(configs[i].horizon_slots);
     point.avg_backlog = r.avg_queue_q + r.avg_queue_h;
     sweep.push_back(point);
-    raw.add_row({TextTable::num(v, 0), TextTable::num(point.avg_power_w, 2),
+    raw.add_row({TextTable::num(point.v, 0),
+                 TextTable::num(point.avg_power_w, 2),
                  TextTable::num(point.avg_backlog, 1)});
   }
   raw.print(std::cout);
 
-  const analysis::Theorem1Report report = analysis::check_theorem1(sweep);
+  const analysis::Theorem1Report theorem = analysis::check_theorem1(sweep);
   TextTable verdict{"Theorem 1 fits"};
   verdict.set_header({"quantity", "value"});
   verdict.add_row({"P* estimate (W, Eq. 24 intercept)",
-                   TextTable::num(report.pstar_estimate, 2)});
+                   TextTable::num(theorem.pstar_estimate, 2)});
   verdict.add_row({"B' estimate (Eq. 24 slope on 1/V)",
-                   TextTable::num(report.energy_fit.slope, 1)});
-  verdict.add_row({"energy fit R^2", TextTable::num(report.energy_fit.r_squared, 3)});
+                   TextTable::num(theorem.energy_fit.slope, 1)});
+  verdict.add_row({"energy fit R^2",
+                   TextTable::num(theorem.energy_fit.r_squared, 3)});
   verdict.add_row({"backlog growth d(Theta)/dV (Eq. 25 slope)",
-                   TextTable::num(report.backlog_growth_per_v, 4)});
+                   TextTable::num(theorem.backlog_growth_per_v, 4)});
   verdict.add_row({"backlog fit R^2",
-                   TextTable::num(report.backlog_fit.r_squared, 3)});
+                   TextTable::num(theorem.backlog_fit.r_squared, 3)});
   verdict.add_row({"Spearman(V, P) [expect <= 0]",
-                   TextTable::num(report.energy_monotonicity, 2)});
+                   TextTable::num(theorem.energy_monotonicity, 2)});
   verdict.add_row({"Spearman(V, Theta) [expect >= 0]",
-                   TextTable::num(report.backlog_monotonicity, 2)});
-  verdict.add_row({"consistent with Theorem 1", report.consistent ? "YES" : "NO"});
+                   TextTable::num(theorem.backlog_monotonicity, 2)});
+  verdict.add_row({"consistent with Theorem 1",
+                   theorem.consistent ? "YES" : "NO"});
   verdict.print(std::cout);
 
   std::cout << "\nShape check: power decreases toward P* as 1/V while the "
                "queue backlog grows\nlinearly in V — the [O(1/V), O(V)] "
                "trade-off.\n";
-  return report.consistent ? 0 : 1;
+  bench::log_campaign(report);
+  return theorem.consistent ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 // Examples:
 //   fedco_sim --scheduler online --V 4000 --Lb 500
 //   fedco_sim --scheduler offline --users 50 --horizon 21600 --arrival-p 0.002
+//   fedco_sim --config scenario.json --seed 9
+//   fedco_sim --scheduler online --replications 8 --jobs 4
 //   fedco_sim --scheduler online --real-training --model lenet-small
 //             --csv-dir /tmp/out   (one line)
 //   fedco_sim --help
@@ -10,10 +12,13 @@
 #include <iostream>
 #include <string>
 
+#include "core/campaign.hpp"
+#include "core/config_io.hpp"
 #include "core/experiment.hpp"
 #include "core/result_io.hpp"
 #include "util/args.hpp"
 #include "util/export.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -23,6 +28,16 @@ using namespace fedco;
 void print_help() {
   std::cout <<
       R"(fedco_sim — energy-aware federated-learning scheduling simulator
+
+Scenario:
+  --config F           load an ExperimentConfig JSON (a file saved by
+                       --save-config, or a --json result document); any
+                       flag below overrides the loaded value
+  --save-config F      write the effective config as JSON and exit
+  --replications R     run R replications (seeds seed..seed+R-1) as a
+                       campaign and report mean/stddev        (default 1)
+  --jobs N             campaign worker threads; 0 = $FEDCO_JOBS, else all
+                       cores                                  (default 0)
 
 Scheduling:
   --scheduler S        online | offline | immediate | sync   (default online)
@@ -53,85 +68,104 @@ Environment:
   --battery            track per-device battery (2700 mAh)
   --min-soc X          gate training below this state of charge
   --drop-p X           upload loss probability
-  --csv-dir DIR        export Q/H/G/accuracy traces as CSV
-  --json PATH          write the full result document as JSON
+  --csv-dir DIR        export Q/H/G/accuracy traces as CSV (single run only)
+  --json PATH          write the result as JSON; with --replications R > 1,
+                       one document per replication (PATH-r<k>.json)
+
+Unknown options are reported to stderr and exit non-zero.
 )";
 }
 
-core::SchedulerKind parse_scheduler(const std::string& name) {
-  if (name == "online") return core::SchedulerKind::kOnline;
-  if (name == "offline") return core::SchedulerKind::kOffline;
-  if (name == "immediate") return core::SchedulerKind::kImmediate;
-  if (name == "sync") return core::SchedulerKind::kSyncSgd;
-  throw std::invalid_argument{"unknown --scheduler '" + name + "'"};
-}
-
-core::ModelKind parse_model(const std::string& name) {
-  if (name == "mlp") return core::ModelKind::kMlp;
-  if (name == "lenet-small") return core::ModelKind::kLenetSmall;
-  if (name == "lenet5") return core::ModelKind::kLenet5;
-  throw std::invalid_argument{"unknown --model '" + name + "'"};
-}
-
-fl::AggregationKind parse_aggregation(const std::string& name) {
-  if (name == "replace") return fl::AggregationKind::kReplace;
-  if (name == "fedasync") return fl::AggregationKind::kFedAsync;
-  if (name == "delay-comp") return fl::AggregationKind::kDelayComp;
-  throw std::invalid_argument{"unknown --aggregation '" + name + "'"};
-}
-
-std::optional<device::DeviceKind> parse_device(const std::string& name) {
-  if (name.empty() || name == "mixed") return std::nullopt;
-  if (name == "nexus6") return device::DeviceKind::kNexus6;
-  if (name == "nexus6p") return device::DeviceKind::kNexus6P;
-  if (name == "hikey970") return device::DeviceKind::kHikey970;
-  if (name == "pixel2") return device::DeviceKind::kPixel2;
-  throw std::invalid_argument{"unknown --device '" + name + "'"};
-}
-
-int run(const util::ArgParser& args) {
+/// Build the effective config: scenario file first (when given), then every
+/// present flag overrides the corresponding field.
+core::ExperimentConfig effective_config(const util::ArgParser& args) {
   core::ExperimentConfig cfg;
-  cfg.scheduler = parse_scheduler(args.get("scheduler", "online"));
-  cfg.num_users = static_cast<std::size_t>(args.get_int("users", 25));
-  cfg.horizon_slots = args.get_int("horizon", 10800);
-  cfg.arrival_probability = args.get_double("arrival-p", 0.001);
-  cfg.diurnal = args.get_bool("diurnal", false);
-  cfg.arrival_trace_path = args.get("arrival-trace");
-  cfg.fixed_device = parse_device(args.get("device", "mixed"));
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  cfg.V = args.get_double("V", 4000.0);
-  cfg.lb = args.get_double("Lb", 500.0);
-  cfg.epsilon = args.get_double("epsilon", 0.05);
-  cfg.decision_interval_slots = args.get_int("decision-interval", 1);
-  cfg.offline_window_slots = args.get_int("offline-window", 500);
-  cfg.offline_lb = args.get_double("offline-Lb", 1000.0);
-  cfg.eta = args.get_double("eta", 0.05);
-  cfg.beta = args.get_double("beta", 0.9);
-  cfg.real_training = args.get_bool("real-training", false);
-  cfg.model = parse_model(args.get("model", "lenet-small"));
-  cfg.aggregation.kind = parse_aggregation(args.get("aggregation", "replace"));
-  cfg.enable_thermal = args.get_bool("thermal", false);
-  cfg.track_battery = args.get_bool("battery", false);
-  cfg.min_soc_to_train = args.get_double("min-soc", 0.0);
-  cfg.upload_drop_probability = args.get_double("drop-p", 0.0);
+  const std::string config_path = args.get("config");
+  if (!config_path.empty()) cfg = core::load_config_json(config_path);
+
+  // Fallbacks are the current field values (never reached — has() guards
+  // each call) so the defaults live in ExperimentConfig alone.
+  if (args.has("scheduler")) {
+    cfg.scheduler = core::parse_scheduler_token(args.get("scheduler"));
+  }
+  if (args.has("users")) {
+    cfg.num_users = static_cast<std::size_t>(
+        args.get_int("users", static_cast<std::int64_t>(cfg.num_users)));
+  }
+  if (args.has("horizon")) {
+    cfg.horizon_slots = args.get_int("horizon", cfg.horizon_slots);
+  }
+  if (args.has("arrival-p")) {
+    cfg.arrival_probability =
+        args.get_double("arrival-p", cfg.arrival_probability);
+  }
+  if (args.has("diurnal")) cfg.diurnal = args.get_bool("diurnal", cfg.diurnal);
+  if (args.has("arrival-trace")) {
+    cfg.arrival_trace_path = args.get("arrival-trace");
+  }
+  if (args.has("device")) {
+    cfg.fixed_device = core::parse_device_token(args.get("device"));
+  }
+  if (args.has("seed")) {
+    cfg.seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  }
+  if (args.has("V")) cfg.V = args.get_double("V", cfg.V);
+  if (args.has("Lb")) cfg.lb = args.get_double("Lb", cfg.lb);
+  if (args.has("epsilon")) cfg.epsilon = args.get_double("epsilon", cfg.epsilon);
+  if (args.has("decision-interval")) {
+    cfg.decision_interval_slots =
+        args.get_int("decision-interval", cfg.decision_interval_slots);
+  }
+  if (args.has("offline-window")) {
+    cfg.offline_window_slots =
+        args.get_int("offline-window", cfg.offline_window_slots);
+  }
+  if (args.has("offline-Lb")) {
+    cfg.offline_lb = args.get_double("offline-Lb", cfg.offline_lb);
+  }
+  if (args.has("eta")) cfg.eta = args.get_double("eta", cfg.eta);
+  if (args.has("beta")) cfg.beta = args.get_double("beta", cfg.beta);
+  if (args.has("real-training")) {
+    cfg.real_training = args.get_bool("real-training", cfg.real_training);
+  }
+  if (args.has("model")) {
+    cfg.model = core::parse_model_token(args.get("model"));
+  }
+  if (args.has("aggregation")) {
+    cfg.aggregation.kind =
+        core::parse_aggregation_token(args.get("aggregation"));
+  }
+  if (args.has("thermal")) {
+    cfg.enable_thermal = args.get_bool("thermal", cfg.enable_thermal);
+  }
+  if (args.has("battery")) {
+    cfg.track_battery = args.get_bool("battery", cfg.track_battery);
+  }
+  if (args.has("min-soc")) {
+    cfg.min_soc_to_train = args.get_double("min-soc", cfg.min_soc_to_train);
+  }
+  if (args.has("drop-p")) {
+    cfg.upload_drop_probability =
+        args.get_double("drop-p", cfg.upload_drop_probability);
+  }
   if (cfg.min_soc_to_train > 0.0) cfg.track_battery = true;
-  if (cfg.real_training && cfg.model == core::ModelKind::kLenetSmall) {
+  // The CLI's small-image default for real LeNet-small runs; scenario files
+  // carry their dataset shape explicitly, so only flag-built configs get it.
+  if (config_path.empty() && cfg.real_training &&
+      cfg.model == core::ModelKind::kLenetSmall) {
     cfg.dataset.height = 16;
     cfg.dataset.width = 16;
     cfg.dataset.train_per_class = 200;
     cfg.dataset.test_per_class = 40;
   }
+  return cfg;
+}
 
-  const std::string json_path = args.get("json");
-  const std::string csv_dir = args.get("csv-dir");
-  for (const auto& name : args.unused()) {
-    std::cerr << "warning: unrecognised option --" << name << '\n';
-  }
-
-  const core::ExperimentResult r = core::run_experiment(cfg);
-
-  util::TextTable table{std::string{"fedco_sim — "} +
-                        core::scheduler_name(cfg.scheduler)};
+void print_result_table(const core::ExperimentConfig& cfg,
+                        const core::ExperimentResult& r,
+                        const std::string& title) {
+  util::TextTable table{title};
   table.set_header({"metric", "value"});
   table.add_row({"total energy (kJ)", util::TextTable::num(r.total_energy_j / 1000.0, 2)});
   table.add_row({"  training / co-run (kJ)",
@@ -169,6 +203,107 @@ int run(const util::ArgParser& args) {
                        util::TextTable::num(r.worst_throttle_factor, 2)});
   }
   table.print(std::cout);
+}
+
+/// Insert "-r<k>" before the extension: out.json -> out-r3.json.
+std::string replication_path(const std::string& path, std::size_t k) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t slash = path.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string suffix = "-r" + std::to_string(k);
+  return has_ext ? path.substr(0, dot) + suffix + path.substr(dot)
+                 : path + suffix;
+}
+
+int run_replications(const core::ExperimentConfig& base, std::size_t
+                     replications, std::size_t jobs,
+                     const std::string& json_path) {
+  const std::vector<core::ExperimentConfig> configs =
+      core::replicate(base, replications);
+  const core::CampaignReport report = core::run_campaign(configs, jobs);
+
+  util::TextTable table{std::string{"fedco_sim — "} +
+                        core::scheduler_name(base.scheduler) + " × " +
+                        std::to_string(replications) + " replications"};
+  table.set_header({"seed", "energy (kJ)", "updates", "avg lag", "avg gap"});
+  util::RunningStats energy;
+  util::RunningStats updates;
+  for (std::size_t k = 0; k < report.results.size(); ++k) {
+    const core::ExperimentResult& r = report.results[k];
+    energy.add(r.total_energy_j / 1000.0);
+    updates.add(static_cast<double>(r.total_updates));
+    table.add_row({std::to_string(configs[k].seed),
+                   util::TextTable::num(r.total_energy_j / 1000.0, 1),
+                   std::to_string(r.total_updates),
+                   util::TextTable::num(r.avg_lag, 2),
+                   util::TextTable::num(r.avg_gap, 3)});
+  }
+  table.add_row({"mean +/- sd",
+                 util::TextTable::num(energy.mean(), 1) + " +/- " +
+                     util::TextTable::num(energy.stddev(), 1),
+                 util::TextTable::num(updates.mean(), 1) + " +/- " +
+                     util::TextTable::num(updates.stddev(), 1),
+                 "", ""});
+  table.print(std::cout);
+  std::cout << "campaign: " << report.results.size() << " experiments on "
+            << report.jobs << " jobs, "
+            << util::TextTable::num(report.wall_seconds, 2) << " s wall, "
+            << util::TextTable::num(report.speedup(), 2) << "x speedup\n";
+
+  if (!json_path.empty()) {
+    for (std::size_t k = 0; k < report.results.size(); ++k) {
+      core::write_result_json(replication_path(json_path, k), configs[k],
+                              report.results[k]);
+    }
+    std::cout << "results written to " << replication_path(json_path, 0)
+              << " .. " << replication_path(json_path, replications - 1)
+              << '\n';
+  }
+  return 0;
+}
+
+int run(const util::ArgParser& args) {
+  const core::ExperimentConfig cfg = effective_config(args);
+  const std::string save_config_path = args.get("save-config");
+  const std::string json_path = args.get("json");
+  const std::string csv_dir = args.get("csv-dir");
+  const std::int64_t replications_raw = args.get_int("replications", 1);
+  const std::int64_t jobs_raw = args.get_int("jobs", 0);
+  if (replications_raw < 1) {
+    throw std::invalid_argument{"--replications must be >= 1"};
+  }
+  if (jobs_raw < 0) {
+    throw std::invalid_argument{"--jobs must be >= 0 (0 = auto)"};
+  }
+  const auto replications = static_cast<std::size_t>(replications_raw);
+  const auto jobs = static_cast<std::size_t>(jobs_raw);
+
+  // Probable typos are fatal: every recognised option has been queried by
+  // now, so anything unused was misspelled (e.g. --horizons). Silently
+  // ignoring it would run the wrong experiment.
+  const std::vector<std::string> unused = args.unused();
+  if (!unused.empty()) {
+    for (const auto& name : unused) {
+      std::cerr << "fedco_sim: unrecognised option --" << name << '\n';
+    }
+    std::cerr << "(try --help)\n";
+    return 2;
+  }
+
+  if (!save_config_path.empty()) {
+    core::save_config_json(save_config_path, cfg);
+    std::cout << "config written to " << save_config_path << '\n';
+    return 0;
+  }
+
+  if (replications > 1) {
+    return run_replications(cfg, replications, jobs, json_path);
+  }
+
+  const core::ExperimentResult r = core::run_experiment(cfg);
+  print_result_table(cfg, r, std::string{"fedco_sim — "} +
+                                 core::scheduler_name(cfg.scheduler));
 
   if (!json_path.empty()) {
     core::write_result_json(json_path, cfg, r);

@@ -1,0 +1,97 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace fedco::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::size_t resolve_jobs(std::size_t jobs) noexcept {
+  if (jobs > 0) return std::min(jobs, kMaxCampaignJobs);
+  if (const char* env = std::getenv("FEDCO_JOBS")) {
+    char* end = nullptr;
+    // strtoul wraps negative input ("-1" -> ULONG_MAX); out-of-range env
+    // values are garbage, so they fall through to the hardware default
+    // instead of becoming a 1024-thread spawn request.
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 &&
+        parsed <= kMaxCampaignJobs) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return util::ThreadPool::hardware_threads();
+}
+
+CampaignReport run_campaign(const std::vector<ExperimentConfig>& configs,
+                            std::size_t jobs) {
+  CampaignReport report;
+  report.jobs = resolve_jobs(jobs);
+  report.results.resize(configs.size());
+  std::vector<std::exception_ptr> errors(configs.size());
+  std::vector<double> durations(configs.size(), 0.0);
+
+  const auto campaign_start = Clock::now();
+  auto run_one = [&](std::size_t index) noexcept {
+    const auto start = Clock::now();
+    try {
+      report.results[index] = run_experiment(configs[index]);
+    } catch (...) {
+      errors[index] = std::current_exception();
+    }
+    durations[index] = seconds_since(start);
+  };
+
+  if (report.jobs <= 1 || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
+  } else {
+    util::ThreadPool pool{report.jobs};
+    std::atomic<std::size_t> next{0};
+    // One claiming task per worker: each drains indices off a shared
+    // counter, so a long experiment never blocks the remaining queue.
+    for (std::size_t w = 0; w < pool.thread_count(); ++w) {
+      pool.submit([&] {
+        for (std::size_t i = next.fetch_add(1); i < configs.size();
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    pool.wait();
+  }
+
+  report.wall_seconds = seconds_since(campaign_start);
+  for (const double d : durations) report.serial_seconds += d;
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return report;
+}
+
+std::vector<ExperimentConfig> replicate(const ExperimentConfig& base,
+                                        std::size_t replications) {
+  std::vector<ExperimentConfig> out;
+  out.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + r;
+    out.push_back(std::move(config));
+  }
+  return out;
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,79 @@
+// Parallel experiment campaigns.
+//
+// A campaign is a vector of ExperimentConfigs — a scheduler × V × Lb × seed
+// grid, a replication batch, an arrival-rate sweep — executed across a
+// util::ThreadPool. Each experiment is fully independent and deterministic
+// in its own config.seed (§6 determinism contract), and results land in a
+// slot indexed by the input position, so campaign output is bit-identical
+// for any worker count: `jobs` only changes wall-clock, never results.
+//
+// The sweep-heavy benches (fig4, fig6, theorem1, ablation) and the CLI's
+// --replications mode all run through this runner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace fedco::core {
+
+/// Upper bound on campaign workers. Worker count is a resource hint that
+/// never changes results, so out-of-range requests (e.g. FEDCO_JOBS=-1
+/// wrapping through strtoul) are clamped rather than fatal.
+inline constexpr std::size_t kMaxCampaignJobs = 1024;
+
+/// Resolve a worker count: a non-zero `jobs` wins; 0 consults the
+/// FEDCO_JOBS environment variable (so CI can pin core counts globally);
+/// unset or unparsable falls back to the hardware thread count. The
+/// result is clamped to [1, kMaxCampaignJobs].
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs) noexcept;
+
+struct CampaignReport {
+  /// One result per input config, index-aligned — independent of `jobs`.
+  std::vector<ExperimentResult> results;
+  std::size_t jobs = 1;          ///< workers actually used
+  double wall_seconds = 0.0;     ///< end-to-end campaign wall-clock
+  double serial_seconds = 0.0;   ///< sum of per-experiment runtimes
+
+  /// Realised parallel speedup vs running the same experiments serially
+  /// (serial_seconds / wall_seconds); ~1.0 when jobs = 1.
+  [[nodiscard]] double speedup() const noexcept {
+    return wall_seconds > 0.0 ? serial_seconds / wall_seconds : 1.0;
+  }
+};
+
+/// Run every config to completion on `jobs` workers (0 = resolve_jobs).
+/// Throws the first per-experiment exception (by input index) after all
+/// workers finish; results are bit-identical for any jobs value.
+[[nodiscard]] CampaignReport run_campaign(
+    const std::vector<ExperimentConfig>& configs, std::size_t jobs = 0);
+
+/// Replication helper: `replications` copies of `base` with seeds
+/// base.seed, base.seed + 1, ... (the convention the benches and the CLI's
+/// --replications flag use).
+[[nodiscard]] std::vector<ExperimentConfig> replicate(
+    const ExperimentConfig& base, std::size_t replications);
+
+/// Grid helper: cross every base config with every value, applying
+/// `apply(config, value)` — chain calls to build scheduler × V × Lb × seed
+/// grids. Example:
+///   auto grid = sweep(sweep({base}, lbs, [](auto& c, double lb) { c.lb = lb; }),
+///                     vs, [](auto& c, double v) { c.V = v; });
+template <typename Value, typename Apply>
+[[nodiscard]] std::vector<ExperimentConfig> sweep(
+    const std::vector<ExperimentConfig>& bases,
+    const std::vector<Value>& values, Apply&& apply) {
+  std::vector<ExperimentConfig> out;
+  out.reserve(bases.size() * values.size());
+  for (const ExperimentConfig& base : bases) {
+    for (const Value& value : values) {
+      ExperimentConfig config = base;
+      apply(config, value);
+      out.push_back(std::move(config));
+    }
+  }
+  return out;
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,481 @@
+#include "core/config_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedco::core {
+
+namespace {
+
+std::string lowered(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// ------------------------------------------------------------- readers
+//
+// Each reader pulls one typed value out of a JsonValue with a
+// field-qualified error message, so a bad scenario file points at the
+// exact offending key.
+
+double read_double(const util::JsonValue& value, const std::string& key) {
+  if (!value.is_number()) {
+    throw std::invalid_argument{"config_io: '" + key + "' must be a number"};
+  }
+  return value.as_number();
+}
+
+bool read_bool(const util::JsonValue& value, const std::string& key) {
+  if (!value.is_bool()) {
+    throw std::invalid_argument{"config_io: '" + key + "' must be a boolean"};
+  }
+  return value.as_bool();
+}
+
+std::string read_string(const util::JsonValue& value, const std::string& key) {
+  if (!value.is_string()) {
+    throw std::invalid_argument{"config_io: '" + key + "' must be a string"};
+  }
+  return value.as_string();
+}
+
+/// Integers travel as JSON numbers (doubles); beyond 2^53 they are no
+/// longer exactly representable, so a value past that silently changes on
+/// the way through — reject it rather than corrupt the config (the casts
+/// below are also UB for out-of-range doubles).
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+std::uint64_t read_uint(const util::JsonValue& value, const std::string& key) {
+  const double number = read_double(value, key);
+  if (number < 0.0 || number != std::floor(number)) {
+    throw std::invalid_argument{"config_io: '" + key +
+                                "' must be a non-negative integer"};
+  }
+  if (number > kMaxExactInteger) {
+    throw std::invalid_argument{"config_io: '" + key +
+                                "' exceeds the exactly-representable "
+                                "integer range (2^53)"};
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+std::int64_t read_int(const util::JsonValue& value, const std::string& key) {
+  const double number = read_double(value, key);
+  if (number != std::floor(number)) {
+    throw std::invalid_argument{"config_io: '" + key +
+                                "' must be an integer"};
+  }
+  if (number > kMaxExactInteger || number < -kMaxExactInteger) {
+    throw std::invalid_argument{"config_io: '" + key +
+                                "' exceeds the exactly-representable "
+                                "integer range (2^53)"};
+  }
+  return static_cast<std::int64_t>(number);
+}
+
+/// Iterate an object's members, dispatching each through `apply(key,
+/// value)`; apply returns false for keys it does not know.
+template <typename Apply>
+void for_each_member(const util::JsonValue& object, const std::string& where,
+                     Apply&& apply) {
+  if (!object.is_object()) {
+    throw std::invalid_argument{"config_io: '" + where +
+                                "' must be an object"};
+  }
+  for (const auto& [key, value] : object.as_object()) {
+    if (!apply(key, value)) {
+      throw std::invalid_argument{"config_io: unknown key '" + where + "." +
+                                  key + "'"};
+    }
+  }
+}
+
+void read_aggregation(const util::JsonValue& object,
+                      fl::AggregationConfig& out) {
+  for_each_member(object, "aggregation",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "kind") {
+                      out.kind =
+                          parse_aggregation_token(read_string(value, key));
+                    } else if (key == "fedasync_alpha0") {
+                      out.fedasync_alpha0 = read_double(value, key);
+                    } else if (key == "fedasync_decay") {
+                      out.fedasync_decay = read_double(value, key);
+                    } else if (key == "delay_comp_lambda") {
+                      out.delay_comp_lambda = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_dataset(const util::JsonValue& object, data::SynthCifarConfig& out) {
+  for_each_member(
+      object, "dataset",
+      [&](const std::string& key, const util::JsonValue& value) {
+        if (key == "classes") {
+          out.classes = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "channels") {
+          out.channels = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "height") {
+          out.height = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "width") {
+          out.width = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "train_per_class") {
+          out.train_per_class = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "test_per_class") {
+          out.test_per_class = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "noise_stddev") {
+          out.noise_stddev = read_double(value, key);
+        } else if (key == "jitter_brightness") {
+          out.jitter_brightness = read_double(value, key);
+        } else if (key == "max_shift") {
+          out.max_shift = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "seed") {
+          out.seed = read_uint(value, key);
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+void read_battery(const util::JsonValue& object, device::BatteryConfig& out) {
+  for_each_member(object, "battery",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "capacity_mah") {
+                      out.capacity_mah = read_double(value, key);
+                    } else if (key == "voltage_v") {
+                      out.voltage_v = read_double(value, key);
+                    } else if (key == "initial_soc") {
+                      out.initial_soc = read_double(value, key);
+                    } else if (key == "recharge_at_soc") {
+                      out.recharge_at_soc = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_thermal(const util::JsonValue& object, device::ThermalConfig& out) {
+  for_each_member(object, "thermal",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "ambient_c") {
+                      out.ambient_c = read_double(value, key);
+                    } else if (key == "throttle_onset_c") {
+                      out.throttle_onset_c = read_double(value, key);
+                    } else if (key == "critical_c") {
+                      out.critical_c = read_double(value, key);
+                    } else if (key == "heating_c_per_joule") {
+                      out.heating_c_per_joule = read_double(value, key);
+                    } else if (key == "cooling_fraction_per_s") {
+                      out.cooling_fraction_per_s = read_double(value, key);
+                    } else if (key == "max_slowdown") {
+                      out.max_slowdown = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- tokens
+
+const char* scheduler_token(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kImmediate:
+      return "immediate";
+    case SchedulerKind::kSyncSgd:
+      return "sync";
+    case SchedulerKind::kOffline:
+      return "offline";
+    case SchedulerKind::kOnline:
+      return "online";
+  }
+  return "?";
+}
+
+const char* model_token(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kMlp:
+      return "mlp";
+    case ModelKind::kLenetSmall:
+      return "lenet-small";
+    case ModelKind::kLenet5:
+      return "lenet5";
+  }
+  return "?";
+}
+
+const char* device_token(
+    const std::optional<device::DeviceKind>& kind) noexcept {
+  if (!kind) return "mixed";
+  switch (*kind) {
+    case device::DeviceKind::kNexus6:
+      return "nexus6";
+    case device::DeviceKind::kNexus6P:
+      return "nexus6p";
+    case device::DeviceKind::kHikey970:
+      return "hikey970";
+    case device::DeviceKind::kPixel2:
+      return "pixel2";
+  }
+  return "?";
+}
+
+SchedulerKind parse_scheduler_token(const std::string& name) {
+  const std::string token = lowered(name);
+  if (token == "immediate") return SchedulerKind::kImmediate;
+  if (token == "sync" || token == "sync-sgd" || token == "syncsgd") {
+    return SchedulerKind::kSyncSgd;
+  }
+  if (token == "offline") return SchedulerKind::kOffline;
+  if (token == "online") return SchedulerKind::kOnline;
+  throw std::invalid_argument{"unknown scheduler '" + name + "'"};
+}
+
+ModelKind parse_model_token(const std::string& name) {
+  const std::string token = lowered(name);
+  if (token == "mlp") return ModelKind::kMlp;
+  if (token == "lenet-small") return ModelKind::kLenetSmall;
+  if (token == "lenet5") return ModelKind::kLenet5;
+  throw std::invalid_argument{"unknown model '" + name + "'"};
+}
+
+fl::AggregationKind parse_aggregation_token(const std::string& name) {
+  const std::string token = lowered(name);
+  if (token == "replace") return fl::AggregationKind::kReplace;
+  if (token == "fedasync") return fl::AggregationKind::kFedAsync;
+  if (token == "delay-comp") return fl::AggregationKind::kDelayComp;
+  throw std::invalid_argument{"unknown aggregation '" + name + "'"};
+}
+
+std::optional<device::DeviceKind> parse_device_token(const std::string& name) {
+  const std::string token = lowered(name);
+  if (token.empty() || token == "mixed") return std::nullopt;
+  if (token == "nexus6") return device::DeviceKind::kNexus6;
+  if (token == "nexus6p") return device::DeviceKind::kNexus6P;
+  if (token == "hikey970") return device::DeviceKind::kHikey970;
+  if (token == "pixel2") return device::DeviceKind::kPixel2;
+  throw std::invalid_argument{"unknown device '" + name + "'"};
+}
+
+// ------------------------------------------------------------- writing
+
+void write_config_members(util::JsonWriter& json,
+                          const ExperimentConfig& config) {
+  // Display name ("Online", "Sync-SGD", ...); parse_scheduler_token accepts
+  // it as well as the CLI tokens.
+  json.member("scheduler", scheduler_name(config.scheduler));
+  json.member("num_users", static_cast<std::uint64_t>(config.num_users));
+  json.member("horizon_slots",
+              static_cast<std::int64_t>(config.horizon_slots));
+  json.member("slot_seconds", config.slot_seconds);
+  json.member("seed", config.seed);
+  json.member("arrival_probability", config.arrival_probability);
+  json.member("diurnal", config.diurnal);
+  json.member("diurnal_swing", config.diurnal_swing);
+  json.member("arrival_trace_path", config.arrival_trace_path);
+  json.member("fixed_device", device_token(config.fixed_device));
+  json.member("V", config.V);
+  json.member("lb", config.lb);
+  json.member("epsilon", config.epsilon);
+  json.member("offline_window_slots",
+              static_cast<std::int64_t>(config.offline_window_slots));
+  json.member("offline_lb", config.offline_lb);
+  json.member("eta", config.eta);
+  json.member("beta", config.beta);
+  json.member("real_training", config.real_training);
+  json.member("model", model_token(config.model));
+  json.key("aggregation").begin_object();
+  json.member("kind",
+              std::string{fl::aggregation_name(config.aggregation.kind)});
+  json.member("fedasync_alpha0", config.aggregation.fedasync_alpha0);
+  json.member("fedasync_decay", config.aggregation.fedasync_decay);
+  json.member("delay_comp_lambda", config.aggregation.delay_comp_lambda);
+  json.end_object();
+  json.member("dirichlet_alpha", config.dirichlet_alpha);
+  json.member("gap_aware_lr", config.gap_aware_lr);
+  json.member("weight_prediction", config.weight_prediction);
+  json.member("batch_size", static_cast<std::uint64_t>(config.batch_size));
+  json.key("dataset").begin_object();
+  json.member("classes", static_cast<std::uint64_t>(config.dataset.classes));
+  json.member("channels", static_cast<std::uint64_t>(config.dataset.channels));
+  json.member("height", static_cast<std::uint64_t>(config.dataset.height));
+  json.member("width", static_cast<std::uint64_t>(config.dataset.width));
+  json.member("train_per_class",
+              static_cast<std::uint64_t>(config.dataset.train_per_class));
+  json.member("test_per_class",
+              static_cast<std::uint64_t>(config.dataset.test_per_class));
+  json.member("noise_stddev", config.dataset.noise_stddev);
+  json.member("jitter_brightness", config.dataset.jitter_brightness);
+  json.member("max_shift", static_cast<std::uint64_t>(config.dataset.max_shift));
+  json.member("seed", config.dataset.seed);
+  json.end_object();
+  json.member("eval_interval_s", config.eval_interval_s);
+  json.member("model_bytes", static_cast<std::uint64_t>(config.model_bytes));
+  json.member("use_lte", config.use_lte);
+  json.member("decision_eval_seconds", config.decision_eval_seconds);
+  json.member("decision_interval_slots",
+              static_cast<std::int64_t>(config.decision_interval_slots));
+  json.member("upload_drop_probability", config.upload_drop_probability);
+  json.member("track_battery", config.track_battery);
+  json.key("battery").begin_object();
+  json.member("capacity_mah", config.battery.capacity_mah);
+  json.member("voltage_v", config.battery.voltage_v);
+  json.member("initial_soc", config.battery.initial_soc);
+  json.member("recharge_at_soc", config.battery.recharge_at_soc);
+  json.end_object();
+  json.member("min_soc_to_train", config.min_soc_to_train);
+  json.member("enable_thermal", config.enable_thermal);
+  json.key("thermal").begin_object();
+  json.member("ambient_c", config.thermal.ambient_c);
+  json.member("throttle_onset_c", config.thermal.throttle_onset_c);
+  json.member("critical_c", config.thermal.critical_c);
+  json.member("heating_c_per_joule", config.thermal.heating_c_per_joule);
+  json.member("cooling_fraction_per_s", config.thermal.cooling_fraction_per_s);
+  json.member("max_slowdown", config.thermal.max_slowdown);
+  json.end_object();
+  json.member("record_interval",
+              static_cast<std::int64_t>(config.record_interval));
+  json.member("record_per_user_gaps", config.record_per_user_gaps);
+}
+
+std::string config_to_json(const ExperimentConfig& config) {
+  util::JsonWriter json;
+  json.begin_object();
+  write_config_members(json, config);
+  json.end_object();
+  return json.str();
+}
+
+// ------------------------------------------------------------- reading
+
+ExperimentConfig config_from_json(const std::string& text) {
+  const util::JsonValue document = util::parse_json(text);
+  const util::JsonValue* root = &document;
+  // Accept a full result document: descend into its "config" section.
+  if (const util::JsonValue* nested = document.find("config")) {
+    root = nested;
+  }
+  ExperimentConfig config;
+  for_each_member(
+      *root, "config",
+      [&](const std::string& key, const util::JsonValue& value) {
+        if (key == "scheduler") {
+          config.scheduler = parse_scheduler_token(read_string(value, key));
+        } else if (key == "num_users") {
+          config.num_users = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "horizon_slots") {
+          config.horizon_slots = read_int(value, key);
+        } else if (key == "slot_seconds") {
+          config.slot_seconds = read_double(value, key);
+        } else if (key == "seed") {
+          config.seed = read_uint(value, key);
+        } else if (key == "arrival_probability") {
+          config.arrival_probability = read_double(value, key);
+        } else if (key == "diurnal") {
+          config.diurnal = read_bool(value, key);
+        } else if (key == "diurnal_swing") {
+          config.diurnal_swing = read_double(value, key);
+        } else if (key == "arrival_trace_path") {
+          config.arrival_trace_path = read_string(value, key);
+        } else if (key == "fixed_device") {
+          config.fixed_device = parse_device_token(read_string(value, key));
+        } else if (key == "V") {
+          config.V = read_double(value, key);
+        } else if (key == "lb" || key == "Lb") {
+          config.lb = read_double(value, key);
+        } else if (key == "epsilon") {
+          config.epsilon = read_double(value, key);
+        } else if (key == "offline_window_slots") {
+          config.offline_window_slots = read_int(value, key);
+        } else if (key == "offline_lb") {
+          config.offline_lb = read_double(value, key);
+        } else if (key == "eta") {
+          config.eta = read_double(value, key);
+        } else if (key == "beta") {
+          config.beta = read_double(value, key);
+        } else if (key == "real_training") {
+          config.real_training = read_bool(value, key);
+        } else if (key == "model") {
+          config.model = parse_model_token(read_string(value, key));
+        } else if (key == "aggregation") {
+          // Back-compat: old result documents wrote the kind as a string.
+          if (value.is_string()) {
+            config.aggregation.kind =
+                parse_aggregation_token(value.as_string());
+          } else {
+            read_aggregation(value, config.aggregation);
+          }
+        } else if (key == "dirichlet_alpha") {
+          config.dirichlet_alpha = read_double(value, key);
+        } else if (key == "gap_aware_lr") {
+          config.gap_aware_lr = read_bool(value, key);
+        } else if (key == "weight_prediction") {
+          config.weight_prediction = read_bool(value, key);
+        } else if (key == "batch_size") {
+          config.batch_size = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "dataset") {
+          read_dataset(value, config.dataset);
+        } else if (key == "eval_interval_s") {
+          config.eval_interval_s = read_double(value, key);
+        } else if (key == "model_bytes") {
+          config.model_bytes = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "use_lte") {
+          config.use_lte = read_bool(value, key);
+        } else if (key == "decision_eval_seconds") {
+          config.decision_eval_seconds = read_double(value, key);
+        } else if (key == "decision_interval_slots") {
+          config.decision_interval_slots = read_int(value, key);
+        } else if (key == "upload_drop_probability") {
+          config.upload_drop_probability = read_double(value, key);
+        } else if (key == "track_battery") {
+          config.track_battery = read_bool(value, key);
+        } else if (key == "battery") {
+          read_battery(value, config.battery);
+        } else if (key == "min_soc_to_train") {
+          config.min_soc_to_train = read_double(value, key);
+        } else if (key == "enable_thermal") {
+          config.enable_thermal = read_bool(value, key);
+        } else if (key == "thermal") {
+          read_thermal(value, config.thermal);
+        } else if (key == "record_interval") {
+          config.record_interval = read_int(value, key);
+        } else if (key == "record_per_user_gaps") {
+          config.record_per_user_gaps = read_bool(value, key);
+        } else {
+          return false;
+        }
+        return true;
+      });
+  return config;
+}
+
+ExperimentConfig load_config_json(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"load_config_json: cannot open " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return config_from_json(buffer.str());
+}
+
+void save_config_json(const std::string& path,
+                      const ExperimentConfig& config) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error{"save_config_json: cannot open " + path};
+  out << config_to_json(config) << '\n';
+}
+
+}  // namespace fedco::core

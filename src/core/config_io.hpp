@@ -1,0 +1,56 @@
+// ExperimentConfig <-> JSON round-trip.
+//
+// Scenario files let one saved JSON document reproduce an experiment
+// exactly: `fedco_sim --config scenario.json` loads a config, and a config
+// saved by save_config_json reloads to an operator== equal config (doubles
+// are written in shortest-round-trip form), hence the same seeded result.
+// result_io embeds the same full config object in every result document,
+// so a dumped result can be fed straight back to --config.
+//
+// Loading is strict about keys (an unknown key throws — it is almost
+// always a typo) but lenient about omissions: absent keys keep their
+// ExperimentConfig defaults, so scenario files only state what they change.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/json.hpp"
+
+namespace fedco::core {
+
+// Enum <-> token vocabularies, shared with the CLI flag parsers.
+[[nodiscard]] const char* scheduler_token(SchedulerKind kind) noexcept;
+[[nodiscard]] const char* model_token(ModelKind kind) noexcept;
+[[nodiscard]] const char* device_token(
+    const std::optional<device::DeviceKind>& kind) noexcept;
+
+/// Parse tokens; throw std::invalid_argument on unknown names. The
+/// scheduler parser accepts both the CLI tokens ("online", "sync") and the
+/// display names result documents print ("Online", "Sync-SGD").
+[[nodiscard]] SchedulerKind parse_scheduler_token(const std::string& name);
+[[nodiscard]] ModelKind parse_model_token(const std::string& name);
+[[nodiscard]] fl::AggregationKind parse_aggregation_token(
+    const std::string& name);
+/// "mixed" (or empty) means the per-user random fleet -> nullopt.
+[[nodiscard]] std::optional<device::DeviceKind> parse_device_token(
+    const std::string& name);
+
+/// Append the full config as members of the currently-open JSON object
+/// (used by config_to_json and by result_io's "config" section).
+void write_config_members(util::JsonWriter& json,
+                          const ExperimentConfig& config);
+
+[[nodiscard]] std::string config_to_json(const ExperimentConfig& config);
+
+/// Parse a config from a JSON document: either a bare config object or any
+/// document with a "config" member (e.g. a result_io dump). Unknown keys
+/// throw std::invalid_argument.
+[[nodiscard]] ExperimentConfig config_from_json(const std::string& text);
+
+/// File variants; throw std::runtime_error on I/O failure.
+[[nodiscard]] ExperimentConfig load_config_json(const std::string& path);
+void save_config_json(const std::string& path, const ExperimentConfig& config);
+
+}  // namespace fedco::core

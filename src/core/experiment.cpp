@@ -7,8 +7,7 @@
 
 #include "apps/arrival.hpp"
 #include "apps/session.hpp"
-#include "core/offline_planner.hpp"
-#include "core/online_scheduler.hpp"
+#include "core/scheduler.hpp"
 #include "data/partition.hpp"
 #include "device/power_model.hpp"
 #include "fl/client.hpp"
@@ -64,8 +63,6 @@ struct UserState {
   util::Rng rng{0};
   std::vector<apps::ScriptedArrivals::Event> script;  ///< oracle view
   std::size_t script_cursor = 0;
-  OfflineAction plan = OfflineAction::kScheduleNow;
-  sim::Slot plan_start = 0;
 };
 
 nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
@@ -83,21 +80,31 @@ nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
   throw std::invalid_argument{"make_model: unknown kind"};
 }
 
-class Driver {
+/// Scheme-agnostic slot-loop driver. All scheduling-policy logic lives
+/// behind the core::Scheduler strategy (src/core/schedulers/); the driver
+/// advances devices, app sessions, energy meters, the gap dynamics, and the
+/// parameter server, and implements the SchedulerContext view strategies
+/// consume.
+class Driver final : public SchedulerContext {
  public:
   explicit Driver(const ExperimentConfig& cfg)
       : cfg_(cfg),
         clock_(cfg.slot_seconds),
         master_rng_(cfg.seed),
-        online_({cfg.V, cfg.lb, cfg.epsilon, cfg.slot_seconds, cfg.eta, cfg.beta}),
         link_(cfg.use_lte ? net::lte_link() : net::wifi_link()) {
     if (cfg.num_users == 0) throw std::invalid_argument{"run_experiment: 0 users"};
     if (cfg.horizon_slots <= 0) {
       throw std::invalid_argument{"run_experiment: empty horizon"};
     }
+    if (cfg.record_interval <= 0) {
+      throw std::invalid_argument{
+          "run_experiment: record_interval must be positive"};
+    }
     model_bytes_ = cfg.model_bytes;
+    scheduler_ = make_scheduler(cfg_);
     setup_training();
     setup_users();
+    scheduler_->on_experiment_begin(*this);
   }
 
   ExperimentResult run() {
@@ -106,6 +113,80 @@ class Driver {
       clock_.advance();
     }
     return finalize();
+  }
+
+  // ------------------------------------------------- SchedulerContext
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept override {
+    return cfg_;
+  }
+
+  [[nodiscard]] std::size_t num_users() const noexcept override {
+    return users_.size();
+  }
+
+  [[nodiscard]] bool user_ready(std::size_t user) const override {
+    return users_[user].phase == Phase::kReady;
+  }
+
+  [[nodiscard]] bool user_at_barrier(std::size_t user) const override {
+    return users_[user].phase == Phase::kBarrier;
+  }
+
+  [[nodiscard]] const device::DeviceProfile& user_device(
+      std::size_t user) const override {
+    return *users_[user].dev;
+  }
+
+  [[nodiscard]] std::optional<device::AppKind> user_app(
+      std::size_t user) const override {
+    return users_[user].session->current_app();
+  }
+
+  [[nodiscard]] double user_gap(std::size_t user) const override {
+    return users_[user].gap.gap();
+  }
+
+  [[nodiscard]] double momentum_norm() const override {
+    return cfg_.real_training ? server_->momentum_norm()
+                              : momentum_model_.momentum_norm();
+  }
+
+  [[nodiscard]] double expected_lag(std::size_t user,
+                                    device::AppStatus status,
+                                    device::AppKind app,
+                                    sim::Slot t) const override {
+    return expected_lag(users_[user], status, app, t);
+  }
+
+  [[nodiscard]] std::optional<apps::ScriptedArrivals::Event>
+  next_arrival_between(std::size_t user, sim::Slot from,
+                       sim::Slot until) override {
+    UserState& u = users_[user];
+    while (u.script_cursor < u.script.size() &&
+           u.script[u.script_cursor].at < from) {
+      ++u.script_cursor;
+    }
+    if (u.script_cursor < u.script.size() &&
+        u.script[u.script_cursor].at < until) {
+      return u.script[u.script_cursor];
+    }
+    return std::nullopt;
+  }
+
+  void aggregate_round(sim::Slot t) override {
+    const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
+    if (cfg_.real_training) {
+      const fl::UpdateReceipt receipt = server_->aggregate_sync();
+      record_update(users_.size(), now_s, receipt.lag, receipt.gradient_gap);
+    } else {
+      ++synthetic_version_;
+      momentum_model_.on_global_update();
+      record_update(users_.size(), now_s, 0,
+                    fl::gradient_gap(cfg_.eta, cfg_.beta, 1.0,
+                                     momentum_model_.momentum_norm()));
+    }
+    for (UserState& u : users_) begin_transfer(u, t);
   }
 
  private:
@@ -155,10 +236,6 @@ class Driver {
             static_cast<std::uint32_t>(i), dataset_.train.subset(shard),
             *prototype_, sgd, u.rng());
       }
-      // Offline: users start deferred until the first window plan runs.
-      u.plan = cfg_.scheduler == SchedulerKind::kOffline
-                   ? OfflineAction::kDefer
-                   : OfflineAction::kScheduleNow;
     }
     pending_arrivals_ = static_cast<double>(cfg_.num_users);  // A(0) = n
   }
@@ -199,28 +276,21 @@ class Driver {
       }
       if (u.phase == Phase::kTransferring && t >= u.phase_end) {
         u.phase = Phase::kReady;
-        on_ready(u);
+        scheduler_->on_user_ready(i, t, *this);
         arrivals += 1.0;
       }
     }
 
-    // Sync barrier: aggregate once every user has submitted.
-    if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
-      maybe_aggregate_round(t);
-    }
-
-    // 3. Offline window (re)planning.
-    if (cfg_.scheduler == SchedulerKind::kOffline &&
-        t % cfg_.offline_window_slots == 0) {
-      replan_offline(t);
-    }
+    // 3. Strategy slot hook: the sync barrier aggregates here, the offline
+    //    oracle replans its window here.
+    scheduler_->on_slot_begin(t, *this);
 
     // 4. Scheduling decisions for ready users.
     double served = 0.0;
     for (std::size_t i = 0; i < users_.size(); ++i) {
       UserState& u = users_[i];
       if (u.phase != Phase::kReady) continue;
-      if (decide(u, t)) {
+      if (decide(i, u, t)) {
         start_training(u, t);
         served += 1.0;
       }
@@ -236,7 +306,7 @@ class Driver {
           app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
       u.meter.accrue(*u.dev, decision, status, app.value_or(u.train_app),
                      cfg_.slot_seconds);
-      if (cfg_.scheduler == SchedulerKind::kOnline &&
+      if (scheduler_->charges_decision_overhead() &&
           cfg_.decision_eval_seconds > 0.0 && u.phase == Phase::kReady) {
         u.meter.accrue_decision_overhead(*u.dev, cfg_.decision_eval_seconds);
       }
@@ -260,17 +330,15 @@ class Driver {
       if (u.phase != Phase::kTraining) u.gap.accrue_idle();
       sum_gaps += u.gap.gap();
     }
-    if (cfg_.scheduler == SchedulerKind::kOnline) {
-      online_.update_queues(arrivals, served, sum_gaps);
-    }
-    queue_q_stats_.add(online_.queues().q());
-    queue_h_stats_.add(online_.queues().h());
+    scheduler_->on_slot_end(arrivals, served, sum_gaps);
+    queue_q_stats_.add(scheduler_->queue_q());
+    queue_h_stats_.add(scheduler_->queue_h());
 
     // 7. Traces.
     if (t % cfg_.record_interval == 0) {
       const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
-      result_.traces.record("Q", now_s, online_.queues().q());
-      result_.traces.record("H", now_s, online_.queues().h());
+      result_.traces.record("Q", now_s, scheduler_->queue_q());
+      result_.traces.record("H", now_s, scheduler_->queue_h());
       result_.traces.record("G", now_s, sum_gaps);
       if (cfg_.record_per_user_gaps) {
         for (std::size_t i = 0; i < users_.size(); ++i) {
@@ -292,48 +360,15 @@ class Driver {
 
   // ------------------------------------------------------------- decisions
 
-  bool decide(UserState& u, sim::Slot t) {
+  bool decide(std::size_t index, UserState& u, sim::Slot t) {
     // JobScheduler battery condition (Sec. VI): no training below the
-    // configured state of charge.
+    // configured state of charge. Scheme-agnostic, so gated in the driver
+    // before the strategy is consulted.
     if (cfg_.track_battery && u.battery.soc() < cfg_.min_soc_to_train) {
       ++result_.battery_gated_slots;
       return false;
     }
-    switch (cfg_.scheduler) {
-      case SchedulerKind::kImmediate:
-      case SchedulerKind::kSyncSgd:
-        return true;  // schedule as soon as ready (sync rounds align on the
-                      // barrier because all users become ready together)
-      case SchedulerKind::kOffline:
-        switch (u.plan) {
-          case OfflineAction::kScheduleNow:
-            return t >= u.plan_start;
-          case OfflineAction::kWaitForApp:
-            return t >= u.plan_start;
-          case OfflineAction::kDefer:
-            return false;
-        }
-        return false;
-      case SchedulerKind::kOnline: {
-        // Coarsened scheduling granularity (Sec. VII "Energy Overhead"):
-        // between evaluation slots the device stays idle.
-        if (cfg_.decision_interval_slots > 1 &&
-            t % cfg_.decision_interval_slots != 0) {
-          return false;
-        }
-        OnlineDecisionInput input;
-        const auto app = u.session->current_app();
-        input.app_status =
-            app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
-        input.app = app.value_or(device::AppKind::kMap);
-        input.current_gap = u.gap.gap();
-        input.momentum_norm = momentum_norm();
-        input.expected_lag = expected_lag(u, input.app_status, input.app, t);
-        return online_.decide(*u.dev, input).decision ==
-               device::Decision::kSchedule;
-      }
-    }
-    return false;
+    return scheduler_->decide(index, t, *this) == device::Decision::kSchedule;
   }
 
   /// Server-side lag estimate l_{d_i}: how many currently-training users
@@ -352,56 +387,7 @@ class Driver {
     return lag;
   }
 
-  [[nodiscard]] double momentum_norm() const {
-    return cfg_.real_training ? server_->momentum_norm()
-                              : momentum_model_.momentum_norm();
-  }
-
-  void replan_offline(sim::Slot t) {
-    std::vector<std::size_t> ready;
-    std::vector<OfflineUserInput> inputs;
-    for (std::size_t i = 0; i < users_.size(); ++i) {
-      UserState& u = users_[i];
-      if (u.phase != Phase::kReady) continue;
-      ready.push_back(i);
-      OfflineUserInput in;
-      in.dev = u.dev;
-      in.current_gap = u.gap.gap();
-      in.momentum_norm = momentum_norm();
-      // Oracle: first scripted arrival in [t, t + window).
-      while (u.script_cursor < u.script.size() &&
-             u.script[u.script_cursor].at < t) {
-        ++u.script_cursor;
-      }
-      if (u.script_cursor < u.script.size() &&
-          u.script[u.script_cursor].at < t + cfg_.offline_window_slots) {
-        in.next_arrival = u.script[u.script_cursor].at;
-        in.arrival_app = u.script[u.script_cursor].app;
-      }
-      inputs.push_back(in);
-    }
-    OfflinePlannerConfig pc;
-    pc.lb = cfg_.offline_lb;
-    pc.window_slots = cfg_.offline_window_slots;
-    pc.epsilon = cfg_.epsilon;
-    pc.eta = cfg_.eta;
-    pc.beta = cfg_.beta;
-    pc.slot_seconds = cfg_.slot_seconds;
-    const OfflineWindowPlan plan = plan_window(t, inputs, pc);
-    for (std::size_t k = 0; k < ready.size(); ++k) {
-      users_[ready[k]].plan = plan.plans[k].action;
-      users_[ready[k]].plan_start = plan.plans[k].start_slot;
-    }
-  }
-
   // ------------------------------------------------------------- lifecycle
-
-  void on_ready(UserState& u) {
-    // Freshly ready users in offline mode wait for the next window plan.
-    if (cfg_.scheduler == SchedulerKind::kOffline) {
-      u.plan = OfflineAction::kDefer;
-    }
-  }
 
   void start_training(UserState& u, sim::Slot t) {
     const auto app = u.session->current_app();
@@ -467,10 +453,10 @@ class Driver {
     const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
     // Failure injection: the upload is lost (killed background process or
     // exhausted transfer retries). Energy was spent; no update lands. The
-    // accumulated gap persists — the user is now genuinely stale. Sync mode
-    // is exempt: a lost sync upload would deadlock the barrier, which the
-    // paper's server avoids by re-requesting, so we model sync as reliable.
-    if (cfg_.scheduler != SchedulerKind::kSyncSgd &&
+    // accumulated gap persists — the user is now genuinely stale. Barrier
+    // schemes are exempt: their server re-requests lost uploads (see
+    // Scheduler::reliable_uploads), so they are modelled as reliable.
+    if (!scheduler_->reliable_uploads() &&
         cfg_.upload_drop_probability > 0.0 &&
         u.rng.bernoulli(cfg_.upload_drop_probability)) {
       ++result_.dropped_updates;
@@ -481,9 +467,10 @@ class Driver {
       const fl::LocalEpochResult epoch =
           u.client->train_local_epoch(cfg_.batch_size);
       (void)epoch;
-      if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
+      if (scheduler_->uses_round_barrier()) {
         server_->stage_sync(u.client->upload());
         u.gap.on_update_applied();
+        scheduler_->on_update_applied(index, t);
         u.phase = Phase::kBarrier;
         return;  // lag/gap settle at the aggregation barrier
       }
@@ -493,9 +480,9 @@ class Driver {
       if (cfg_.gap_aware_lr) u.last_upload = std::move(uploaded);
       record_update(index, now_s, receipt.lag, receipt.gradient_gap);
     } else {
-      if (cfg_.scheduler == SchedulerKind::kSyncSgd) {
-        ++sync_staged_;
+      if (scheduler_->uses_round_barrier()) {
         u.gap.on_update_applied();
+        scheduler_->on_update_applied(index, t);
         u.phase = Phase::kBarrier;
         return;
       }
@@ -508,6 +495,7 @@ class Driver {
       record_update(index, now_s, lag, gap);
     }
     u.gap.on_update_applied();
+    scheduler_->on_update_applied(index, t);
     begin_transfer(u, t);
   }
 
@@ -528,28 +516,6 @@ class Driver {
     const double seconds = up.duration_s + down.duration_s;
     u.phase = Phase::kTransferring;
     u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(seconds), 1);
-  }
-
-  void maybe_aggregate_round(sim::Slot t) {
-    const std::size_t barrier_count = static_cast<std::size_t>(
-        std::count_if(users_.begin(), users_.end(), [](const UserState& u) {
-          return u.phase == Phase::kBarrier;
-        }));
-    if (barrier_count < users_.size()) return;  // stragglers still running
-
-    const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
-    if (cfg_.real_training) {
-      const fl::UpdateReceipt receipt = server_->aggregate_sync();
-      record_update(users_.size(), now_s, receipt.lag, receipt.gradient_gap);
-    } else {
-      sync_staged_ = 0;
-      ++synthetic_version_;
-      momentum_model_.on_global_update();
-      record_update(users_.size(), now_s, 0,
-                    fl::gradient_gap(cfg_.eta, cfg_.beta, 1.0,
-                                     momentum_model_.momentum_norm()));
-    }
-    for (UserState& u : users_) begin_transfer(u, t);
   }
 
   void evaluate(double now_s) {
@@ -579,8 +545,8 @@ class Driver {
     result_.total_energy_j += result_.network_j;
     result_.avg_queue_q = queue_q_stats_.mean();
     result_.avg_queue_h = queue_h_stats_.mean();
-    result_.final_queue_q = online_.queues().q();
-    result_.final_queue_h = online_.queues().h();
+    result_.final_queue_q = scheduler_->queue_q();
+    result_.final_queue_h = scheduler_->queue_h();
     if (result_.total_updates > 0) {
       result_.avg_lag = lag_sum_ / static_cast<double>(result_.total_updates);
       result_.avg_gap = gap_sum_ / static_cast<double>(result_.total_updates);
@@ -594,7 +560,7 @@ class Driver {
   ExperimentConfig cfg_;
   sim::Clock clock_;
   util::Rng master_rng_;
-  OnlineScheduler online_;
+  std::unique_ptr<Scheduler> scheduler_;
   net::Link link_;
   fl::SyntheticMomentumModel momentum_model_;
 
@@ -607,7 +573,6 @@ class Driver {
   std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
   double pending_arrivals_ = 0.0;
   std::uint64_t synthetic_version_ = 0;
-  std::size_t sync_staged_ = 0;
   double next_eval_s_ = 0.0;
   double lag_sum_ = 0.0;
   double gap_sum_ = 0.0;

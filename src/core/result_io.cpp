@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/config_io.hpp"
 #include "util/json.hpp"
 
 namespace fedco::core {
@@ -13,25 +14,10 @@ std::string result_to_json(const ExperimentConfig& config,
   util::JsonWriter json;
   json.begin_object();
 
+  // The full reproducible config (config_io schema): feeding this document
+  // back to `fedco_sim --config` re-runs the exact experiment.
   json.key("config").begin_object();
-  json.member("scheduler", scheduler_name(config.scheduler));
-  json.member("num_users", static_cast<std::uint64_t>(config.num_users));
-  json.member("horizon_slots", static_cast<std::int64_t>(config.horizon_slots));
-  json.member("slot_seconds", config.slot_seconds);
-  json.member("arrival_probability", config.arrival_probability);
-  json.member("diurnal", config.diurnal);
-  json.member("V", config.V);
-  json.member("Lb", config.lb);
-  json.member("epsilon", config.epsilon);
-  json.member("eta", config.eta);
-  json.member("beta", config.beta);
-  json.member("seed", static_cast<std::uint64_t>(config.seed));
-  json.member("real_training", config.real_training);
-  json.member("aggregation",
-              std::string{fl::aggregation_name(config.aggregation.kind)});
-  json.member("dirichlet_alpha", config.dirichlet_alpha);
-  json.member("enable_thermal", config.enable_thermal);
-  json.member("track_battery", config.track_battery);
+  write_config_members(json, config);
   json.end_object();
 
   json.key("energy_j").begin_object();

@@ -1,0 +1,162 @@
+// The pluggable scheduling-strategy interface.
+//
+// The experiment driver (core/experiment.cpp) advances a scheme-agnostic
+// slot loop — devices, app arrivals, queues, energy meters, and the
+// parameter server — and delegates every scheme-specific decision to a
+// `Scheduler` implementation living in src/core/schedulers/. The four
+// schemes the paper compares (Sec. VII-B) each implement this interface:
+//
+//   immediate  — train as soon as ready (energy upper bound)
+//   sync_sgd   — FedAvg round barrier [2]
+//   offline    — windowed knapsack oracle (Sec. IV, Algorithm 1)
+//   online     — Lyapunov drift-plus-penalty (Sec. V, Algorithm 2)
+//
+// Contract (the §6 determinism contract extends to strategies):
+//  * A strategy must be deterministic in the experiment config — it may
+//    keep arbitrary scheme-owned state but must not consume driver RNG
+//    streams or depend on wall-clock/thread identity.
+//  * Hooks are invoked in a fixed per-slot order: completions (including
+//    `on_user_ready` for users finishing their transfer) -> `on_slot_begin`
+//    -> one `decide` per ready user in user-index order -> energy/gap
+//    accounting -> `on_slot_end`.
+//  * `queue_q`/`queue_h` are sampled once per slot after `on_slot_end` and
+//    must be cheap; schemes without Lyapunov queues report 0.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "apps/arrival.hpp"
+#include "core/experiment.hpp"
+#include "device/power_model.hpp"
+#include "device/profiles.hpp"
+#include "sim/clock.hpp"
+
+namespace fedco::core {
+
+/// The driver-side view a strategy sees. Implemented by the experiment
+/// driver; exposes read access to per-user simulation state plus the two
+/// services a scheme may request (the sync aggregation round and the
+/// offline oracle's arrival look-ahead).
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  [[nodiscard]] virtual const ExperimentConfig& config() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_users() const noexcept = 0;
+
+  /// Is the user idle and eligible for a scheduling decision this slot?
+  [[nodiscard]] virtual bool user_ready(std::size_t user) const = 0;
+  /// Is the user parked at the synchronous round barrier?
+  [[nodiscard]] virtual bool user_at_barrier(std::size_t user) const = 0;
+  [[nodiscard]] virtual const device::DeviceProfile& user_device(
+      std::size_t user) const = 0;
+  /// Foreground app currently on screen, if any.
+  [[nodiscard]] virtual std::optional<device::AppKind> user_app(
+      std::size_t user) const = 0;
+  /// Accumulated gradient gap g_i (Eq. 12) of the user.
+  [[nodiscard]] virtual double user_gap(std::size_t user) const = 0;
+  /// Server-side momentum norm ||v_t|| (real or synthetic model).
+  [[nodiscard]] virtual double momentum_norm() const = 0;
+  /// Server lag estimate l_{d_i} (Algorithm 2, line 4): currently-training
+  /// users that will apply an update while `user` would be training.
+  [[nodiscard]] virtual double expected_lag(std::size_t user,
+                                            device::AppStatus status,
+                                            device::AppKind app,
+                                            sim::Slot t) const = 0;
+
+  /// Offline-oracle service: the user's first scripted app arrival in
+  /// [from, until), advancing the oracle cursor past stale entries.
+  [[nodiscard]] virtual std::optional<apps::ScriptedArrivals::Event>
+  next_arrival_between(std::size_t user, sim::Slot from, sim::Slot until) = 0;
+
+  /// Sync-SGD service: aggregate the staged round now and send every user
+  /// into the model transfer phase. Only meaningful when all users are at
+  /// the barrier.
+  virtual void aggregate_round(sim::Slot t) = 0;
+};
+
+/// One scheduling strategy. Strategies own their scheme state (window
+/// plans, Lyapunov queues, ...) and are constructed per experiment run via
+/// make_scheduler(); see the file comment for the hook ordering contract.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual SchedulerKind kind() const noexcept = 0;
+  [[nodiscard]] const char* name() const noexcept {
+    return scheduler_name(kind());
+  }
+
+  /// Called once, after the driver created all users, before slot 0.
+  virtual void on_experiment_begin(SchedulerContext& ctx) { (void)ctx; }
+
+  /// Called every slot after completions were processed and before any
+  /// decide() call: the place for barrier aggregation and window replans.
+  virtual void on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
+    (void)t;
+    (void)ctx;
+  }
+
+  /// Called when `user` finishes its model transfer and becomes ready.
+  virtual void on_user_ready(std::size_t user, sim::Slot t,
+                             SchedulerContext& ctx) {
+    (void)user;
+    (void)t;
+    (void)ctx;
+  }
+
+  /// The per-user scheduling decision for a ready user (the driver applies
+  /// scheme-agnostic gating — e.g. the battery SoC condition — first).
+  [[nodiscard]] virtual device::Decision decide(std::size_t user, sim::Slot t,
+                                                SchedulerContext& ctx) = 0;
+
+  /// Called when an update from `user` was applied to the global model
+  /// (for the barrier scheme: when the user's upload was staged).
+  virtual void on_update_applied(std::size_t user, sim::Slot t) {
+    (void)user;
+    (void)t;
+  }
+
+  /// End-of-slot bookkeeping: A(t) users became ready, b(t) were scheduled,
+  /// G(t) is the summed per-user gap (the Eq. 15/16 inputs).
+  virtual void on_slot_end(double arrivals, double served, double sum_gaps) {
+    (void)arrivals;
+    (void)served;
+    (void)sum_gaps;
+  }
+
+  // ------------------------------------------------------ policy traits
+
+  /// Do completed sessions park at a round barrier (FedAvg) instead of
+  /// submitting asynchronously?
+  [[nodiscard]] virtual bool uses_round_barrier() const noexcept {
+    return false;
+  }
+
+  /// Are uploads exempt from failure injection? (The sync server re-requests
+  /// lost uploads rather than deadlocking its barrier.)
+  [[nodiscard]] virtual bool reliable_uploads() const noexcept {
+    return false;
+  }
+
+  /// Is per-slot decision-evaluation energy charged to ready users
+  /// (Table III overhead accounting)?
+  [[nodiscard]] virtual bool charges_decision_overhead() const noexcept {
+    return false;
+  }
+
+  // ------------------------------------------------------ observables
+
+  /// Actual queue backlog Q(t); 0 for schemes without Lyapunov queues.
+  [[nodiscard]] virtual double queue_q() const noexcept { return 0.0; }
+  /// Virtual staleness queue H(t); 0 for schemes without Lyapunov queues.
+  [[nodiscard]] virtual double queue_h() const noexcept { return 0.0; }
+};
+
+/// Instantiate the strategy for config.scheduler.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const ExperimentConfig& config);
+
+}  // namespace fedco::core

@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "core/scheduler.hpp"
+#include "core/schedulers/immediate.hpp"
+#include "core/schedulers/offline.hpp"
+#include "core/schedulers/online.hpp"
+#include "core/schedulers/sync_sgd.hpp"
+
+namespace fedco::core {
+
+std::unique_ptr<Scheduler> make_scheduler(const ExperimentConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kImmediate:
+      return std::make_unique<ImmediateScheduler>();
+    case SchedulerKind::kSyncSgd:
+      return std::make_unique<SyncSgdScheduler>();
+    case SchedulerKind::kOffline:
+      return std::make_unique<OfflineScheduler>(config);
+    case SchedulerKind::kOnline:
+      return std::make_unique<OnlineLyapunovScheduler>(config);
+  }
+  throw std::invalid_argument{"make_scheduler: unknown SchedulerKind"};
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,13 @@
+#include "core/schedulers/immediate.hpp"
+
+namespace fedco::core {
+
+device::Decision ImmediateScheduler::decide(std::size_t user, sim::Slot t,
+                                            SchedulerContext& ctx) {
+  (void)user;
+  (void)t;
+  (void)ctx;
+  return device::Decision::kSchedule;
+}
+
+}  // namespace fedco::core

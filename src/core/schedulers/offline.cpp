@@ -1,0 +1,70 @@
+#include "core/schedulers/offline.hpp"
+
+#include <stdexcept>
+
+namespace fedco::core {
+
+OfflineScheduler::OfflineScheduler(const ExperimentConfig& config)
+    : window_slots_(config.offline_window_slots) {
+  if (window_slots_ <= 0) {
+    throw std::invalid_argument{
+        "offline scheduler: offline_window_slots must be positive"};
+  }
+  planner_config_.lb = config.offline_lb;
+  planner_config_.window_slots = config.offline_window_slots;
+  planner_config_.epsilon = config.epsilon;
+  planner_config_.eta = config.eta;
+  planner_config_.beta = config.beta;
+  planner_config_.slot_seconds = config.slot_seconds;
+}
+
+void OfflineScheduler::on_experiment_begin(SchedulerContext& ctx) {
+  plans_.assign(ctx.num_users(), OfflineUserPlan{OfflineAction::kDefer, 0});
+}
+
+void OfflineScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
+  if (t % window_slots_ != 0) return;
+  std::vector<std::size_t> ready;
+  std::vector<OfflineUserInput> inputs;
+  for (std::size_t i = 0; i < ctx.num_users(); ++i) {
+    if (!ctx.user_ready(i)) continue;
+    ready.push_back(i);
+    OfflineUserInput in;
+    in.dev = &ctx.user_device(i);
+    in.current_gap = ctx.user_gap(i);
+    in.momentum_norm = ctx.momentum_norm();
+    if (const auto arrival = ctx.next_arrival_between(i, t, t + window_slots_)) {
+      in.next_arrival = arrival->at;
+      in.arrival_app = arrival->app;
+    }
+    inputs.push_back(in);
+  }
+  const OfflineWindowPlan plan = plan_window(t, inputs, planner_config_);
+  for (std::size_t k = 0; k < ready.size(); ++k) {
+    plans_[ready[k]] = plan.plans[k];
+  }
+}
+
+void OfflineScheduler::on_user_ready(std::size_t user, sim::Slot t,
+                                     SchedulerContext& ctx) {
+  (void)t;
+  (void)ctx;
+  plans_[user] = OfflineUserPlan{OfflineAction::kDefer, 0};
+}
+
+device::Decision OfflineScheduler::decide(std::size_t user, sim::Slot t,
+                                          SchedulerContext& ctx) {
+  (void)ctx;
+  const OfflineUserPlan& plan = plans_[user];
+  switch (plan.action) {
+    case OfflineAction::kScheduleNow:
+    case OfflineAction::kWaitForApp:
+      return t >= plan.start_slot ? device::Decision::kSchedule
+                                  : device::Decision::kIdle;
+    case OfflineAction::kDefer:
+      return device::Decision::kIdle;
+  }
+  return device::Decision::kIdle;
+}
+
+}  // namespace fedco::core

@@ -1,0 +1,22 @@
+#include "core/schedulers/online.hpp"
+
+namespace fedco::core {
+
+device::Decision OnlineLyapunovScheduler::decide(std::size_t user, sim::Slot t,
+                                                 SchedulerContext& ctx) {
+  // Coarsened scheduling granularity (Sec. VII "Energy Overhead"): between
+  // evaluation slots the device stays idle.
+  if (decision_interval_slots_ > 1 && t % decision_interval_slots_ != 0) {
+    return device::Decision::kIdle;
+  }
+  OnlineDecisionInput input;
+  const auto app = ctx.user_app(user);
+  input.app_status = app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+  input.app = app.value_or(device::AppKind::kMap);
+  input.current_gap = ctx.user_gap(user);
+  input.momentum_norm = ctx.momentum_norm();
+  input.expected_lag = ctx.expected_lag(user, input.app_status, input.app, t);
+  return online_.decide(ctx.user_device(user), input).decision;
+}
+
+}  // namespace fedco::core

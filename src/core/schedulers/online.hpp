@@ -1,0 +1,46 @@
+// Online scheduling: the distributed Lyapunov drift-plus-penalty rule of
+// Algorithm 2 / Eq. (21). The strategy owns the OnlineScheduler (queue
+// state + decision rule) and feeds it per-user inputs assembled from the
+// driver context; the driver stays scheme-agnostic.
+#pragma once
+
+#include "core/online_scheduler.hpp"
+#include "core/scheduler.hpp"
+
+namespace fedco::core {
+
+class OnlineLyapunovScheduler final : public Scheduler {
+ public:
+  explicit OnlineLyapunovScheduler(const ExperimentConfig& config)
+      : online_({config.V, config.lb, config.epsilon, config.slot_seconds,
+                 config.eta, config.beta}),
+        decision_interval_slots_(config.decision_interval_slots) {}
+
+  [[nodiscard]] SchedulerKind kind() const noexcept override {
+    return SchedulerKind::kOnline;
+  }
+
+  [[nodiscard]] device::Decision decide(std::size_t user, sim::Slot t,
+                                        SchedulerContext& ctx) override;
+
+  void on_slot_end(double arrivals, double served, double sum_gaps) override {
+    online_.update_queues(arrivals, served, sum_gaps);
+  }
+
+  [[nodiscard]] bool charges_decision_overhead() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] double queue_q() const noexcept override {
+    return online_.queues().q();
+  }
+  [[nodiscard]] double queue_h() const noexcept override {
+    return online_.queues().h();
+  }
+
+ private:
+  OnlineScheduler online_;
+  sim::Slot decision_interval_slots_;
+};
+
+}  // namespace fedco::core

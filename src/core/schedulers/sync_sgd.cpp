@@ -1,0 +1,23 @@
+#include "core/schedulers/sync_sgd.hpp"
+
+namespace fedco::core {
+
+void SyncSgdScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
+  const std::size_t n = ctx.num_users();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ctx.user_at_barrier(i)) return;  // stragglers still running
+  }
+  ctx.aggregate_round(t);
+}
+
+device::Decision SyncSgdScheduler::decide(std::size_t user, sim::Slot t,
+                                          SchedulerContext& ctx) {
+  (void)user;
+  (void)t;
+  (void)ctx;
+  // Schedule as soon as ready: rounds align on the barrier because all
+  // users become ready together after the round's model transfer.
+  return device::Decision::kSchedule;
+}
+
+}  // namespace fedco::core

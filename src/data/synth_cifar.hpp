@@ -28,6 +28,9 @@ struct SynthCifarConfig {
   double jitter_brightness = 0.15; ///< uniform brightness offset amplitude
   std::size_t max_shift = 2;      ///< random spatial shift in pixels
   std::uint64_t seed = 42;
+
+  friend bool operator==(const SynthCifarConfig&,
+                         const SynthCifarConfig&) = default;
 };
 
 struct SynthCifar {

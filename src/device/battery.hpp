@@ -15,6 +15,8 @@ struct BatteryConfig {
   /// SoC threshold at which the device charges back to full (opportunistic
   /// charging in the simulation).
   double recharge_at_soc = 0.15;
+
+  friend bool operator==(const BatteryConfig&, const BatteryConfig&) = default;
 };
 
 class Battery {

@@ -51,6 +51,8 @@ struct ThermalConfig {
   double heating_c_per_joule = 0.075;
   double cooling_fraction_per_s = 0.02;  ///< Newtonian cooling toward ambient
   double max_slowdown = 3.0;       ///< execution-time multiplier at critical
+
+  friend bool operator==(const ThermalConfig&, const ThermalConfig&) = default;
 };
 
 /// Lumped-parameter thermal state of one device.

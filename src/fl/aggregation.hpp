@@ -31,6 +31,9 @@ struct AggregationConfig {
   double fedasync_decay = 0.5;
   /// Delay compensation strength lambda (0 = plain replacement of deltas).
   double delay_comp_lambda = 0.5;
+
+  friend bool operator==(const AggregationConfig&,
+                         const AggregationConfig&) = default;
 };
 
 /// Mixing weight a(lag) used by kFedAsync; in (0, alpha0].

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
-#include <sstream>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace fedco::util {
@@ -112,10 +114,14 @@ JsonWriter& JsonWriter::value(double number) {
     out_ += "null";
     return *this;
   }
-  std::ostringstream os;
-  os.precision(12);
-  os << number;
-  out_ += os.str();
+  // Shortest representation that parses back to exactly `number`, so JSON
+  // round-trips (core/config_io) reproduce bit-identical configs.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
+  if (ec != std::errc{}) {
+    throw std::logic_error{"JsonWriter: number formatting failed"};
+  }
+  out_.append(buf, end);
   return *this;
 }
 
@@ -156,6 +162,268 @@ std::string JsonWriter::str() const {
     throw std::logic_error{"JsonWriter: unterminated containers"};
   }
   return out_;
+}
+
+// ---------------------------------------------------------------- parsing
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::invalid_argument{"JsonValue: not a bool"};
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::invalid_argument{"JsonValue: not a number"};
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::invalid_argument{"JsonValue: not a string"};
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) throw std::invalid_argument{"JsonValue: not an array"};
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) throw std::invalid_argument{"JsonValue: not an object"};
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [key, value] : object_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over the full document. Depth is bounded to
+/// keep hostile inputs from overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument{"parse_json: " + what + " at offset " +
+                                std::to_string(pos_)};
+  }
+
+  void skip_whitespace() noexcept {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) noexcept {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{':
+        value = parse_object();
+        break;
+      case '[':
+        value = parse_array();
+        break;
+      case '"':
+        value = JsonValue{parse_string()};
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        value = JsonValue{true};
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        value = JsonValue{false};
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        value = JsonValue{nullptr};
+        break;
+      default:
+        value = parse_number();
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(members)};
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return JsonValue{std::move(members)};
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array elements;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(elements)};
+    }
+    for (;;) {
+      elements.push_back(parse_value());
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return JsonValue{std::move(elements)};
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (fedco configs are ASCII; full
+          // surrogate-pair handling is out of scope for scenario files).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    double number = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, number);
+    if (ec != std::errc{} || end != text_.data() + pos_) {
+      fail("malformed number");
+    }
+    return JsonValue{number};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser{text}.parse_document();
 }
 
 }  // namespace fedco::util

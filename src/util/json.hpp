@@ -1,10 +1,15 @@
-// Minimal streaming JSON writer (no DOM, no parsing) used to export
-// experiment results for external tooling. Handles string escaping,
-// comma placement, and non-finite numbers (emitted as null per RFC 8259).
+// Minimal JSON support: a streaming writer used to export experiment
+// results, plus a small recursive-descent parser producing a JsonValue DOM
+// (used by core/config_io to load scenario files). The writer handles
+// string escaping, comma placement, and non-finite numbers (emitted as
+// null per RFC 8259); doubles are printed in shortest-round-trip form, so
+// write -> parse reproduces bit-identical values.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fedco::util {
@@ -53,5 +58,62 @@ class JsonWriter {
   std::vector<Scope> stack_;
   bool root_written_ = false;
 };
+
+/// One parsed JSON value. Numbers are stored as double (adequate for every
+/// fedco config field; 64-bit integers round-trip exactly up to 2^53).
+/// Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  explicit JsonValue(std::nullptr_t) {}
+  explicit JsonValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  explicit JsonValue(double v) : kind_(Kind::kNumber), number_(v) {}
+  explicit JsonValue(std::string v)
+      : kind_(Kind::kString), string_(std::move(v)) {}
+  explicit JsonValue(Array v) : kind_(Kind::kArray), array_(std::move(v)) {}
+  explicit JsonValue(Object v) : kind_(Kind::kObject), object_(std::move(v)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Checked accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& name) const noexcept;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::invalid_argument with an offset-annotated message on
+/// malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace fedco::util

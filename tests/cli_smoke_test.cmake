@@ -1,6 +1,10 @@
 # CLI smoke test, run via ctest:
 #   1. `fedco_sim --help` must exit 0 and print a usage string.
 #   2. A tiny 60-slot online run must exit 0 and print a non-empty result.
+#   3. --save-config / --config round-trip: a saved scenario reloads to the
+#      byte-identical config and reproduces the byte-identical result
+#      document of the flag-built run.
+#   4. An unrecognised option (a probable typo) must exit non-zero.
 # Invoked as: cmake -DFEDCO_SIM=<path-to-binary> -P cli_smoke_test.cmake
 
 if(NOT DEFINED FEDCO_SIM)
@@ -33,6 +37,65 @@ endif()
 string(STRIP "${run_out}" run_stripped)
 if(run_stripped STREQUAL "")
   message(FATAL_ERROR "fedco_sim 60-slot online run produced no result output")
+endif()
+
+# --- 3. config round-trip -------------------------------------------------
+set(work_dir ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_roundtrip)
+file(MAKE_DIRECTORY ${work_dir})
+set(flags --scheduler online --horizon 120 --users 4 --seed 11 --V 8000)
+
+execute_process(
+  COMMAND ${FEDCO_SIM} ${flags} --save-config ${work_dir}/scenario.json
+  RESULT_VARIABLE save_rc OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT save_rc EQUAL 0)
+  message(FATAL_ERROR "fedco_sim --save-config exited with ${save_rc}")
+endif()
+
+execute_process(
+  COMMAND ${FEDCO_SIM} ${flags} --json ${work_dir}/from_flags.json
+  RESULT_VARIABLE flags_rc OUTPUT_QUIET ERROR_QUIET
+)
+execute_process(
+  COMMAND ${FEDCO_SIM} --config ${work_dir}/scenario.json
+          --json ${work_dir}/from_config.json
+  RESULT_VARIABLE config_rc OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT flags_rc EQUAL 0 OR NOT config_rc EQUAL 0)
+  message(FATAL_ERROR "round-trip runs exited with ${flags_rc}/${config_rc}")
+endif()
+
+file(READ ${work_dir}/from_flags.json from_flags)
+file(READ ${work_dir}/from_config.json from_config)
+if(NOT from_flags STREQUAL from_config)
+  message(FATAL_ERROR "--config run did not reproduce the flag-built result")
+endif()
+
+# The saved config must also reload to the byte-identical config.
+execute_process(
+  COMMAND ${FEDCO_SIM} --config ${work_dir}/scenario.json
+          --save-config ${work_dir}/scenario2.json
+  RESULT_VARIABLE resave_rc OUTPUT_QUIET ERROR_QUIET
+)
+file(READ ${work_dir}/scenario.json scenario1)
+file(READ ${work_dir}/scenario2.json scenario2)
+if(NOT resave_rc EQUAL 0 OR NOT scenario1 STREQUAL scenario2)
+  message(FATAL_ERROR "saved config did not reload to an identical config")
+endif()
+
+# --- 4. probable typos are fatal -------------------------------------------
+execute_process(
+  COMMAND ${FEDCO_SIM} --horizons 60 --users 4
+  RESULT_VARIABLE typo_rc
+  ERROR_VARIABLE typo_err
+  OUTPUT_QUIET
+)
+if(typo_rc EQUAL 0)
+  message(FATAL_ERROR "fedco_sim accepted the unknown option --horizons")
+endif()
+string(FIND "${typo_err}" "horizons" typo_mentioned)
+if(typo_mentioned EQUAL -1)
+  message(FATAL_ERROR "unknown-option error did not name the flag:\n${typo_err}")
 endif()
 
 message(STATUS "cli_smoke_test OK")

@@ -1,0 +1,156 @@
+// Campaign runner: bit-identical results for any worker count, index
+// alignment, replication/sweep helpers, FEDCO_JOBS resolution, and error
+// propagation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "golden_fingerprint.hpp"
+
+namespace fedco::core {
+namespace {
+
+ExperimentConfig small_config(SchedulerKind kind, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.scheduler = kind;
+  cfg.num_users = 6;
+  cfg.horizon_slots = 900;
+  cfg.arrival_probability = 0.003;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A mixed-scheme, mixed-seed grid — the shape the benches run.
+std::vector<ExperimentConfig> mixed_grid() {
+  std::vector<ExperimentConfig> configs;
+  for (const auto kind : {SchedulerKind::kImmediate, SchedulerKind::kSyncSgd,
+                          SchedulerKind::kOffline, SchedulerKind::kOnline}) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      configs.push_back(small_config(kind, seed));
+    }
+  }
+  return configs;
+}
+
+std::vector<std::uint64_t> fingerprints(const CampaignReport& report) {
+  std::vector<std::uint64_t> prints;
+  prints.reserve(report.results.size());
+  for (const auto& result : report.results) {
+    prints.push_back(testing::fingerprint(result));
+  }
+  return prints;
+}
+
+TEST(Campaign, BitIdenticalForAnyJobCount) {
+  // The acceptance contract of the parallel runner: jobs changes only
+  // wall-clock, never a single bit of any result.
+  const auto configs = mixed_grid();
+  const auto serial = fingerprints(run_campaign(configs, 1));
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    const CampaignReport report = run_campaign(configs, jobs);
+    EXPECT_EQ(report.jobs, jobs);
+    EXPECT_EQ(fingerprints(report), serial) << "jobs = " << jobs;
+  }
+}
+
+TEST(Campaign, ResultsAlignWithInputIndex) {
+  // Workers claim experiments in arbitrary order; results must still land
+  // at their input index. Distinguish entries by update counts/energy of
+  // very different horizons.
+  std::vector<ExperimentConfig> configs;
+  for (const sim::Slot horizon : {200, 1200, 400, 2400}) {
+    auto cfg = small_config(SchedulerKind::kImmediate, 9);
+    cfg.horizon_slots = horizon;
+    configs.push_back(cfg);
+  }
+  const CampaignReport parallel = run_campaign(configs, 4);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(testing::fingerprint(parallel.results[i]),
+              testing::fingerprint(run_experiment(configs[i])))
+        << "index " << i;
+  }
+}
+
+TEST(Campaign, ReportsTimingAndSpeedup) {
+  // Only sign/shape assertions: absolute wall-vs-serial ratios depend on
+  // machine load (ctest -j runs suites concurrently) and would be flaky.
+  const auto configs = mixed_grid();
+  const CampaignReport report = run_campaign(configs, 2);
+  EXPECT_EQ(report.results.size(), configs.size());
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.serial_seconds, 0.0);
+  EXPECT_GT(report.speedup(), 0.0);
+}
+
+TEST(Campaign, EmptyCampaignIsFine) {
+  const CampaignReport report = run_campaign({}, 4);
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.serial_seconds, 0.0);
+}
+
+TEST(Campaign, PropagatesExperimentErrors) {
+  // An invalid config (0 users) must surface as the driver's exception,
+  // after the rest of the campaign ran to completion.
+  std::vector<ExperimentConfig> configs = {small_config(SchedulerKind::kOnline, 1)};
+  configs.push_back(small_config(SchedulerKind::kOnline, 2));
+  configs[1].num_users = 0;
+  EXPECT_THROW((void)run_campaign(configs, 2), std::invalid_argument);
+}
+
+TEST(Campaign, ReplicateDerivesConsecutiveSeeds) {
+  const auto base = small_config(SchedulerKind::kOnline, 40);
+  const auto replicas = replicate(base, 3);
+  ASSERT_EQ(replicas.size(), 3u);
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    EXPECT_EQ(replicas[r].seed, 40u + r);
+    auto expected = base;
+    expected.seed = 40 + r;
+    EXPECT_TRUE(replicas[r] == expected);
+  }
+}
+
+TEST(Campaign, SweepCrossesBasesWithValues) {
+  const auto base = small_config(SchedulerKind::kOnline, 1);
+  const auto grid = sweep(
+      sweep({base}, std::vector<double>{100.0, 500.0},
+            [](ExperimentConfig& c, double lb) { c.lb = lb; }),
+      std::vector<double>{0.0, 4000.0, 8000.0},
+      [](ExperimentConfig& c, double v) { c.V = v; });
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].lb, 100.0);
+  EXPECT_EQ(grid[0].V, 0.0);
+  EXPECT_EQ(grid[2].lb, 100.0);
+  EXPECT_EQ(grid[2].V, 8000.0);
+  EXPECT_EQ(grid[5].lb, 500.0);
+  EXPECT_EQ(grid[5].V, 8000.0);
+}
+
+TEST(Campaign, ResolveJobsHonoursExplicitThenEnvThenHardware) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+  ASSERT_EQ(setenv("FEDCO_JOBS", "5", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), 5u);
+  EXPECT_EQ(resolve_jobs(2), 2u);  // explicit still wins
+  ASSERT_EQ(setenv("FEDCO_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(resolve_jobs(0), 1u);  // falls back to hardware threads
+  ASSERT_EQ(unsetenv("FEDCO_JOBS"), 0);
+  EXPECT_GE(resolve_jobs(0), 1u);
+}
+
+TEST(Campaign, ResolveJobsBoundsHostileValues) {
+  // Explicit requests are clamped; garbage env values (negative wraps
+  // through strtoul, absurd counts) fall back to the hardware default
+  // rather than becoming thread-spawn requests.
+  EXPECT_EQ(resolve_jobs(std::size_t{1} << 40), kMaxCampaignJobs);
+  ASSERT_EQ(unsetenv("FEDCO_JOBS"), 0);  // CI may pin it (e.g. the TSan job)
+  const std::size_t hardware = resolve_jobs(0);
+  ASSERT_EQ(setenv("FEDCO_JOBS", "-1", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), hardware);
+  ASSERT_EQ(setenv("FEDCO_JOBS", "99999", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), hardware);
+  ASSERT_EQ(unsetenv("FEDCO_JOBS"), 0);
+}
+
+}  // namespace
+}  // namespace fedco::core

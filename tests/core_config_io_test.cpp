@@ -1,0 +1,214 @@
+// ExperimentConfig <-> JSON round-trip: equality after reload, identical
+// seeded results, token vocabularies, strict unknown-key handling, and
+// loading from a full result document.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/config_io.hpp"
+#include "core/result_io.hpp"
+#include "golden_fingerprint.hpp"
+
+namespace fedco::core {
+namespace {
+
+ExperimentConfig exotic_config() {
+  // Deviate from every default to make the round-trip meaningful.
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kOffline;
+  cfg.num_users = 7;
+  cfg.horizon_slots = 1234;
+  cfg.slot_seconds = 0.5;
+  cfg.seed = 987654321;
+  cfg.arrival_probability = 0.0123;
+  cfg.diurnal = true;
+  cfg.diurnal_swing = 0.63;
+  cfg.arrival_trace_path = "/tmp/some trace \"quoted\".csv";
+  cfg.fixed_device = device::DeviceKind::kHikey970;
+  cfg.V = 12345.5;
+  cfg.lb = 321.25;
+  cfg.epsilon = 0.0625;
+  cfg.offline_window_slots = 250;
+  cfg.offline_lb = 456.5;
+  cfg.eta = 0.07;
+  cfg.beta = 0.85;
+  cfg.real_training = true;
+  cfg.model = ModelKind::kLenet5;
+  cfg.aggregation.kind = fl::AggregationKind::kDelayComp;
+  cfg.aggregation.fedasync_alpha0 = 0.7;
+  cfg.aggregation.fedasync_decay = 0.4;
+  cfg.aggregation.delay_comp_lambda = 0.3;
+  cfg.dirichlet_alpha = 0.9;
+  cfg.gap_aware_lr = true;
+  cfg.weight_prediction = true;
+  cfg.batch_size = 13;
+  cfg.dataset.classes = 5;
+  cfg.dataset.channels = 1;
+  cfg.dataset.height = 12;
+  cfg.dataset.width = 14;
+  cfg.dataset.train_per_class = 33;
+  cfg.dataset.test_per_class = 9;
+  cfg.dataset.noise_stddev = 0.31;
+  cfg.dataset.jitter_brightness = 0.11;
+  cfg.dataset.max_shift = 3;
+  cfg.dataset.seed = 77;
+  cfg.eval_interval_s = 111.5;
+  cfg.model_bytes = 1'000'001;
+  cfg.use_lte = true;
+  cfg.decision_eval_seconds = 0.015;
+  cfg.decision_interval_slots = 7;
+  cfg.upload_drop_probability = 0.05;
+  cfg.track_battery = true;
+  cfg.battery.capacity_mah = 1800.5;
+  cfg.battery.voltage_v = 3.7;
+  cfg.battery.initial_soc = 0.95;
+  cfg.battery.recharge_at_soc = 0.2;
+  cfg.min_soc_to_train = 0.25;
+  cfg.enable_thermal = true;
+  cfg.thermal.ambient_c = 22.5;
+  cfg.thermal.throttle_onset_c = 44.0;
+  cfg.thermal.critical_c = 64.0;
+  cfg.thermal.heating_c_per_joule = 0.07;
+  cfg.thermal.cooling_fraction_per_s = 0.018;
+  cfg.thermal.max_slowdown = 2.5;
+  cfg.record_interval = 4;
+  cfg.record_per_user_gaps = true;
+  return cfg;
+}
+
+TEST(ConfigIo, RoundTripYieldsEqualConfig) {
+  const ExperimentConfig original = exotic_config();
+  const ExperimentConfig reloaded =
+      config_from_json(config_to_json(original));
+  EXPECT_TRUE(reloaded == original);
+}
+
+TEST(ConfigIo, DefaultConfigRoundTrips) {
+  EXPECT_TRUE(config_from_json(config_to_json(ExperimentConfig{})) ==
+              ExperimentConfig{});
+}
+
+TEST(ConfigIo, RoundTripReproducesSeededResult) {
+  // The --config acceptance contract: a saved config reloads to the same
+  // seeded run, bit for bit.
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kOnline;
+  cfg.num_users = 6;
+  cfg.horizon_slots = 800;
+  cfg.arrival_probability = 0.004;
+  cfg.seed = 77;
+  cfg.V = 1234.5;
+  const ExperimentConfig reloaded = config_from_json(config_to_json(cfg));
+  ASSERT_TRUE(reloaded == cfg);
+  EXPECT_EQ(testing::fingerprint(run_experiment(reloaded)),
+            testing::fingerprint(run_experiment(cfg)));
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = "/tmp/fedco_config_io_test.json";
+  const ExperimentConfig original = exotic_config();
+  save_config_json(path, original);
+  EXPECT_TRUE(load_config_json(path) == original);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_config_json("/no/such/config.json"),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, PartialDocumentKeepsDefaults) {
+  const ExperimentConfig cfg =
+      config_from_json(R"({"scheduler":"offline","num_users":3,"V":9.5})");
+  EXPECT_EQ(cfg.scheduler, SchedulerKind::kOffline);
+  EXPECT_EQ(cfg.num_users, 3u);
+  EXPECT_EQ(cfg.V, 9.5);
+  ExperimentConfig defaults;
+  EXPECT_EQ(cfg.horizon_slots, defaults.horizon_slots);
+  EXPECT_EQ(cfg.lb, defaults.lb);
+  EXPECT_TRUE(cfg.dataset == defaults.dataset);
+}
+
+TEST(ConfigIo, UnknownKeysThrow) {
+  EXPECT_THROW((void)config_from_json(R"({"horizons":100})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_from_json(R"({"dataset":{"heigth":8}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_from_json(R"({"num_users":"ten"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_from_json(R"({"num_users":2.5})"),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, OutOfRangeIntegersThrow) {
+  // Integers travel as doubles; past 2^53 they silently change value, so
+  // the loader rejects them instead of corrupting the config.
+  EXPECT_THROW((void)config_from_json(R"({"num_users":1e300})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_from_json(R"({"seed":18446744073709551615})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_from_json(R"({"horizon_slots":-1e300})"),
+               std::invalid_argument);
+  // The 2^53 boundary itself is exact and accepted.
+  EXPECT_EQ(config_from_json(R"({"seed":9007199254740992})").seed,
+            9007199254740992ULL);
+}
+
+TEST(ConfigIo, NonPositiveOfflineWindowIsRejectedByTheScheduler) {
+  // A zero window would be a modulo-by-zero in the offline replan; the
+  // strategy throws a named error instead.
+  ExperimentConfig cfg;
+  cfg.scheduler = SchedulerKind::kOffline;
+  cfg.num_users = 2;
+  cfg.horizon_slots = 100;
+  cfg.offline_window_slots = 0;
+  EXPECT_THROW((void)run_experiment(cfg), std::invalid_argument);
+  cfg.offline_window_slots = 500;
+  cfg.record_interval = 0;  // t % record_interval has the same hazard
+  EXPECT_THROW((void)run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(ConfigIo, LoadsFromResultDocument) {
+  // result_to_json embeds the full config; feeding the whole result
+  // document back reproduces the originating config.
+  const ExperimentConfig cfg = [] {
+    ExperimentConfig c;
+    c.scheduler = SchedulerKind::kSyncSgd;
+    c.num_users = 4;
+    c.horizon_slots = 500;
+    c.seed = 5;
+    return c;
+  }();
+  const ExperimentResult result = run_experiment(cfg);
+  const ExperimentConfig reloaded =
+      config_from_json(result_to_json(cfg, result));
+  EXPECT_TRUE(reloaded == cfg);
+}
+
+TEST(ConfigIo, SchedulerTokensAcceptBothVocabularies) {
+  EXPECT_EQ(parse_scheduler_token("online"), SchedulerKind::kOnline);
+  EXPECT_EQ(parse_scheduler_token("Online"), SchedulerKind::kOnline);
+  EXPECT_EQ(parse_scheduler_token("sync"), SchedulerKind::kSyncSgd);
+  EXPECT_EQ(parse_scheduler_token("Sync-SGD"), SchedulerKind::kSyncSgd);
+  EXPECT_EQ(parse_scheduler_token("offline"), SchedulerKind::kOffline);
+  EXPECT_EQ(parse_scheduler_token("Immediate"), SchedulerKind::kImmediate);
+  EXPECT_THROW((void)parse_scheduler_token("onlin"), std::invalid_argument);
+}
+
+TEST(ConfigIo, DeviceAndModelTokens) {
+  EXPECT_EQ(parse_device_token("mixed"), std::nullopt);
+  EXPECT_EQ(parse_device_token(""), std::nullopt);
+  EXPECT_EQ(parse_device_token("pixel2"), device::DeviceKind::kPixel2);
+  EXPECT_THROW((void)parse_device_token("iphone"), std::invalid_argument);
+  EXPECT_EQ(device_token(std::nullopt), std::string{"mixed"});
+  EXPECT_EQ(device_token(device::DeviceKind::kNexus6P),
+            std::string{"nexus6p"});
+  EXPECT_EQ(parse_model_token("lenet5"), ModelKind::kLenet5);
+  EXPECT_EQ(parse_model_token(model_token(ModelKind::kLenetSmall)),
+            ModelKind::kLenetSmall);
+  EXPECT_THROW((void)parse_model_token("resnet"), std::invalid_argument);
+  EXPECT_EQ(parse_aggregation_token("fedasync"),
+            fl::AggregationKind::kFedAsync);
+  EXPECT_THROW((void)parse_aggregation_token("avg"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedco::core

@@ -86,5 +86,76 @@ TEST(JsonWriter, RootScalarsAllowed) {
   EXPECT_EQ(json.str(), "42");
 }
 
+// --------------------------------------------------------------- parser
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const JsonValue doc = parse_json(
+      R"({"name":"fedco","count":3,"ratio":0.5,"ok":true,"none":null,)"
+      R"("values":[1,2.5,-3e2]})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "fedco");
+  EXPECT_EQ(doc.find("count")->as_number(), 3.0);
+  EXPECT_EQ(doc.find("ratio")->as_number(), 0.5);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_TRUE(doc.find("none")->is_null());
+  const auto& values = doc.find("values")->as_array();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].as_number(), 1.0);
+  EXPECT_EQ(values[1].as_number(), 2.5);
+  EXPECT_EQ(values[2].as_number(), -300.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, UnescapesStrings) {
+  const JsonValue doc =
+      parse_json(R"({"s":"quote \" slash \\ nl \n tab \t u A"})");
+  EXPECT_EQ(doc.find("s")->as_string(), "quote \" slash \\ nl \n tab \t u A");
+}
+
+TEST(JsonParser, WriterOutputRoundTrips) {
+  JsonWriter json;
+  json.begin_object()
+      .member("pi", 3.141592653589793)
+      .member("tiny", 1e-300)
+      .member("neg", -0.001)
+      .key("nested")
+      .begin_object()
+      .member("deep", std::string{"va\"lue"})
+      .end_object()
+      .end_object();
+  const JsonValue doc = parse_json(json.str());
+  // Shortest-round-trip formatting: parse returns bit-identical doubles.
+  EXPECT_EQ(doc.find("pi")->as_number(), 3.141592653589793);
+  EXPECT_EQ(doc.find("tiny")->as_number(), 1e-300);
+  EXPECT_EQ(doc.find("neg")->as_number(), -0.001);
+  EXPECT_EQ(doc.find("nested")->find("deep")->as_string(), "va\"lue");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse_json(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"({"a":1,})"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"({"a" 1})"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1,2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("tru"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(R"("unterminated)"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("1.2.3"), std::invalid_argument);
+}
+
+TEST(JsonParser, TypeMismatchesThrowOnAccess) {
+  const JsonValue doc = parse_json(R"({"n":1})");
+  EXPECT_THROW((void)doc.find("n")->as_string(), std::invalid_argument);
+  EXPECT_THROW((void)doc.find("n")->as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)doc.find("n")->as_array(), std::invalid_argument);
+  EXPECT_THROW((void)doc.as_number(), std::invalid_argument);
+}
+
+TEST(JsonParser, DeepNestingIsBounded) {
+  std::string hostile;
+  for (int i = 0; i < 1000; ++i) hostile += '[';
+  EXPECT_THROW((void)parse_json(hostile), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fedco::util

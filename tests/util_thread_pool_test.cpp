@@ -1,0 +1,81 @@
+// util::ThreadPool: task execution, wait() semantics, concurrency, and
+// destructor draining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace fedco::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool{2};
+  pool.wait();  // nothing submitted — must not deadlock
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that rendezvous with each other can only finish if they run
+  // on distinct workers at the same time.
+  ThreadPool pool{2};
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&arrived] {
+    arrived.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return;
+      std::this_thread::yield();
+    }
+  };
+  pool.submit(rendezvous);
+  pool.submit(rendezvous);
+  pool.wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait(): destruction must still run everything already submitted.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.thread_count(), ThreadPool::hardware_threads());
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace fedco::util
