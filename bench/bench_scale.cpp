@@ -1,0 +1,221 @@
+// Large-fleet scalability bench (no paper analogue — the ROADMAP's
+// production-scale axis). Sweeps scheduling-only heterogeneous fleets of
+// 100 / 1k / 10k users across all four schedulers via core::run_campaign,
+// and reports the simulator's throughput: slots/sec (simulated slots per
+// wall-clock second), user-slots/sec (slots/sec × fleet size, the
+// per-device work rate), and the process peak RSS. Results are written as
+// machine-readable BENCH_scale.json for regression tracking; CI runs the
+// --smoke variant on every push and uploads the document as an artifact.
+//
+// Each fleet is expanded from a ScenarioSpec (device mix across the four
+// testbed models, lognormal per-user arrival rates, an LTE share) so the
+// bench exercises the scenario subsystem end to end, not just the driver.
+//
+//   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_common.hpp"
+#include "core/config_io.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace fedco;
+
+struct FleetSize {
+  std::size_t users;
+  sim::Slot horizon;
+};
+
+constexpr core::SchedulerKind kSchedulers[] = {
+    core::SchedulerKind::kImmediate, core::SchedulerKind::kSyncSgd,
+    core::SchedulerKind::kOffline, core::SchedulerKind::kOnline};
+
+/// Process-lifetime peak resident set (MiB); 0 when the platform has no
+/// getrusage. ru_maxrss is a monotone high-water mark, so per-fleet rows
+/// report "process peak after this fleet" (the grid runs smallest first;
+/// the last row is the honest overall peak) — it cannot be attributed to
+/// one fleet alone.
+double process_peak_rss_mib() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// The bench's heterogeneous population at a given scale.
+scenario::ScenarioSpec fleet_spec(const FleetSize& size) {
+  scenario::ScenarioSpec spec;
+  spec.name = "scale-" + std::to_string(size.users);
+  spec.num_users = size.users;
+  spec.horizon_slots = size.horizon;
+  spec.device_mix = {{device::DeviceKind::kNexus6, 0.25},
+                     {device::DeviceKind::kNexus6P, 0.25},
+                     {device::DeviceKind::kHikey970, 0.25},
+                     {device::DeviceKind::kPixel2, 0.25}};
+  spec.arrival.distribution = scenario::ArrivalSpec::Distribution::kLogNormal;
+  spec.arrival.mean_probability = 0.002;
+  spec.arrival.sigma = 0.5;
+  spec.network.lte_fraction = 0.3;
+  return spec;
+}
+
+struct SchedulerRow {
+  const char* scheduler = "";
+  double seconds = 0.0;
+  double slots_per_sec = 0.0;
+  double user_slots_per_sec = 0.0;
+  std::uint64_t updates = 0;
+  double energy_kj = 0.0;
+};
+
+struct FleetRow {
+  FleetSize size{};
+  double wall_seconds = 0.0;
+  double process_peak_rss_mib = 0.0;  ///< cumulative high-water mark
+  std::vector<SchedulerRow> schedulers;
+};
+
+FleetRow run_fleet(const FleetSize& size, std::uint64_t seed,
+                   std::size_t jobs, bench::CampaignTotals& totals) {
+  core::ExperimentConfig base;
+  base.seed = seed;
+  // Scheduling-only (real_training stays off): the bench measures the
+  // slot-loop and scheduler throughput, not the NN substrate.
+  base.record_interval = 60;  // keep 10k-user trace memory modest
+  base = core::apply_scenario(fleet_spec(size), base);
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const core::SchedulerKind kind : kSchedulers) {
+    core::ExperimentConfig config = base;
+    config.scheduler = kind;
+    configs.push_back(std::move(config));
+  }
+  const core::CampaignReport report = core::run_campaign(configs, jobs);
+  totals.add(report);
+
+  FleetRow row;
+  row.size = size;
+  row.wall_seconds = report.wall_seconds;
+  row.process_peak_rss_mib = process_peak_rss_mib();
+  for (std::size_t k = 0; k < configs.size(); ++k) {
+    const double seconds = report.duration_seconds[k];
+    SchedulerRow sched;
+    sched.scheduler = core::scheduler_name(configs[k].scheduler);
+    sched.seconds = seconds;
+    sched.slots_per_sec =
+        seconds > 0.0 ? static_cast<double>(size.horizon) / seconds : 0.0;
+    sched.user_slots_per_sec =
+        sched.slots_per_sec * static_cast<double>(size.users);
+    sched.updates = report.results[k].total_updates;
+    sched.energy_kj = report.results[k].total_energy_j / 1000.0;
+    row.schedulers.push_back(sched);
+  }
+  return row;
+}
+
+void print_fleet(const FleetRow& row) {
+  util::TextTable table{"bench_scale — " + std::to_string(row.size.users) +
+                        " users × " + std::to_string(row.size.horizon) +
+                        " slots"};
+  table.set_header({"scheduler", "wall (s)", "slots/s", "user-slots/s",
+                    "updates", "energy (kJ)"});
+  for (const SchedulerRow& sched : row.schedulers) {
+    table.add_row({sched.scheduler, util::TextTable::num(sched.seconds, 3),
+                   util::TextTable::num(sched.slots_per_sec, 0),
+                   util::TextTable::num(sched.user_slots_per_sec, 0),
+                   std::to_string(sched.updates),
+                   util::TextTable::num(sched.energy_kj, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "process peak RSS after this fleet: "
+            << util::TextTable::num(row.process_peak_rss_mib, 1) << " MiB\n\n";
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t jobs,
+                std::uint64_t seed, const std::vector<FleetRow>& rows) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("bench", "scale");
+  json.member("smoke", smoke);
+  json.member("jobs", static_cast<std::uint64_t>(jobs));
+  // With jobs > 1 the per-scheduler durations were measured while sibling
+  // experiments shared cores, so their slots/sec include worker
+  // contention; regression baselines should be captured at --jobs 1.
+  json.member("timing", jobs <= 1 ? "serial" : "concurrent");
+  json.member("seed", seed);
+  json.key("fleets").begin_array();
+  for (const FleetRow& row : rows) {
+    json.begin_object();
+    json.member("num_users", static_cast<std::uint64_t>(row.size.users));
+    json.member("horizon_slots", static_cast<std::int64_t>(row.size.horizon));
+    json.member("wall_seconds", row.wall_seconds);
+    json.member("process_peak_rss_mib", row.process_peak_rss_mib);
+    json.key("schedulers").begin_array();
+    for (const SchedulerRow& sched : row.schedulers) {
+      json.begin_object();
+      json.member("scheduler", sched.scheduler);
+      json.member("seconds", sched.seconds);
+      json.member("slots_per_sec", sched.slots_per_sec);
+      json.member("user_slots_per_sec", sched.user_slots_per_sec);
+      json.member("updates", sched.updates);
+      json.member("energy_kj", sched.energy_kj);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error{"bench_scale: cannot open " + path};
+  out << json.str() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args{argc, argv};
+    const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+    const bool smoke = args.get_bool("smoke", false);
+    const std::string out_path = args.get("out", "BENCH_scale.json");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    // The smoke grid is deliberately tiny (CI runs it on every push, time-
+    // capped by the workflow); the full grid is the 100/1k/10k headline.
+    const std::vector<FleetSize> sizes =
+        smoke ? std::vector<FleetSize>{{50, 400}, {100, 400}}
+              : std::vector<FleetSize>{{100, 7200}, {1000, 2400}, {10000, 600}};
+
+    bench::CampaignTotals totals;
+    std::vector<FleetRow> rows;
+    for (const FleetSize& size : sizes) {
+      rows.push_back(run_fleet(size, seed, jobs, totals));
+      print_fleet(rows.back());
+    }
+    bench::log_campaign(totals);
+    write_json(out_path, smoke, totals.jobs, seed, rows);
+    std::cout << "scalability results written to " << out_path << '\n';
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_scale: " << error.what() << '\n';
+    return 1;
+  }
+}

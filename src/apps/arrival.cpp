@@ -77,17 +77,34 @@ std::vector<ScriptedArrivals::Event> load_arrival_trace_csv(
            (app_text.back() == '\r' || app_text.back() == ' ')) {
       app_text.pop_back();
     }
-    // Skip a header row.
-    if (line_number == 1 && slot_text.find_first_not_of("0123456789 ") !=
+    // Skip a header row (anything in the slot column beyond digits and
+    // blank padding — which is tolerated on data rows below — is a name).
+    if (line_number == 1 && slot_text.find_first_not_of("0123456789 \t") !=
                                 std::string::npos) {
       continue;
     }
+    // Slots must be whole non-negative numbers: a sign, stray characters
+    // ("12x"), or anything stoll would silently truncate is a malformed
+    // row, and an over-range value would wrap into a bogus slot. Blank
+    // padding (spaces or tabs, e.g. spreadsheet exports) is fine.
+    const auto begin = slot_text.find_first_not_of(" \t");
+    const auto finish = slot_text.find_last_not_of(" \t");
+    const std::string trimmed =
+        begin == std::string::npos ? std::string{}
+                                   : slot_text.substr(begin, finish - begin + 1);
+    if (trimmed.empty() ||
+        trimmed.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument{
+          "load_arrival_trace_csv: bad slot '" + trimmed + "' at line " +
+          std::to_string(line_number) + " (slots are non-negative integers)"};
+    }
     sim::Slot slot = 0;
     try {
-      slot = std::stoll(slot_text);
+      slot = std::stoll(trimmed);
     } catch (const std::exception&) {
-      throw std::invalid_argument{"load_arrival_trace_csv: bad slot at line " +
-                                  std::to_string(line_number)};
+      throw std::invalid_argument{
+          "load_arrival_trace_csv: slot out of range at line " +
+          std::to_string(line_number)};
     }
     device::AppKind app{};
     if (!parse_app_name(app_text, app)) {

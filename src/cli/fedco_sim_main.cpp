@@ -4,6 +4,7 @@
 //   fedco_sim --scheduler online --V 4000 --Lb 500
 //   fedco_sim --scheduler offline --users 50 --horizon 21600 --arrival-p 0.002
 //   fedco_sim --config scenario.json --seed 9
+//   fedco_sim --scenario examples/scenarios/heterogeneous_fleet.json
 //   fedco_sim --scheduler online --replications 8 --jobs 4
 //   fedco_sim --scheduler online --real-training --model lenet-small
 //             --csv-dir /tmp/out   (one line)
@@ -16,6 +17,7 @@
 #include "core/config_io.hpp"
 #include "core/experiment.hpp"
 #include "core/result_io.hpp"
+#include "scenario/scenario_io.hpp"
 #include "util/args.hpp"
 #include "util/export.hpp"
 #include "util/stats.hpp"
@@ -33,7 +35,15 @@ Scenario:
   --config F           load an ExperimentConfig JSON (a file saved by
                        --save-config, or a --json result document); any
                        flag below overrides the loaded value
-  --save-config F      write the effective config as JSON and exit
+  --scenario F         load a declarative ScenarioSpec JSON (device mix,
+                       arrival-rate distribution, timezones, LTE share,
+                       churn; see examples/scenarios/) and expand it into
+                       a per-user fleet. The spec owns users/horizon/
+                       arrivals (including any --arrival-trace) and the
+                       network tier, overriding those flags; scheduler,
+                       training and environment flags still apply
+  --save-config F      write the effective (expanded) config as JSON and
+                       exit
   --replications R     run R replications (seeds seed..seed+R-1) as a
                        campaign and report mean/stddev        (default 1)
   --jobs N             campaign worker threads; 0 = $FEDCO_JOBS, else all
@@ -71,6 +81,10 @@ Environment:
   --csv-dir DIR        export Q/H/G/accuracy traces as CSV (single run only)
   --json PATH          write the result as JSON; with --replications R > 1,
                        one document per replication (PATH-r<k>.json)
+  --save-result F      archive the complete single run as JSON: full config
+                       (with the expanded per-user scenario) plus
+                       undecimated traces and per-update lag/gap samples,
+                       re-runnable via --config F
 
 Unknown options are reported to stderr and exit non-zero.
 )";
@@ -158,6 +172,13 @@ core::ExperimentConfig effective_config(const util::ArgParser& args) {
     cfg.dataset.width = 16;
     cfg.dataset.train_per_class = 200;
     cfg.dataset.test_per_class = 40;
+  }
+  // Declarative scenario expansion last, after --seed settled (the fleet is
+  // generated from the effective seed): the spec owns the population.
+  const std::string scenario_path = args.get("scenario");
+  if (!scenario_path.empty()) {
+    cfg = core::apply_scenario(scenario::load_scenario_json(scenario_path),
+                               cfg);
   }
   return cfg;
 }
@@ -267,11 +288,19 @@ int run(const util::ArgParser& args) {
   const core::ExperimentConfig cfg = effective_config(args);
   const std::string save_config_path = args.get("save-config");
   const std::string json_path = args.get("json");
+  const std::string save_result_path = args.get("save-result");
   const std::string csv_dir = args.get("csv-dir");
   const std::int64_t replications_raw = args.get_int("replications", 1);
   const std::int64_t jobs_raw = args.get_int("jobs", 0);
   if (replications_raw < 1) {
     throw std::invalid_argument{"--replications must be >= 1"};
+  }
+  if (!save_result_path.empty() && replications_raw > 1) {
+    // Silently dropping an archive the user asked for would be worse than
+    // the CLI's unknown-flag strictness; campaigns archive via --json.
+    throw std::invalid_argument{
+        "--save-result archives a single run; with --replications use "
+        "--json (one document per replication)"};
   }
   if (jobs_raw < 0) {
     throw std::invalid_argument{"--jobs must be >= 0 (0 = auto)"};
@@ -308,6 +337,18 @@ int run(const util::ArgParser& args) {
   if (!json_path.empty()) {
     core::write_result_json(json_path, cfg, r);
     std::cout << "result written to " << json_path << '\n';
+  }
+
+  if (!save_result_path.empty()) {
+    // The archival document: everything the run produced, at full
+    // resolution, plus the complete config (with any expanded per-user
+    // scenario) so the file alone reproduces the run via --config.
+    core::ResultJsonOptions archive;
+    archive.include_traces = true;
+    archive.trace_decimation = 1;
+    archive.include_lag_gap_samples = true;
+    core::write_result_json(save_result_path, cfg, r, archive);
+    std::cout << "full result archived to " << save_result_path << '\n';
   }
 
   if (!csv_dir.empty()) {

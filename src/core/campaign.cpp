@@ -76,6 +76,7 @@ CampaignReport run_campaign(const std::vector<ExperimentConfig>& configs,
 
   report.wall_seconds = seconds_since(campaign_start);
   for (const double d : durations) report.serial_seconds += d;
+  report.duration_seconds = std::move(durations);
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }

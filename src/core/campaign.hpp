@@ -32,6 +32,9 @@ inline constexpr std::size_t kMaxCampaignJobs = 1024;
 struct CampaignReport {
   /// One result per input config, index-aligned — independent of `jobs`.
   std::vector<ExperimentResult> results;
+  /// Per-experiment runtime (s), index-aligned. Timing only — unlike
+  /// `results` it naturally varies run to run and with worker contention.
+  std::vector<double> duration_seconds;
   std::size_t jobs = 1;          ///< workers actually used
   double wall_seconds = 0.0;     ///< end-to-end campaign wall-clock
   double serial_seconds = 0.0;   ///< sum of per-experiment runtimes

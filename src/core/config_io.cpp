@@ -6,95 +6,49 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "scenario/scenario_io.hpp"
 
 namespace fedco::core {
 
 namespace {
 
-std::string lowered(const std::string& text) {
-  std::string out = text;
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return out;
-}
-
 // ------------------------------------------------------------- readers
 //
-// Each reader pulls one typed value out of a JsonValue with a
-// field-qualified error message, so a bad scenario file points at the
-// exact offending key.
+// Thin bindings of the shared util/json strict-loader helpers (typed
+// readers with field-qualified errors + unknown-key-rejecting dispatch)
+// to this loader's error prefix; scenario/scenario_io binds the same
+// helpers under its own prefix.
+
+constexpr const char* kLoader = "config_io";
 
 double read_double(const util::JsonValue& value, const std::string& key) {
-  if (!value.is_number()) {
-    throw std::invalid_argument{"config_io: '" + key + "' must be a number"};
-  }
-  return value.as_number();
+  return util::json_read_double(value, key, kLoader);
 }
 
 bool read_bool(const util::JsonValue& value, const std::string& key) {
-  if (!value.is_bool()) {
-    throw std::invalid_argument{"config_io: '" + key + "' must be a boolean"};
-  }
-  return value.as_bool();
+  return util::json_read_bool(value, key, kLoader);
 }
 
-std::string read_string(const util::JsonValue& value, const std::string& key) {
-  if (!value.is_string()) {
-    throw std::invalid_argument{"config_io: '" + key + "' must be a string"};
-  }
-  return value.as_string();
+const std::string& read_string(const util::JsonValue& value,
+                               const std::string& key) {
+  return util::json_read_string(value, key, kLoader);
 }
-
-/// Integers travel as JSON numbers (doubles); beyond 2^53 they are no
-/// longer exactly representable, so a value past that silently changes on
-/// the way through — reject it rather than corrupt the config (the casts
-/// below are also UB for out-of-range doubles).
-constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
 
 std::uint64_t read_uint(const util::JsonValue& value, const std::string& key) {
-  const double number = read_double(value, key);
-  if (number < 0.0 || number != std::floor(number)) {
-    throw std::invalid_argument{"config_io: '" + key +
-                                "' must be a non-negative integer"};
-  }
-  if (number > kMaxExactInteger) {
-    throw std::invalid_argument{"config_io: '" + key +
-                                "' exceeds the exactly-representable "
-                                "integer range (2^53)"};
-  }
-  return static_cast<std::uint64_t>(number);
+  return util::json_read_uint(value, key, kLoader);
 }
 
 std::int64_t read_int(const util::JsonValue& value, const std::string& key) {
-  const double number = read_double(value, key);
-  if (number != std::floor(number)) {
-    throw std::invalid_argument{"config_io: '" + key +
-                                "' must be an integer"};
-  }
-  if (number > kMaxExactInteger || number < -kMaxExactInteger) {
-    throw std::invalid_argument{"config_io: '" + key +
-                                "' exceeds the exactly-representable "
-                                "integer range (2^53)"};
-  }
-  return static_cast<std::int64_t>(number);
+  return util::json_read_int(value, key, kLoader);
 }
 
-/// Iterate an object's members, dispatching each through `apply(key,
-/// value)`; apply returns false for keys it does not know.
 template <typename Apply>
 void for_each_member(const util::JsonValue& object, const std::string& where,
                      Apply&& apply) {
-  if (!object.is_object()) {
-    throw std::invalid_argument{"config_io: '" + where +
-                                "' must be an object"};
-  }
-  for (const auto& [key, value] : object.as_object()) {
-    if (!apply(key, value)) {
-      throw std::invalid_argument{"config_io: unknown key '" + where + "." +
-                                  key + "'"};
-    }
-  }
+  util::json_for_each_member(object, where, kLoader,
+                             std::forward<Apply>(apply));
 }
 
 void read_aggregation(const util::JsonValue& object,
@@ -166,6 +120,51 @@ void read_battery(const util::JsonValue& object, device::BatteryConfig& out) {
                   });
 }
 
+void read_per_user_entry(const util::JsonValue& object, const std::string& where,
+                         scenario::PerUserConfig& out) {
+  for_each_member(
+      object, where,
+      [&](const std::string& key, const util::JsonValue& value) {
+        if (key == "device") {
+          out.device =
+              scenario::parse_device_kind_token(read_string(value, key));
+        } else if (key == "arrival_probability") {
+          out.arrival_probability = read_double(value, key);
+        } else if (key == "diurnal") {
+          out.diurnal = read_bool(value, key);
+        } else if (key == "diurnal_swing") {
+          out.diurnal_swing = read_double(value, key);
+        } else if (key == "diurnal_peak_hour") {
+          out.diurnal_peak_hour = read_double(value, key);
+        } else if (key == "use_lte") {
+          out.use_lte = read_bool(value, key);
+        } else if (key == "join_slot") {
+          out.join_slot = read_int(value, key);
+        } else if (key == "leave_slot") {
+          out.leave_slot = read_int(value, key);
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+void read_per_user(const util::JsonValue& array,
+                   std::vector<scenario::PerUserConfig>& out) {
+  if (!array.is_array()) {
+    throw std::invalid_argument{"config_io: 'per_user' must be an array"};
+  }
+  out.clear();
+  out.reserve(array.as_array().size());
+  std::size_t index = 0;
+  for (const util::JsonValue& entry : array.as_array()) {
+    scenario::PerUserConfig pu;
+    read_per_user_entry(entry, "per_user[" + std::to_string(index) + "]", pu);
+    out.push_back(pu);
+    ++index;
+  }
+}
+
 void read_thermal(const util::JsonValue& object, device::ThermalConfig& out) {
   for_each_member(object, "thermal",
                   [&](const std::string& key, const util::JsonValue& value) {
@@ -220,22 +219,14 @@ const char* model_token(ModelKind kind) noexcept {
 
 const char* device_token(
     const std::optional<device::DeviceKind>& kind) noexcept {
+  // The concrete-kind vocabulary lives with the scenario layer (it is also
+  // the per_user/device_mix vocabulary); "mixed" is config-level only.
   if (!kind) return "mixed";
-  switch (*kind) {
-    case device::DeviceKind::kNexus6:
-      return "nexus6";
-    case device::DeviceKind::kNexus6P:
-      return "nexus6p";
-    case device::DeviceKind::kHikey970:
-      return "hikey970";
-    case device::DeviceKind::kPixel2:
-      return "pixel2";
-  }
-  return "?";
+  return scenario::device_kind_token(*kind);
 }
 
 SchedulerKind parse_scheduler_token(const std::string& name) {
-  const std::string token = lowered(name);
+  const std::string token = util::ascii_lowered(name);
   if (token == "immediate") return SchedulerKind::kImmediate;
   if (token == "sync" || token == "sync-sgd" || token == "syncsgd") {
     return SchedulerKind::kSyncSgd;
@@ -246,7 +237,7 @@ SchedulerKind parse_scheduler_token(const std::string& name) {
 }
 
 ModelKind parse_model_token(const std::string& name) {
-  const std::string token = lowered(name);
+  const std::string token = util::ascii_lowered(name);
   if (token == "mlp") return ModelKind::kMlp;
   if (token == "lenet-small") return ModelKind::kLenetSmall;
   if (token == "lenet5") return ModelKind::kLenet5;
@@ -254,7 +245,7 @@ ModelKind parse_model_token(const std::string& name) {
 }
 
 fl::AggregationKind parse_aggregation_token(const std::string& name) {
-  const std::string token = lowered(name);
+  const std::string token = util::ascii_lowered(name);
   if (token == "replace") return fl::AggregationKind::kReplace;
   if (token == "fedasync") return fl::AggregationKind::kFedAsync;
   if (token == "delay-comp") return fl::AggregationKind::kDelayComp;
@@ -262,13 +253,9 @@ fl::AggregationKind parse_aggregation_token(const std::string& name) {
 }
 
 std::optional<device::DeviceKind> parse_device_token(const std::string& name) {
-  const std::string token = lowered(name);
+  const std::string token = util::ascii_lowered(name);
   if (token.empty() || token == "mixed") return std::nullopt;
-  if (token == "nexus6") return device::DeviceKind::kNexus6;
-  if (token == "nexus6p") return device::DeviceKind::kNexus6P;
-  if (token == "hikey970") return device::DeviceKind::kHikey970;
-  if (token == "pixel2") return device::DeviceKind::kPixel2;
-  throw std::invalid_argument{"unknown device '" + name + "'"};
+  return scenario::parse_device_kind_token(token);
 }
 
 // ------------------------------------------------------------- writing
@@ -350,6 +337,35 @@ void write_config_members(util::JsonWriter& json,
   json.member("record_interval",
               static_cast<std::int64_t>(config.record_interval));
   json.member("record_per_user_gaps", config.record_per_user_gaps);
+  // Per-user scenario overrides: entries only state what they change
+  // (absent keys reload as the inherit-the-config defaults), so a mostly
+  // homogeneous 10k-user fleet stays compact.
+  if (!config.per_user.empty()) {
+    json.key("per_user").begin_array();
+    for (const scenario::PerUserConfig& pu : config.per_user) {
+      json.begin_object();
+      if (pu.device) {
+        json.member("device", scenario::device_kind_token(*pu.device));
+      }
+      if (pu.arrival_probability) {
+        json.member("arrival_probability", *pu.arrival_probability);
+      }
+      if (pu.diurnal) json.member("diurnal", *pu.diurnal);
+      if (pu.diurnal_swing) json.member("diurnal_swing", *pu.diurnal_swing);
+      if (pu.diurnal_peak_hour != scenario::PerUserConfig{}.diurnal_peak_hour) {
+        json.member("diurnal_peak_hour", pu.diurnal_peak_hour);
+      }
+      if (pu.use_lte) json.member("use_lte", *pu.use_lte);
+      if (pu.join_slot != 0) {
+        json.member("join_slot", static_cast<std::int64_t>(pu.join_slot));
+      }
+      if (pu.leave_slot != scenario::kNeverLeaves) {
+        json.member("leave_slot", static_cast<std::int64_t>(pu.leave_slot));
+      }
+      json.end_object();
+    }
+    json.end_array();
+  }
 }
 
 std::string config_to_json(const ExperimentConfig& config) {
@@ -455,6 +471,8 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.record_interval = read_int(value, key);
         } else if (key == "record_per_user_gaps") {
           config.record_per_user_gaps = read_bool(value, key);
+        } else if (key == "per_user") {
+          read_per_user(value, config.per_user);
         } else {
           return false;
         }
@@ -476,6 +494,31 @@ void save_config_json(const std::string& path,
   std::ofstream out{path, std::ios::trunc};
   if (!out) throw std::runtime_error{"save_config_json: cannot open " + path};
   out << config_to_json(config) << '\n';
+}
+
+// ------------------------------------------------------------- scenarios
+
+ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
+                                ExperimentConfig base) {
+  base.num_users = spec.num_users;
+  base.horizon_slots = spec.horizon_slots;
+  base.arrival_probability = spec.arrival.mean_probability;
+  // The spec owns arrivals outright: a trace left over from the base
+  // config (or --arrival-trace) would silently replace the spec's
+  // per-user arrival processes for every user.
+  base.arrival_trace_path.clear();
+  base.diurnal = spec.diurnal.enabled;
+  base.diurnal_swing = spec.diurnal.swing;
+  // An explicit device mix supersedes a pinned fleet; the expansion below
+  // writes concrete per-user devices.
+  if (!spec.device_mix.empty()) base.fixed_device.reset();
+  // The spec owns the network tier too. A fractional share pins every
+  // user explicitly in generate_fleet; the pure cases set the fleet-wide
+  // default so lte_fraction 0.0 really is an all-WiFi fleet even over a
+  // base config that had use_lte on.
+  base.use_lte = spec.network.lte_fraction >= 1.0;
+  base.per_user = scenario::generate_fleet(spec, base.seed);
+  return base;
 }
 
 }  // namespace fedco::core

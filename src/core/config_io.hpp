@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "scenario/spec.hpp"
 #include "util/json.hpp"
 
 namespace fedco::core {
@@ -52,5 +53,18 @@ void write_config_members(util::JsonWriter& json,
 /// File variants; throw std::runtime_error on I/O failure.
 [[nodiscard]] ExperimentConfig load_config_json(const std::string& path);
 void save_config_json(const std::string& path, const ExperimentConfig& config);
+
+/// Overlay a declarative scenario onto a base config (the CLI's
+/// `--scenario` path). The spec owns the population outright: num_users,
+/// horizon_slots, the arrival processes (the base rate, diurnal shape,
+/// and any arrival trace are replaced — a leftover trace would silently
+/// override the spec's per-user rates), and the network-tier mix; then
+/// generate_fleet(spec, base.seed) fills per_user. Everything else
+/// (scheduler, training, environment knobs) stays with `base`, so
+/// scenario files compose with ordinary flags/config files. The expanded
+/// config is self-contained: saving it (or any result document embedding
+/// it) reproduces the run without the spec.
+[[nodiscard]] ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
+                                              ExperimentConfig base);
 
 }  // namespace fedco::core

@@ -46,10 +46,17 @@ enum class Phase { kReady, kTraining, kBarrier, kTransferring };
 
 struct UserState {
   const device::DeviceProfile* dev = nullptr;
+  const net::Link* link = nullptr;  ///< per-user network tier (wifi/lte)
   std::optional<apps::AppSessionTracker> session;
   fl::GapTracker gap{0.05};
   Phase phase = Phase::kReady;
   sim::Slot phase_end = 0;
+  /// Presence window [join, leave): churned users are absent outside it.
+  sim::Slot join = 0;
+  sim::Slot leave = scenario::kNeverLeaves;
+  /// Counted in the scheduler's arrival stream A(t) but not yet served —
+  /// lets a mid-backlog departure drain the queue exactly once.
+  bool in_backlog = false;
   bool training_corun = false;
   device::AppKind train_app = device::AppKind::kMap;
   std::uint64_t version_at_download = 0;
@@ -91,7 +98,8 @@ class Driver final : public SchedulerContext {
       : cfg_(cfg),
         clock_(cfg.slot_seconds),
         master_rng_(cfg.seed),
-        link_(cfg.use_lte ? net::lte_link() : net::wifi_link()) {
+        wifi_link_(net::wifi_link()),
+        lte_link_(net::lte_link()) {
     if (cfg.num_users == 0) throw std::invalid_argument{"run_experiment: 0 users"};
     if (cfg.horizon_slots <= 0) {
       throw std::invalid_argument{"run_experiment: empty horizon"};
@@ -99,6 +107,16 @@ class Driver final : public SchedulerContext {
     if (cfg.record_interval <= 0) {
       throw std::invalid_argument{
           "run_experiment: record_interval must be positive"};
+    }
+    if (!cfg.per_user.empty() && cfg.per_user.size() != cfg.num_users) {
+      throw std::invalid_argument{
+          "run_experiment: per_user must be empty or hold num_users entries"};
+    }
+    for (const scenario::PerUserConfig& pu : cfg.per_user) {
+      if (pu.join_slot < 0 || pu.leave_slot <= pu.join_slot) {
+        throw std::invalid_argument{
+            "run_experiment: per_user presence window is empty"};
+      }
     }
     model_bytes_ = cfg.model_bytes;
     scheduler_ = make_scheduler(cfg_);
@@ -131,6 +149,11 @@ class Driver final : public SchedulerContext {
 
   [[nodiscard]] bool user_at_barrier(std::size_t user) const override {
     return users_[user].phase == Phase::kBarrier;
+  }
+
+  [[nodiscard]] bool user_present(std::size_t user,
+                                  sim::Slot t) const override {
+    return present(users_[user], t);
   }
 
   [[nodiscard]] const device::DeviceProfile& user_device(
@@ -186,7 +209,20 @@ class Driver final : public SchedulerContext {
                     fl::gradient_gap(cfg_.eta, cfg_.beta, 1.0,
                                      momentum_model_.momentum_norm()));
     }
-    for (UserState& u : users_) begin_transfer(u, t);
+    // Only users parked at the barrier join the next round's transfer; a
+    // barrier-parked user that churned out while waiting skips the
+    // download and parks (its upload was staged before it left), and
+    // absent users are left alone. Homogeneous fleets have every user at
+    // the barrier here, so this matches the historical transfer-everyone
+    // behaviour bit for bit.
+    for (UserState& u : users_) {
+      if (u.phase != Phase::kBarrier) continue;
+      if (in_window(u, t)) {
+        begin_transfer(u, t);
+      } else {
+        u.phase = Phase::kReady;
+      }
+    }
   }
 
  private:
@@ -214,22 +250,30 @@ class Driver final : public SchedulerContext {
                                             cfg_.num_users, part_rng);
     }
     const nn::SgdConfig sgd{cfg_.eta, cfg_.beta, 0.0, 0.0};
+    const scenario::PerUserConfig default_pu;
     for (std::size_t i = 0; i < cfg_.num_users; ++i) {
       UserState& u = users_[i];
+      const scenario::PerUserConfig& pu =
+          cfg_.per_user.empty() ? default_pu : cfg_.per_user[i];
       u.rng = master_rng_.fork();
+      // Device assignment is owned by the scenario layer: an explicit
+      // per-user kind wins draw-free; otherwise assign_device makes the
+      // classic uniform pick (or honours fixed_device) from u.rng.
       const device::DeviceKind kind =
-          cfg_.fixed_device
-              ? *cfg_.fixed_device
-              : static_cast<device::DeviceKind>(
-                    u.rng.uniform_int(device::kDeviceKinds));
+          pu.device ? *pu.device
+                    : scenario::assign_device(cfg_.fixed_device, u.rng);
       u.dev = &device::profile(kind);
+      u.link = pu.use_lte.value_or(cfg_.use_lte) ? &lte_link_ : &wifi_link_;
+      u.join = pu.join_slot;
+      u.leave = pu.leave_slot;
       u.gap = fl::GapTracker{cfg_.epsilon};
       u.battery = device::Battery{cfg_.battery};
       u.thermal = device::ThermalModel{cfg_.thermal};
-      u.script = generate_script(u.rng);
+      u.script = generate_script(u.rng, pu);
       u.session.emplace(std::make_unique<apps::ScriptedArrivals>(u.script),
                         cfg_.slot_seconds);
       u.phase = Phase::kReady;
+      u.in_backlog = u.join == 0;
       if (cfg_.real_training) {
         std::vector<std::size_t> shard = partition[i];
         u.client = std::make_unique<fl::FlClient>(
@@ -237,25 +281,41 @@ class Driver final : public SchedulerContext {
             *prototype_, sgd, u.rng());
       }
     }
-    pending_arrivals_ = static_cast<double>(cfg_.num_users);  // A(0) = n
+    // A(0): every user present from slot 0 (historically all num_users).
+    double initial = 0.0;
+    for (const UserState& u : users_) initial += u.join == 0 ? 1.0 : 0.0;
+    pending_arrivals_ = initial;
   }
 
-  std::vector<apps::ScriptedArrivals::Event> generate_script(util::Rng& rng) {
+  std::vector<apps::ScriptedArrivals::Event> generate_script(
+      util::Rng& rng, const scenario::PerUserConfig& pu) {
+    std::vector<apps::ScriptedArrivals::Event> events;
     if (!cfg_.arrival_trace_path.empty()) {
       if (trace_events_.empty()) {
         trace_events_ = apps::load_arrival_trace_csv(cfg_.arrival_trace_path);
       }
-      return trace_events_;
-    }
-    std::vector<apps::ScriptedArrivals::Event> events;
-    const apps::DiurnalArrivals diurnal{cfg_.arrival_probability,
-                                        cfg_.diurnal_swing, cfg_.slot_seconds};
-    for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
-      const double p = cfg_.diurnal ? diurnal.probability_at(t)
-                                    : cfg_.arrival_probability;
-      if (rng.bernoulli(p)) {
-        events.push_back({t, apps::random_app(rng)});
+      events = trace_events_;
+    } else {
+      const double p =
+          pu.arrival_probability.value_or(cfg_.arrival_probability);
+      const bool diurnal_on = pu.diurnal.value_or(cfg_.diurnal);
+      const apps::DiurnalArrivals diurnal{
+          p, pu.diurnal_swing.value_or(cfg_.diurnal_swing), cfg_.slot_seconds,
+          pu.diurnal_peak_hour};
+      // The full-horizon draw runs even for churned users (identical RNG
+      // consumption across presence windows); off-window events are
+      // dropped afterwards.
+      for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
+        const double prob = diurnal_on ? diurnal.probability_at(t) : p;
+        if (rng.bernoulli(prob)) {
+          events.push_back({t, apps::random_app(rng)});
+        }
       }
+    }
+    if (pu.join_slot > 0 || pu.leave_slot < cfg_.horizon_slots) {
+      std::erase_if(events, [&](const apps::ScriptedArrivals::Event& e) {
+        return e.at < pu.join_slot || e.at >= pu.leave_slot;
+      });
     }
     return events;
   }
@@ -263,21 +323,38 @@ class Driver final : public SchedulerContext {
   // ------------------------------------------------------------- per slot
 
   void step(sim::Slot t) {
-    // 1. Foreground app lifecycle.
-    for (UserState& u : users_) u.session->tick(t, *u.dev, u.rng);
+    // 1. Foreground app lifecycle (absent users have no foreground).
+    for (UserState& u : users_) {
+      if (present(u, t)) u.session->tick(t, *u.dev, u.rng);
+    }
 
-    // 2. Completions: training finished -> upload; transfer finished -> ready.
+    // 2. Completions: training finished -> upload; transfer finished ->
+    //    ready. Presence-window edges feed the arrival stream A(t): a user
+    //    joining mid-horizon arrives, a user leaving while queued departs
+    //    (drained below as a served unit so Q(t) stays balanced).
     double arrivals = pending_arrivals_;
+    double departed = 0.0;
     pending_arrivals_ = 0.0;
     for (std::size_t i = 0; i < users_.size(); ++i) {
       UserState& u = users_[i];
+      if (t > 0 && u.join == t && u.leave > t) {
+        arrivals += 1.0;
+        u.in_backlog = true;
+      }
       if (u.phase == Phase::kTraining && t >= u.phase_end) {
         complete_training(i, t);
       }
       if (u.phase == Phase::kTransferring && t >= u.phase_end) {
         u.phase = Phase::kReady;
-        scheduler_->on_user_ready(i, t, *this);
-        arrivals += 1.0;
+        if (in_window(u, t)) {
+          scheduler_->on_user_ready(i, t, *this);
+          arrivals += 1.0;
+          u.in_backlog = true;
+        }
+      }
+      if (u.leave == t && u.phase == Phase::kReady && u.in_backlog) {
+        departed += 1.0;
+        u.in_backlog = false;
       }
     }
 
@@ -285,19 +362,22 @@ class Driver final : public SchedulerContext {
     //    oracle replans its window here.
     scheduler_->on_slot_begin(t, *this);
 
-    // 4. Scheduling decisions for ready users.
+    // 4. Scheduling decisions for ready, present users.
     double served = 0.0;
     for (std::size_t i = 0; i < users_.size(); ++i) {
       UserState& u = users_[i];
-      if (u.phase != Phase::kReady) continue;
+      if (u.phase != Phase::kReady || !in_window(u, t)) continue;
       if (decide(i, u, t)) {
         start_training(u, t);
         served += 1.0;
+        u.in_backlog = false;
       }
     }
 
-    // 5. Energy accounting for this slot (Eq. 10 states).
+    // 5. Energy accounting for this slot (Eq. 10 states). Absent users
+    //    burn nothing — their device is off the fleet.
     for (UserState& u : users_) {
+      if (!present(u, t)) continue;
       const device::Decision decision = u.phase == Phase::kTraining
                                             ? device::Decision::kSchedule
                                             : device::Decision::kIdle;
@@ -324,13 +404,15 @@ class Driver final : public SchedulerContext {
       }
     }
 
-    // 6. Gap accumulation (Eq. 12 idle branch) and queue updates.
+    // 6. Gap accumulation (Eq. 12 idle branch) and queue updates. Absent
+    //    users neither accrue staleness nor pressure H(t).
     double sum_gaps = 0.0;
     for (UserState& u : users_) {
+      if (!present(u, t)) continue;
       if (u.phase != Phase::kTraining) u.gap.accrue_idle();
       sum_gaps += u.gap.gap();
     }
-    scheduler_->on_slot_end(arrivals, served, sum_gaps);
+    scheduler_->on_slot_end(arrivals, served + departed, sum_gaps);
     queue_q_stats_.add(scheduler_->queue_q());
     queue_h_stats_.add(scheduler_->queue_h());
 
@@ -358,6 +440,23 @@ class Driver final : public SchedulerContext {
     }
   }
 
+  // ------------------------------------------------------------- presence
+
+  /// Inside the scenario presence window this slot?
+  [[nodiscard]] static bool in_window(const UserState& u, sim::Slot t) noexcept {
+    return t >= u.join && t < u.leave;
+  }
+
+  /// Simulated this slot? In-window users always; a user that left with a
+  /// training session or model transfer in flight drains it before going
+  /// absent. A departed user parked at the sync round barrier is NOT
+  /// simulated — it burns nothing while waiting on stragglers (its staged
+  /// upload still joins the round; see aggregate_round).
+  [[nodiscard]] static bool present(const UserState& u, sim::Slot t) noexcept {
+    return in_window(u, t) || u.phase == Phase::kTraining ||
+           u.phase == Phase::kTransferring;
+  }
+
   // ------------------------------------------------------------- decisions
 
   bool decide(std::size_t index, UserState& u, sim::Slot t) {
@@ -373,18 +472,29 @@ class Driver final : public SchedulerContext {
 
   /// Server-side lag estimate l_{d_i}: how many currently-training users
   /// will apply an update while `u` would be training (Algorithm 2, line 4).
+  /// Answered from the sorted end-slot index of in-flight sessions
+  /// (training_ends_) in O(log n) instead of an O(n) fleet scan — the same
+  /// count bit for bit (`u` is never in the index when this is called), but
+  /// it keeps 10k-user online fleets out of O(n^2) per slot.
   double expected_lag(const UserState& u, device::AppStatus status,
                       device::AppKind app, sim::Slot t) const {
     const double duration = device::training_duration_s(*u.dev, status, app);
     const sim::Slot end = t + clock_.slots_for_seconds(duration);
-    double lag = 0.0;
-    for (const UserState& other : users_) {
-      if (&other == &u) continue;
-      if (other.phase == Phase::kTraining && other.phase_end <= end) {
-        lag += 1.0;
-      }
-    }
-    return lag;
+    const auto it =
+        std::upper_bound(training_ends_.begin(), training_ends_.end(), end);
+    return static_cast<double>(it - training_ends_.begin());
+  }
+
+  /// Keep the expected_lag index in sync with kTraining phase transitions.
+  void index_training_start(sim::Slot end) {
+    training_ends_.insert(
+        std::upper_bound(training_ends_.begin(), training_ends_.end(), end),
+        end);
+  }
+
+  void index_training_finish(sim::Slot end) {
+    training_ends_.erase(
+        std::lower_bound(training_ends_.begin(), training_ends_.end(), end));
   }
 
   // ------------------------------------------------------------- lifecycle
@@ -446,10 +556,12 @@ class Driver final : public SchedulerContext {
     } else {
       u.version_at_download = synthetic_version_;
     }
+    index_training_start(u.phase_end);
   }
 
   void complete_training(std::size_t index, sim::Slot t) {
     UserState& u = users_[index];
+    index_training_finish(u.phase_end);
     const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
     // Failure injection: the upload is lost (killed background process or
     // exhausted transfer retries). Energy was spent; no update lands. The
@@ -509,9 +621,10 @@ class Driver final : public SchedulerContext {
   }
 
   void begin_transfer(UserState& u, sim::Slot t) {
-    // Upload the local model, then download the fresh global copy.
-    const net::TransferResult up = link_.transfer(model_bytes_, u.rng);
-    const net::TransferResult down = link_.transfer(model_bytes_, u.rng);
+    // Upload the local model, then download the fresh global copy, over
+    // the user's own network tier.
+    const net::TransferResult up = u.link->transfer(model_bytes_, u.rng);
+    const net::TransferResult down = u.link->transfer(model_bytes_, u.rng);
     result_.network_j += up.energy_j + down.energy_j;
     const double seconds = up.duration_s + down.duration_s;
     u.phase = Phase::kTransferring;
@@ -561,8 +674,12 @@ class Driver final : public SchedulerContext {
   sim::Clock clock_;
   util::Rng master_rng_;
   std::unique_ptr<Scheduler> scheduler_;
-  net::Link link_;
+  net::Link wifi_link_;
+  net::Link lte_link_;
   fl::SyntheticMomentumModel momentum_model_;
+  /// Sorted phase_end slots of users currently in kTraining (the
+  /// expected_lag index; see index_training_start/finish).
+  std::vector<sim::Slot> training_ends_;
 
   data::SynthCifar dataset_;
   std::optional<nn::Network> prototype_;

@@ -50,6 +50,12 @@ class SchedulerContext {
   [[nodiscard]] virtual bool user_ready(std::size_t user) const = 0;
   /// Is the user parked at the synchronous round barrier?
   [[nodiscard]] virtual bool user_at_barrier(std::size_t user) const = 0;
+  /// Is the user inside its scenario presence window this slot (or still
+  /// draining in-flight work)? Homogeneous fleets: always true. Schemes
+  /// must not wait on (or plan for) absent users — a churned-out user at a
+  /// round barrier would otherwise deadlock the round.
+  [[nodiscard]] virtual bool user_present(std::size_t user,
+                                          sim::Slot t) const = 0;
   [[nodiscard]] virtual const device::DeviceProfile& user_device(
       std::size_t user) const = 0;
   /// Foreground app currently on screen, if any.
@@ -61,6 +67,11 @@ class SchedulerContext {
   [[nodiscard]] virtual double momentum_norm() const = 0;
   /// Server lag estimate l_{d_i} (Algorithm 2, line 4): currently-training
   /// users that will apply an update while `user` would be training.
+  /// Precondition: `user` must not itself be mid-training-session — the
+  /// driver answers from an index of in-flight sessions that would count
+  /// the caller's own session. Call it only for users being *considered*
+  /// for scheduling (the decide() path), which is also the only place the
+  /// estimate is meaningful.
   [[nodiscard]] virtual double expected_lag(std::size_t user,
                                             device::AppStatus status,
                                             device::AppKind app,

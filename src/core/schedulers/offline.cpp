@@ -27,7 +27,9 @@ void OfflineScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
   std::vector<std::size_t> ready;
   std::vector<OfflineUserInput> inputs;
   for (std::size_t i = 0; i < ctx.num_users(); ++i) {
-    if (!ctx.user_ready(i)) continue;
+    // Only present, ready users enter the window knapsack; a churned-out
+    // user neither saves energy nor accrues schedulable staleness.
+    if (!ctx.user_ready(i) || !ctx.user_present(i, t)) continue;
     ready.push_back(i);
     OfflineUserInput in;
     in.dev = &ctx.user_device(i);

@@ -4,9 +4,17 @@ namespace fedco::core {
 
 void SyncSgdScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
   const std::size_t n = ctx.num_users();
+  bool any_at_barrier = false;
   for (std::size_t i = 0; i < n; ++i) {
-    if (!ctx.user_at_barrier(i)) return;  // stragglers still running
+    if (ctx.user_at_barrier(i)) {
+      any_at_barrier = true;
+      continue;
+    }
+    // Absent (churned-out) users cannot contribute to this round and must
+    // not gate it; everyone present has to reach the barrier first.
+    if (ctx.user_present(i, t)) return;  // straggler still running
   }
+  if (!any_at_barrier) return;  // nothing staged (fleet momentarily empty)
   ctx.aggregate_round(t);
 }
 

@@ -1,0 +1,11 @@
+#include "scenario/fleet.hpp"
+
+namespace fedco::scenario {
+
+device::DeviceKind assign_device(
+    const std::optional<device::DeviceKind>& pinned, util::Rng& rng) noexcept {
+  if (pinned) return *pinned;
+  return static_cast<device::DeviceKind>(rng.uniform_int(device::kDeviceKinds));
+}
+
+}  // namespace fedco::scenario

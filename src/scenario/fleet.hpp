@@ -1,0 +1,69 @@
+// Per-user fleet parameterization — the expansion target of a ScenarioSpec.
+//
+// A PerUserConfig carries everything that may differ between users of one
+// experiment: the device model, the arrival process (rate, diurnal shape,
+// timezone-shifted peak), the network tier, and the presence window (churn).
+// Every field defaults to "inherit the homogeneous ExperimentConfig value",
+// so a fleet of default-constructed PerUserConfigs is *bit-identical* to the
+// pre-scenario homogeneous driver (the golden parity fingerprints pin this).
+//
+// Device assignment is owned by this layer: the driver's historical uniform
+// pick over the four testbed devices lives in assign_device(), and explicit
+// mixes are expanded by generate_fleet() (see spec.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "device/profiles.hpp"
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace fedco::scenario {
+
+/// Sentinel leave slot: the user never churns out.
+inline constexpr sim::Slot kNeverLeaves = std::numeric_limits<sim::Slot>::max();
+
+/// One user's deviation from the homogeneous ExperimentConfig. Unset
+/// optionals inherit the config value; the default-constructed struct is the
+/// identity override (changes nothing, consumes no extra RNG).
+struct PerUserConfig {
+  /// Device model; unset = the classic uniform pick over the four testbed
+  /// devices (assign_device draws it from the user's own RNG stream).
+  std::optional<device::DeviceKind> device;
+
+  /// Bernoulli arrival probability per slot; unset = config value.
+  std::optional<double> arrival_probability;
+  /// Diurnal modulation on/off; unset = config value.
+  std::optional<bool> diurnal;
+  /// Peak-to-trough swing; unset = config value.
+  std::optional<double> diurnal_swing;
+  /// Hour-of-day of the arrival-rate peak — the timezone shift of this
+  /// user's diurnal phase. 20.0 is the DiurnalArrivals default.
+  double diurnal_peak_hour = 20.0;
+
+  /// Network tier for model exchange; unset = config use_lte.
+  std::optional<bool> use_lte;
+
+  /// Presence window [join_slot, leave_slot): outside it the user is absent
+  /// — no arrivals, no training decisions, no energy accrual. In-flight
+  /// sessions started before leave_slot run to completion.
+  sim::Slot join_slot = 0;
+  sim::Slot leave_slot = kNeverLeaves;
+
+  friend bool operator==(const PerUserConfig&, const PerUserConfig&) = default;
+
+  /// Identity override (inherits everything)?
+  [[nodiscard]] bool is_default() const { return *this == PerUserConfig{}; }
+};
+
+/// The single owner of the fleet device-assignment draw. A pinned kind wins
+/// without touching the RNG; otherwise one uniform_int(kDeviceKinds) draw
+/// picks among the four testbed devices — the exact draw the experiment
+/// driver historically made inline, moved here so device assignment has one
+/// home (the golden parity fingerprints pin the equivalence).
+[[nodiscard]] device::DeviceKind assign_device(
+    const std::optional<device::DeviceKind>& pinned, util::Rng& rng) noexcept;
+
+}  // namespace fedco::scenario

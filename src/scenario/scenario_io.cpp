@@ -1,0 +1,271 @@
+#include "scenario/scenario_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace fedco::scenario {
+
+namespace {
+
+// Thin bindings of the shared util/json strict-loader helpers to this
+// loader's error prefix (core/config_io binds the same helpers).
+
+constexpr const char* kLoader = "scenario";
+
+double read_double(const util::JsonValue& value, const std::string& key) {
+  return util::json_read_double(value, key, kLoader);
+}
+
+bool read_bool(const util::JsonValue& value, const std::string& key) {
+  return util::json_read_bool(value, key, kLoader);
+}
+
+const std::string& read_string(const util::JsonValue& value,
+                               const std::string& key) {
+  return util::json_read_string(value, key, kLoader);
+}
+
+std::uint64_t read_uint(const util::JsonValue& value, const std::string& key) {
+  return util::json_read_uint(value, key, kLoader);
+}
+
+template <typename Apply>
+void for_each_member(const util::JsonValue& object, const std::string& where,
+                     Apply&& apply) {
+  util::json_for_each_member(object, where, kLoader,
+                             std::forward<Apply>(apply));
+}
+
+void read_arrival(const util::JsonValue& object, ArrivalSpec& out) {
+  for_each_member(object, "arrival",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "distribution") {
+                      out.distribution = parse_arrival_distribution_token(
+                          read_string(value, key));
+                    } else if (key == "mean_probability") {
+                      out.mean_probability = read_double(value, key);
+                    } else if (key == "min_probability") {
+                      out.min_probability = read_double(value, key);
+                    } else if (key == "max_probability") {
+                      out.max_probability = read_double(value, key);
+                    } else if (key == "sigma") {
+                      out.sigma = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_diurnal(const util::JsonValue& object, DiurnalSpec& out) {
+  for_each_member(object, "diurnal",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "enabled") {
+                      out.enabled = read_bool(value, key);
+                    } else if (key == "swing") {
+                      out.swing = read_double(value, key);
+                    } else if (key == "peak_hour") {
+                      out.peak_hour = read_double(value, key);
+                    } else if (key == "timezone_spread_hours") {
+                      out.timezone_spread_hours = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_network(const util::JsonValue& object, NetworkSpec& out) {
+  for_each_member(object, "network",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "lte_fraction") {
+                      out.lte_fraction = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_churn(const util::JsonValue& object, ChurnSpec& out) {
+  for_each_member(object, "churn",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "churn_fraction") {
+                      out.churn_fraction = read_double(value, key);
+                    } else if (key == "min_presence") {
+                      out.min_presence = read_double(value, key);
+                    } else if (key == "max_presence") {
+                      out.max_presence = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_device_mix(const util::JsonValue& object,
+                     std::vector<DeviceMixEntry>& out) {
+  if (!object.is_object()) {
+    throw std::invalid_argument{
+        "scenario: 'device_mix' must be an object of device: fraction"};
+  }
+  for (const auto& [key, value] : object.as_object()) {
+    DeviceMixEntry entry;
+    entry.device = parse_device_kind_token(key);  // throws on unknown device
+    entry.fraction = read_double(value, "device_mix." + key);
+    out.push_back(entry);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- tokens
+
+const char* device_kind_token(device::DeviceKind kind) noexcept {
+  switch (kind) {
+    case device::DeviceKind::kNexus6:
+      return "nexus6";
+    case device::DeviceKind::kNexus6P:
+      return "nexus6p";
+    case device::DeviceKind::kHikey970:
+      return "hikey970";
+    case device::DeviceKind::kPixel2:
+      return "pixel2";
+  }
+  return "?";
+}
+
+device::DeviceKind parse_device_kind_token(const std::string& name) {
+  const std::string token = util::ascii_lowered(name);
+  if (token == "nexus6") return device::DeviceKind::kNexus6;
+  if (token == "nexus6p") return device::DeviceKind::kNexus6P;
+  if (token == "hikey970") return device::DeviceKind::kHikey970;
+  if (token == "pixel2") return device::DeviceKind::kPixel2;
+  throw std::invalid_argument{"unknown device '" + name + "'"};
+}
+
+const char* arrival_distribution_token(
+    ArrivalSpec::Distribution distribution) noexcept {
+  switch (distribution) {
+    case ArrivalSpec::Distribution::kFixed:
+      return "fixed";
+    case ArrivalSpec::Distribution::kUniform:
+      return "uniform";
+    case ArrivalSpec::Distribution::kLogNormal:
+      return "lognormal";
+  }
+  return "?";
+}
+
+ArrivalSpec::Distribution parse_arrival_distribution_token(
+    const std::string& name) {
+  const std::string token = util::ascii_lowered(name);
+  if (token == "fixed") return ArrivalSpec::Distribution::kFixed;
+  if (token == "uniform") return ArrivalSpec::Distribution::kUniform;
+  if (token == "lognormal" || token == "log-normal") {
+    return ArrivalSpec::Distribution::kLogNormal;
+  }
+  throw std::invalid_argument{"unknown arrival distribution '" + name + "'"};
+}
+
+// ------------------------------------------------------------- writing
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.member("name", spec.name);
+  json.member("num_users", static_cast<std::uint64_t>(spec.num_users));
+  json.member("horizon_slots", static_cast<std::int64_t>(spec.horizon_slots));
+  if (!spec.device_mix.empty()) {
+    json.key("device_mix").begin_object();
+    for (const DeviceMixEntry& entry : spec.device_mix) {
+      json.member(device_kind_token(entry.device), entry.fraction);
+    }
+    json.end_object();
+  }
+  json.key("arrival").begin_object();
+  json.member("distribution",
+              arrival_distribution_token(spec.arrival.distribution));
+  json.member("mean_probability", spec.arrival.mean_probability);
+  json.member("min_probability", spec.arrival.min_probability);
+  json.member("max_probability", spec.arrival.max_probability);
+  json.member("sigma", spec.arrival.sigma);
+  json.end_object();
+  json.key("diurnal").begin_object();
+  json.member("enabled", spec.diurnal.enabled);
+  json.member("swing", spec.diurnal.swing);
+  json.member("peak_hour", spec.diurnal.peak_hour);
+  json.member("timezone_spread_hours", spec.diurnal.timezone_spread_hours);
+  json.end_object();
+  json.key("network").begin_object();
+  json.member("lte_fraction", spec.network.lte_fraction);
+  json.end_object();
+  json.key("churn").begin_object();
+  json.member("churn_fraction", spec.churn.churn_fraction);
+  json.member("min_presence", spec.churn.min_presence);
+  json.member("max_presence", spec.churn.max_presence);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+// ------------------------------------------------------------- reading
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  const util::JsonValue document = util::parse_json(text);
+  ScenarioSpec spec;
+  for_each_member(
+      document, "scenario",
+      [&](const std::string& key, const util::JsonValue& value) {
+        if (key == "name") {
+          spec.name = read_string(value, key);
+        } else if (key == "num_users") {
+          spec.num_users = static_cast<std::size_t>(read_uint(value, key));
+        } else if (key == "horizon_slots") {
+          spec.horizon_slots =
+              static_cast<sim::Slot>(read_uint(value, key));
+        } else if (key == "device_mix") {
+          read_device_mix(value, spec.device_mix);
+        } else if (key == "arrival") {
+          read_arrival(value, spec.arrival);
+        } else if (key == "diurnal") {
+          read_diurnal(value, spec.diurnal);
+        } else if (key == "network") {
+          read_network(value, spec.network);
+        } else if (key == "churn") {
+          read_churn(value, spec.churn);
+        } else {
+          return false;
+        }
+        return true;
+      });
+  validate(spec);
+  return spec;
+}
+
+ScenarioSpec load_scenario_json(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"load_scenario_json: cannot open " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return spec_from_json(buffer.str());
+}
+
+void save_scenario_json(const std::string& path, const ScenarioSpec& spec) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error{"save_scenario_json: cannot open " + path};
+  }
+  out << spec_to_json(spec) << '\n';
+}
+
+}  // namespace fedco::scenario

@@ -1,0 +1,208 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedco::scenario {
+
+namespace {
+
+/// Salt so fleet expansion never shares a stream with the experiment
+/// driver's master RNG (both start from the same user-facing seed).
+constexpr std::uint64_t kFleetSeedSalt = 0xF1EE7C0DE5CEA21FULL;
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument{std::string{"scenario: "} + message};
+}
+
+/// Largest-remainder apportionment of `n` users over the mix fractions:
+/// exact floors first, then the leftover seats go to the largest fractional
+/// remainders (ties broken by mix order). Deterministic, no RNG.
+std::vector<device::DeviceKind> apportion_devices(
+    const std::vector<DeviceMixEntry>& mix, std::size_t n) {
+  std::vector<std::size_t> counts(mix.size(), 0);
+  std::vector<double> remainders(mix.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    const double exact = mix[k].fraction * static_cast<double>(n);
+    counts[k] = static_cast<std::size_t>(std::floor(exact));
+    remainders[k] = exact - std::floor(exact);
+    assigned += counts[k];
+  }
+  std::vector<std::size_t> order(mix.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < n; ++k) {
+    ++counts[order[k % order.size()]];
+    ++assigned;
+  }
+  std::vector<device::DeviceKind> assignment;
+  assignment.reserve(n);
+  for (std::size_t k = 0; k < mix.size(); ++k) {
+    assignment.insert(assignment.end(), counts[k], mix[k].device);
+  }
+  return assignment;
+}
+
+[[nodiscard]] double wrap_hour(double hour) noexcept {
+  hour = std::fmod(hour, 24.0);
+  return hour < 0.0 ? hour + 24.0 : hour;
+}
+
+}  // namespace
+
+void validate(const ScenarioSpec& spec) {
+  require(spec.num_users > 0, "num_users must be positive");
+  require(spec.horizon_slots > 0, "horizon_slots must be positive");
+
+  if (!spec.device_mix.empty()) {
+    double sum = 0.0;
+    for (const DeviceMixEntry& entry : spec.device_mix) {
+      require(entry.fraction >= 0.0 && entry.fraction <= 1.0,
+              "device_mix fractions must be in [0, 1]");
+      for (const DeviceMixEntry& other : spec.device_mix) {
+        require(&entry == &other || entry.device != other.device,
+                "device_mix lists a device twice");
+      }
+      sum += entry.fraction;
+    }
+    require(std::abs(sum - 1.0) <= 1e-6, "device_mix fractions must sum to 1");
+  }
+
+  const ArrivalSpec& a = spec.arrival;
+  require(a.mean_probability >= 0.0 && a.mean_probability <= 1.0,
+          "arrival.mean_probability must be in [0, 1]");
+  if (a.distribution == ArrivalSpec::Distribution::kUniform) {
+    require(a.min_probability >= 0.0 && a.min_probability <= a.max_probability &&
+                a.max_probability <= 1.0,
+            "arrival uniform bounds need 0 <= min <= max <= 1");
+  }
+  if (a.distribution == ArrivalSpec::Distribution::kLogNormal) {
+    require(a.sigma >= 0.0, "arrival.sigma must be non-negative");
+    require(a.mean_probability > 0.0,
+            "arrival.mean_probability must be positive for lognormal rates");
+  }
+
+  const DiurnalSpec& d = spec.diurnal;
+  require(d.swing >= 0.0 && d.swing <= 1.0, "diurnal.swing must be in [0, 1]");
+  require(d.peak_hour >= 0.0 && d.peak_hour < 24.0,
+          "diurnal.peak_hour must be in [0, 24)");
+  require(d.timezone_spread_hours >= 0.0 && d.timezone_spread_hours <= 24.0,
+          "diurnal.timezone_spread_hours must be in [0, 24]");
+
+  require(spec.network.lte_fraction >= 0.0 && spec.network.lte_fraction <= 1.0,
+          "network.lte_fraction must be in [0, 1]");
+
+  const ChurnSpec& c = spec.churn;
+  require(c.churn_fraction >= 0.0 && c.churn_fraction <= 1.0,
+          "churn.churn_fraction must be in [0, 1]");
+  if (c.churn_fraction > 0.0) {
+    require(c.min_presence > 0.0 && c.min_presence <= c.max_presence &&
+                c.max_presence <= 1.0,
+            "churn presence needs 0 < min_presence <= max_presence <= 1");
+  }
+}
+
+std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
+                                          std::uint64_t seed) {
+  validate(spec);
+  const std::size_t n = spec.num_users;
+  std::vector<PerUserConfig> fleet(n);
+
+  // One forked stream per concern: enabling churn never perturbs device
+  // assignment, widening the device mix never re-rolls arrival rates, etc.
+  util::Rng root{seed ^ kFleetSeedSalt};
+  util::Rng device_rng = root.fork();
+  util::Rng arrival_rng = root.fork();
+  util::Rng tz_rng = root.fork();
+  util::Rng net_rng = root.fork();
+  util::Rng churn_rng = root.fork();
+
+  if (!spec.device_mix.empty()) {
+    std::vector<device::DeviceKind> assignment =
+        apportion_devices(spec.device_mix, n);
+    device_rng.shuffle(assignment);  // decorrelate device from user index
+    for (std::size_t i = 0; i < n; ++i) fleet[i].device = assignment[i];
+  }
+
+  switch (spec.arrival.distribution) {
+    case ArrivalSpec::Distribution::kFixed:
+      break;  // every user inherits the config's homogeneous rate
+    case ArrivalSpec::Distribution::kUniform:
+      for (PerUserConfig& user : fleet) {
+        user.arrival_probability = arrival_rng.uniform(
+            spec.arrival.min_probability, spec.arrival.max_probability);
+      }
+      break;
+    case ArrivalSpec::Distribution::kLogNormal: {
+      // Mean-preserving lognormal: mean * exp(sigma z - sigma^2 / 2) has
+      // expectation `mean`; clamping to [0, 1] truncates the (rare) tail
+      // above a certain-arrival-per-slot rate.
+      const double sigma = spec.arrival.sigma;
+      for (PerUserConfig& user : fleet) {
+        const double rate = spec.arrival.mean_probability *
+                            std::exp(sigma * arrival_rng.normal() -
+                                     0.5 * sigma * sigma);
+        user.arrival_probability = std::clamp(rate, 0.0, 1.0);
+      }
+      break;
+    }
+  }
+
+  // Per-user diurnal phases are only materialised when they deviate from
+  // the DiurnalArrivals default (peak 20.0, no spread); the on/off flag and
+  // the swing stay config-level (apply_scenario sets them).
+  if (spec.diurnal.enabled && (spec.diurnal.timezone_spread_hours > 0.0 ||
+                               spec.diurnal.peak_hour != 20.0)) {
+    const double spread = spec.diurnal.timezone_spread_hours;
+    for (PerUserConfig& user : fleet) {
+      const double shift =
+          spread > 0.0 ? tz_rng.uniform(-spread / 2.0, spread / 2.0) : 0.0;
+      user.diurnal_peak_hour = wrap_hour(spec.diurnal.peak_hour + shift);
+    }
+  }
+
+  if (spec.network.lte_fraction > 0.0) {
+    const auto lte_users = static_cast<std::size_t>(std::llround(
+        spec.network.lte_fraction * static_cast<double>(n)));
+    std::vector<bool> on_lte(n, false);
+    std::fill(on_lte.begin(),
+              on_lte.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(lte_users, n)),
+              true);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    net_rng.shuffle(order);
+    // A non-zero fraction pins every user's tier explicitly, so the result
+    // is independent of the base config's use_lte.
+    for (std::size_t i = 0; i < n; ++i) fleet[order[i]].use_lte = on_lte[i];
+  }
+
+  if (spec.churn.churn_fraction > 0.0) {
+    const auto churners = static_cast<std::size_t>(std::llround(
+        spec.churn.churn_fraction * static_cast<double>(n)));
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    churn_rng.shuffle(order);
+    for (std::size_t k = 0; k < std::min(churners, n); ++k) {
+      PerUserConfig& user = fleet[order[k]];
+      const double presence = churn_rng.uniform(spec.churn.min_presence,
+                                                spec.churn.max_presence);
+      const auto length = std::max<sim::Slot>(
+          1, static_cast<sim::Slot>(std::llround(
+                 presence * static_cast<double>(spec.horizon_slots))));
+      const sim::Slot latest_join = spec.horizon_slots - length;
+      user.join_slot =
+          latest_join > 0 ? churn_rng.uniform_int(0, latest_join) : 0;
+      user.leave_slot = user.join_slot + length;
+    }
+  }
+
+  return fleet;
+}
+
+}  // namespace fedco::scenario

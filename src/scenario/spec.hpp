@@ -1,0 +1,114 @@
+// Declarative scenario specifications for heterogeneous fleets.
+//
+// A ScenarioSpec describes a *population*: how many users, which device
+// models in which proportions, how their app-arrival rates are distributed,
+// how their diurnal phases spread across timezones, what fraction is on
+// LTE, and how much availability churn (users joining/leaving mid-horizon)
+// the fleet sees. generate_fleet() expands a spec deterministically into
+// one PerUserConfig per user; the experiment driver consumes those as
+// per-user overrides of the homogeneous ExperimentConfig.
+//
+// Determinism contract (DESIGN.md §8): generate_fleet(spec, seed) is a pure
+// function — same spec and seed give the byte-identical fleet on every
+// platform. Each concern (devices, rates, timezones, network, churn) draws
+// from its own forked RNG stream, so enabling one never perturbs another.
+// The default-constructed spec (the paper's homogeneous 25-user population)
+// expands to all-default PerUserConfigs, which the driver runs bit-
+// identically to the pre-scenario homogeneous path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/fleet.hpp"
+
+namespace fedco::scenario {
+
+/// One device model and its share of the fleet. Fractions must sum to 1;
+/// counts are apportioned by largest remainder, then shuffled so device
+/// identity is not correlated with user index.
+struct DeviceMixEntry {
+  device::DeviceKind device{};
+  double fraction = 0.0;
+
+  friend bool operator==(const DeviceMixEntry&,
+                         const DeviceMixEntry&) = default;
+};
+
+/// How per-user mean arrival rates are distributed across the fleet.
+struct ArrivalSpec {
+  enum class Distribution {
+    kFixed,      ///< every user gets mean_probability (the paper's setting)
+    kUniform,    ///< per-user rate ~ U[min_probability, max_probability]
+    kLogNormal,  ///< per-user rate ~ LogNormal with mean mean_probability
+  };
+  Distribution distribution = Distribution::kFixed;
+  /// Population mean arrival probability per slot (paper: 0.001).
+  double mean_probability = 0.001;
+  /// kUniform bounds.
+  double min_probability = 0.0;
+  double max_probability = 0.0;
+  /// kLogNormal log-space standard deviation (heavier tail as it grows).
+  double sigma = 0.5;
+
+  friend bool operator==(const ArrivalSpec&, const ArrivalSpec&) = default;
+};
+
+/// Diurnal arrival modulation across the fleet. With a timezone spread the
+/// per-user peak hour is shifted uniformly within ±spread/2 around
+/// peak_hour (wrapped into [0, 24)), modelling a fleet spanning timezones.
+struct DiurnalSpec {
+  bool enabled = false;
+  double swing = 0.8;
+  double peak_hour = 20.0;
+  double timezone_spread_hours = 0.0;
+
+  friend bool operator==(const DiurnalSpec&, const DiurnalSpec&) = default;
+};
+
+/// Network-tier mix: the given fraction of users exchanges models over LTE,
+/// the rest over WiFi (apportioned exactly, assignment shuffled).
+struct NetworkSpec {
+  double lte_fraction = 0.0;
+
+  friend bool operator==(const NetworkSpec&, const NetworkSpec&) = default;
+};
+
+/// Availability churn: churn_fraction of the users get a presence window
+/// [join, leave) covering a uniformly drawn fraction of the horizon in
+/// [min_presence, max_presence], placed uniformly at random; the remaining
+/// users are present for the whole horizon.
+struct ChurnSpec {
+  double churn_fraction = 0.0;
+  double min_presence = 0.25;
+  double max_presence = 0.75;
+
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
+struct ScenarioSpec {
+  std::string name = "default";
+  std::size_t num_users = 25;
+  sim::Slot horizon_slots = 10800;
+  /// Empty = the classic uniform per-user pick (assign_device in the
+  /// driver); non-empty = explicit fractions expanded by generate_fleet.
+  std::vector<DeviceMixEntry> device_mix;
+  ArrivalSpec arrival{};
+  DiurnalSpec diurnal{};
+  NetworkSpec network{};
+  ChurnSpec churn{};
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Validate a spec; throws std::invalid_argument naming the offending field.
+void validate(const ScenarioSpec& spec);
+
+/// Expand a spec into one PerUserConfig per user. Deterministic in
+/// (spec, seed); validates the spec first. See the file comment for the
+/// stream-separation contract.
+[[nodiscard]] std::vector<PerUserConfig> generate_fleet(
+    const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace fedco::scenario

@@ -426,4 +426,76 @@ JsonValue parse_json(const std::string& text) {
   return JsonParser{text}.parse_document();
 }
 
+// ------------------------------------------------------------- loaders
+
+std::string ascii_lowered(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+double json_read_double(const JsonValue& value, const std::string& key,
+                        const char* prefix) {
+  if (!value.is_number()) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' must be a number"};
+  }
+  return value.as_number();
+}
+
+bool json_read_bool(const JsonValue& value, const std::string& key,
+                    const char* prefix) {
+  if (!value.is_bool()) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' must be a boolean"};
+  }
+  return value.as_bool();
+}
+
+const std::string& json_read_string(const JsonValue& value,
+                                    const std::string& key,
+                                    const char* prefix) {
+  if (!value.is_string()) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' must be a string"};
+  }
+  return value.as_string();
+}
+
+namespace {
+/// 2^53: the largest double below which every integer is exact.
+constexpr double kMaxExactInteger = 9007199254740992.0;
+}  // namespace
+
+std::uint64_t json_read_uint(const JsonValue& value, const std::string& key,
+                             const char* prefix) {
+  const double number = json_read_double(value, key, prefix);
+  if (number < 0.0 || number != std::floor(number)) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' must be a non-negative integer"};
+  }
+  if (number > kMaxExactInteger) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' exceeds the exactly-representable "
+                                "integer range (2^53)"};
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+std::int64_t json_read_int(const JsonValue& value, const std::string& key,
+                           const char* prefix) {
+  const double number = json_read_double(value, key, prefix);
+  if (number != std::floor(number)) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' must be an integer"};
+  }
+  if (number > kMaxExactInteger || number < -kMaxExactInteger) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + key +
+                                "' exceeds the exactly-representable "
+                                "integer range (2^53)"};
+  }
+  return static_cast<std::int64_t>(number);
+}
+
 }  // namespace fedco::util

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,5 +116,54 @@ class JsonValue {
 /// Throws std::invalid_argument with an offset-annotated message on
 /// malformed input.
 [[nodiscard]] JsonValue parse_json(const std::string& text);
+
+// ------------------------------------------------------------- loaders
+//
+// Shared helpers for the strict document loaders (core/config_io,
+// scenario/scenario_io): typed member readers with field-qualified error
+// messages, and an unknown-key-rejecting member dispatcher, so every
+// loader shares one strictness discipline. `prefix` names the loader in
+// errors (e.g. "config_io: 'seed' must be a number").
+
+/// ASCII-lowercase a token (the loaders' case-insensitive enum
+/// vocabularies: scheduler/device/model/distribution names).
+[[nodiscard]] std::string ascii_lowered(std::string text);
+
+[[nodiscard]] double json_read_double(const JsonValue& value,
+                                      const std::string& key,
+                                      const char* prefix);
+[[nodiscard]] bool json_read_bool(const JsonValue& value,
+                                  const std::string& key, const char* prefix);
+[[nodiscard]] const std::string& json_read_string(const JsonValue& value,
+                                                  const std::string& key,
+                                                  const char* prefix);
+/// Integers travel as JSON numbers (doubles); beyond 2^53 they are no
+/// longer exactly representable, so a value past that silently changes on
+/// the way through — these reject it rather than corrupt the document
+/// (the narrowing casts would also be UB for out-of-range doubles).
+[[nodiscard]] std::uint64_t json_read_uint(const JsonValue& value,
+                                           const std::string& key,
+                                           const char* prefix);
+[[nodiscard]] std::int64_t json_read_int(const JsonValue& value,
+                                         const std::string& key,
+                                         const char* prefix);
+
+/// Iterate an object's members, dispatching each through `apply(key,
+/// value)`; apply returns false for keys it does not know, which is fatal
+/// (an unknown key is almost always a typo).
+template <typename Apply>
+void json_for_each_member(const JsonValue& object, const std::string& where,
+                          const char* prefix, Apply&& apply) {
+  if (!object.is_object()) {
+    throw std::invalid_argument{std::string{prefix} + ": '" + where +
+                                "' must be an object"};
+  }
+  for (const auto& [key, value] : object.as_object()) {
+    if (!apply(key, value)) {
+      throw std::invalid_argument{std::string{prefix} + ": unknown key '" +
+                                  where + "." + key + "'"};
+    }
+  }
+}
 
 }  // namespace fedco::util

@@ -63,6 +63,40 @@ TEST(DiurnalArrivalsTest, ZeroSwingIsFlat) {
   EXPECT_DOUBLE_EQ(arrivals.probability_at(0), arrivals.probability_at(43200));
 }
 
+TEST(DiurnalArrivalsTest, ShiftedPeakStillPreservesTheMeanRate) {
+  // Timezone-shifted phases (the scenario subsystem's per-user peaks) only
+  // move the modulation, never the 24 h mean — for any peak hour.
+  for (const double peak : {0.0, 6.5, 12.0, 23.75}) {
+    DiurnalArrivals arrivals{0.002, 0.9, 1.0, peak};
+    double total = 0.0;
+    const int slots = 86400;
+    for (int t = 0; t < slots; ++t) total += arrivals.probability_at(t);
+    EXPECT_NEAR(total / slots, 0.002, 1e-4) << "peak_hour " << peak;
+    // And the peak really is where it was requested.
+    const auto peak_slot = static_cast<sim::Slot>(peak * 3600.0);
+    EXPECT_NEAR(arrivals.probability_at(peak_slot), 0.002 * 1.9, 1e-6);
+  }
+}
+
+TEST(DiurnalArrivalsTest, PolledArrivalRateMatchesTheMean) {
+  // Mean-rate preservation at the poll level (not just probability_at):
+  // sampling whole days of Bernoulli draws realises the configured mean.
+  DiurnalArrivals arrivals{0.01, 0.8, 1.0, 20.0};
+  util::Rng rng{37};
+  int hits = 0;
+  const int slots = 5 * 86400;
+  for (int t = 0; t < slots; ++t) hits += arrivals.poll(t, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / slots, 0.01, 0.001);
+}
+
+TEST(DiurnalArrivalsTest, SubSecondSlotsKeepThePeriodAt24Hours) {
+  // slot_seconds rescales the phase: with 0.5 s slots the same wall-clock
+  // instant (twice the slot index) sees the same probability.
+  DiurnalArrivals one_s{0.001, 0.8, 1.0};
+  DiurnalArrivals half_s{0.001, 0.8, 0.5};
+  EXPECT_DOUBLE_EQ(half_s.probability_at(2 * 7200), one_s.probability_at(7200));
+}
+
 TEST(ScriptedArrivalsTest, FiresExactlyAtScriptedSlots) {
   ScriptedArrivals arrivals{{{5, device::AppKind::kZoom},
                              {3, device::AppKind::kMap},
@@ -129,6 +163,43 @@ TEST(TraceCsvTest, ErrorPaths) {
     out << "xyz,Map\n0,Map\n";  // first line treated as header, second OK
   }
   EXPECT_EQ(load_arrival_trace_csv(path).size(), 1u);
+}
+
+TEST(TraceCsvTest, OutOfRangeAndMalformedSlotsThrow) {
+  const std::string path = "/tmp/fedco_trace_slots.csv";
+  const auto write_and_load = [&](const char* body) {
+    {
+      std::ofstream out{path};
+      out << "slot,app\n" << body;  // header keeps line 1 out of the way
+    }
+    return load_arrival_trace_csv(path);
+  };
+  // Negative slots would never fire (the simulation starts at slot 0) —
+  // reject rather than silently drop the row.
+  EXPECT_THROW(write_and_load("-5,Map\n"), std::invalid_argument);
+  // Trailing junk previously passed through stoll's prefix parse ("12x"
+  // -> 12); now it is a malformed row.
+  EXPECT_THROW(write_and_load("12x,Map\n"), std::invalid_argument);
+  EXPECT_THROW(write_and_load("3.5,Map\n"), std::invalid_argument);
+  EXPECT_THROW(write_and_load(",Map\n"), std::invalid_argument);
+  // Past-int64 slots overflow stoll: out of range, not a silent wrap.
+  EXPECT_THROW(write_and_load("99999999999999999999999999,Map\n"),
+               std::invalid_argument);
+  // Plain large-but-valid slots (beyond any horizon) still load; blank
+  // padding — spaces or tabs, as spreadsheet exports produce — is fine,
+  // and the replay simply never reaches over-horizon events.
+  const auto events = write_and_load(" 42 ,Map\n\t7,News\n4000000000,Zoom\n");
+  ASSERT_EQ(events.size(), 3u);  // loader keeps file order; the
+  EXPECT_EQ(events[0].at, 42);   // ScriptedArrivals ctor sorts later
+  EXPECT_EQ(events[1].at, 7);
+  EXPECT_EQ(events[2].at, 4000000000LL);
+  // A headerless file whose FIRST row is blank-padded must not lose that
+  // row to the header heuristic (only non-digit text is a header).
+  {
+    std::ofstream out{path};
+    out << "\t7,News\n9,Map\n";
+  }
+  EXPECT_EQ(load_arrival_trace_csv(path).size(), 2u);
 }
 
 TEST(ParseAppName, RoundTripsAllApps) {

@@ -5,10 +5,17 @@
 #      byte-identical config and reproduces the byte-identical result
 #      document of the flag-built run.
 #   4. An unrecognised option (a probable typo) must exit non-zero.
-# Invoked as: cmake -DFEDCO_SIM=<path-to-binary> -P cli_smoke_test.cmake
+#   5. The shipped example scenario specs (churn, heterogeneous fleet) run
+#      green via --scenario; the --save-result archive of a scenario run
+#      reloads through --config to the byte-identical result document.
+# Invoked as: cmake -DFEDCO_SIM=<binary> -DFEDCO_SCENARIOS=<dir>
+#             -P cli_smoke_test.cmake
 
 if(NOT DEFINED FEDCO_SIM)
   message(FATAL_ERROR "FEDCO_SIM (path to the fedco_sim binary) not set")
+endif()
+if(NOT DEFINED FEDCO_SCENARIOS)
+  message(FATAL_ERROR "FEDCO_SCENARIOS (examples/scenarios dir) not set")
 endif()
 
 execute_process(
@@ -96,6 +103,43 @@ endif()
 string(FIND "${typo_err}" "horizons" typo_mentioned)
 if(typo_mentioned EQUAL -1)
   message(FATAL_ERROR "unknown-option error did not name the flag:\n${typo_err}")
+endif()
+
+# --- 5. example scenarios ---------------------------------------------------
+foreach(spec churn heterogeneous_fleet global_diurnal homogeneous_paper)
+  execute_process(
+    COMMAND ${FEDCO_SIM} --scenario ${FEDCO_SCENARIOS}/${spec}.json
+            --scheduler online
+    RESULT_VARIABLE spec_rc
+    OUTPUT_VARIABLE spec_out
+    ERROR_VARIABLE spec_err
+  )
+  if(NOT spec_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fedco_sim --scenario ${spec}.json exited with ${spec_rc}:\n${spec_out}${spec_err}")
+  endif()
+endforeach()
+
+# A --save-result archive of a scenario run embeds the expanded per-user
+# config, so replaying the archive through --config reproduces the
+# byte-identical result document.
+execute_process(
+  COMMAND ${FEDCO_SIM} --scenario ${FEDCO_SCENARIOS}/churn.json
+          --scheduler offline --save-result ${work_dir}/scenario_archive.json
+  RESULT_VARIABLE archive_rc OUTPUT_QUIET ERROR_QUIET
+)
+execute_process(
+  COMMAND ${FEDCO_SIM} --config ${work_dir}/scenario_archive.json
+          --save-result ${work_dir}/scenario_replay.json
+  RESULT_VARIABLE replay_rc OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT archive_rc EQUAL 0 OR NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR "scenario archive runs exited with ${archive_rc}/${replay_rc}")
+endif()
+file(READ ${work_dir}/scenario_archive.json archive_doc)
+file(READ ${work_dir}/scenario_replay.json replay_doc)
+if(NOT archive_doc STREQUAL replay_doc)
+  message(FATAL_ERROR "--config replay of a scenario archive did not reproduce the run")
 endif()
 
 message(STATUS "cli_smoke_test OK")

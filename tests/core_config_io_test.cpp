@@ -74,6 +74,16 @@ ExperimentConfig exotic_config() {
   cfg.thermal.max_slowdown = 2.5;
   cfg.record_interval = 4;
   cfg.record_per_user_gaps = true;
+  cfg.per_user.assign(7, scenario::PerUserConfig{});
+  cfg.per_user[0].device = device::DeviceKind::kNexus6;
+  cfg.per_user[1].arrival_probability = 0.0042;
+  cfg.per_user[2].diurnal = true;
+  cfg.per_user[2].diurnal_swing = 0.55;
+  cfg.per_user[2].diurnal_peak_hour = 7.25;
+  cfg.per_user[3].use_lte = false;  // explicit false must survive reload
+  cfg.per_user[4].join_slot = 100;
+  cfg.per_user[4].leave_slot = 900;
+  // per_user[5] and [6] stay all-default ({} in JSON).
   return cfg;
 }
 
@@ -136,6 +146,44 @@ TEST(ConfigIo, UnknownKeysThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)config_from_json(R"({"num_users":2.5})"),
                std::invalid_argument);
+}
+
+TEST(ConfigIo, PerUserEntriesAreStrict) {
+  // per_user rides the same strictness contract as the rest of the config.
+  EXPECT_THROW((void)config_from_json(R"({"per_user":{}})"),
+               std::invalid_argument);  // must be an array
+  EXPECT_THROW((void)config_from_json(R"({"per_user":[{"devise":"pixel2"}]})"),
+               std::invalid_argument);  // typo'd key
+  EXPECT_THROW((void)config_from_json(R"({"per_user":[{"device":"iphone"}]})"),
+               std::invalid_argument);  // unknown device
+  EXPECT_THROW(
+      (void)config_from_json(R"({"per_user":[{"join_slot":"soon"}]})"),
+      std::invalid_argument);
+  const ExperimentConfig cfg = config_from_json(
+      R"({"num_users":2,"per_user":[{},{"device":"hikey970","leave_slot":50}]})");
+  ASSERT_EQ(cfg.per_user.size(), 2u);
+  EXPECT_TRUE(cfg.per_user[0].is_default());
+  EXPECT_EQ(cfg.per_user[1].device, device::DeviceKind::kHikey970);
+  EXPECT_EQ(cfg.per_user[1].leave_slot, 50);
+}
+
+TEST(ConfigIo, PerUserRoundTripReproducesSeededResult) {
+  // A heterogeneous (device-pinned + churned) config survives the JSON
+  // round trip bit-for-bit, including the seeded run it produces.
+  ExperimentConfig cfg;
+  cfg.num_users = 5;
+  cfg.horizon_slots = 700;
+  cfg.arrival_probability = 0.004;
+  cfg.seed = 123;
+  cfg.per_user.assign(5, scenario::PerUserConfig{});
+  cfg.per_user[0].device = device::DeviceKind::kPixel2;
+  cfg.per_user[1].use_lte = true;
+  cfg.per_user[2].leave_slot = 350;
+  cfg.per_user[3].arrival_probability = 0.01;
+  const ExperimentConfig reloaded = config_from_json(config_to_json(cfg));
+  ASSERT_TRUE(reloaded == cfg);
+  EXPECT_EQ(testing::fingerprint(run_experiment(reloaded)),
+            testing::fingerprint(run_experiment(cfg)));
 }
 
 TEST(ConfigIo, OutOfRangeIntegersThrow) {

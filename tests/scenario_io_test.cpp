@@ -1,0 +1,119 @@
+// ScenarioSpec <-> JSON: strict round-trip (equality after reload, unknown
+// keys rejected, partial documents keep defaults), token vocabularies, and
+// the shipped example scenario files' schema.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "scenario/scenario_io.hpp"
+
+namespace fedco::scenario {
+namespace {
+
+ScenarioSpec exotic_spec() {
+  // Deviate from every default to make the round-trip meaningful.
+  ScenarioSpec spec;
+  spec.name = "exotic \"quoted\" fleet";
+  spec.num_users = 321;
+  spec.horizon_slots = 4567;
+  spec.device_mix = {{device::DeviceKind::kHikey970, 0.125},
+                     {device::DeviceKind::kPixel2, 0.5},
+                     {device::DeviceKind::kNexus6, 0.375}};
+  spec.arrival.distribution = ArrivalSpec::Distribution::kLogNormal;
+  spec.arrival.mean_probability = 0.0031;
+  spec.arrival.min_probability = 0.0001;
+  spec.arrival.max_probability = 0.01;
+  spec.arrival.sigma = 0.77;
+  spec.diurnal.enabled = true;
+  spec.diurnal.swing = 0.65;
+  spec.diurnal.peak_hour = 21.5;
+  spec.diurnal.timezone_spread_hours = 9.25;
+  spec.network.lte_fraction = 0.4;
+  spec.churn.churn_fraction = 0.3;
+  spec.churn.min_presence = 0.35;
+  spec.churn.max_presence = 0.85;
+  return spec;
+}
+
+TEST(ScenarioIo, RoundTripYieldsEqualSpec) {
+  const ScenarioSpec original = exotic_spec();
+  EXPECT_TRUE(spec_from_json(spec_to_json(original)) == original);
+}
+
+TEST(ScenarioIo, DefaultSpecRoundTrips) {
+  EXPECT_TRUE(spec_from_json(spec_to_json(ScenarioSpec{})) == ScenarioSpec{});
+}
+
+TEST(ScenarioIo, PartialDocumentKeepsDefaults) {
+  const ScenarioSpec spec = spec_from_json(
+      R"({"num_users": 64, "churn": {"churn_fraction": 0.2}})");
+  EXPECT_EQ(spec.num_users, 64u);
+  EXPECT_EQ(spec.churn.churn_fraction, 0.2);
+  ScenarioSpec defaults;
+  EXPECT_EQ(spec.horizon_slots, defaults.horizon_slots);
+  EXPECT_TRUE(spec.arrival == defaults.arrival);
+  EXPECT_EQ(spec.churn.min_presence, defaults.churn.min_presence);
+}
+
+TEST(ScenarioIo, UnknownKeysThrow) {
+  EXPECT_THROW((void)spec_from_json(R"({"users": 10})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"arrival": {"rate": 0.001}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"diurnal": {"peak": 20}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"network": {"lte": 0.5}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"churn": {"fraction": 0.5}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"device_mix": {"iphone": 1.0}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, TypeAndRangeErrorsThrow) {
+  EXPECT_THROW((void)spec_from_json(R"({"num_users": "many"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"num_users": 2.5})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"num_users": 0})"),
+               std::invalid_argument);  // validated after parsing
+  EXPECT_THROW((void)spec_from_json(
+                   R"({"device_mix": {"pixel2": 0.5, "nexus6": 0.2}})"),
+               std::invalid_argument);  // fractions must sum to 1
+  EXPECT_THROW((void)spec_from_json(R"({"arrival": 7})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  const std::string path = "/tmp/fedco_scenario_io_test.json";
+  const ScenarioSpec original = exotic_spec();
+  save_scenario_json(path, original);
+  EXPECT_TRUE(load_scenario_json(path) == original);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_scenario_json("/no/such/scenario.json"),
+               std::runtime_error);
+}
+
+TEST(ScenarioIo, TokenVocabularies) {
+  for (const auto kind : device::all_devices()) {
+    EXPECT_EQ(parse_device_kind_token(device_kind_token(kind)), kind);
+  }
+  EXPECT_EQ(parse_device_kind_token("Pixel2"), device::DeviceKind::kPixel2);
+  EXPECT_THROW((void)parse_device_kind_token("mixed"), std::invalid_argument);
+
+  for (const auto distribution : {ArrivalSpec::Distribution::kFixed,
+                                  ArrivalSpec::Distribution::kUniform,
+                                  ArrivalSpec::Distribution::kLogNormal}) {
+    EXPECT_EQ(parse_arrival_distribution_token(
+                  arrival_distribution_token(distribution)),
+              distribution);
+  }
+  EXPECT_EQ(parse_arrival_distribution_token("log-normal"),
+            ArrivalSpec::Distribution::kLogNormal);
+  EXPECT_THROW((void)parse_arrival_distribution_token("poisson"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedco::scenario
