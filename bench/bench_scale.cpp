@@ -1,17 +1,30 @@
 // Large-fleet scalability bench (no paper analogue — the ROADMAP's
 // production-scale axis). Sweeps scheduling-only heterogeneous fleets of
-// 100 / 1k / 10k users across all four schedulers via core::run_campaign,
-// and reports the simulator's throughput: slots/sec (simulated slots per
-// wall-clock second), user-slots/sec (slots/sec × fleet size, the
-// per-device work rate), and the process peak RSS. Results are written as
-// machine-readable BENCH_scale.json for regression tracking; CI runs the
-// --smoke variant on every push and uploads the document as an artifact.
+// 100 / 1k / 10k / 100k users across all four schedulers via
+// core::run_campaign, and reports the simulator's throughput: slots/sec
+// (simulated slots per wall-clock second), user-slots/sec (slots/sec ×
+// fleet size, the per-device work rate), and the process peak RSS.
+// Results are written as machine-readable BENCH_scale.json for regression
+// tracking; CI runs the --smoke variant on every push, uploads the
+// document as an artifact, and diffs it against the committed smoke
+// baseline via tools/bench_check (see docs/performance.md).
 //
 // Each fleet is expanded from a ScenarioSpec (device mix across the four
 // testbed models, lognormal per-user arrival rates, an LTE share) so the
 // bench exercises the scenario subsystem end to end, not just the driver.
 //
 //   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
+//               [--schedulers LIST] [--sizes LIST] [--repeat N]
+//
+// Ad-hoc studies (ROADMAP campaign sweeps) can override the grid:
+//   --schedulers online,offline     comma-separated scheme names
+//                                   (core::parse_scheduler_token spellings)
+//   --sizes 1000:2400,50000:600     comma-separated users:horizon pairs
+//
+// --repeat N times every fleet N times and keeps each row's best (minimum)
+// wall time — the noise-robust throughput estimate the CI regression gate
+// compares (runs are deterministic, so repetition changes nothing else).
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -36,9 +49,61 @@ struct FleetSize {
   sim::Slot horizon;
 };
 
-constexpr core::SchedulerKind kSchedulers[] = {
+constexpr core::SchedulerKind kAllSchedulers[] = {
     core::SchedulerKind::kImmediate, core::SchedulerKind::kSyncSgd,
     core::SchedulerKind::kOffline, core::SchedulerKind::kOnline};
+
+/// Split a comma-separated list (empty string -> empty vector).
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size() && !text.empty()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string token =
+        text.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (!token.empty()) out.push_back(token);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+/// --schedulers override: comma-separated scheme names.
+std::vector<core::SchedulerKind> parse_schedulers(const std::string& list) {
+  std::vector<core::SchedulerKind> kinds;
+  for (const std::string& token : split_list(list)) {
+    kinds.push_back(core::parse_scheduler_token(token));
+  }
+  return kinds;
+}
+
+/// --sizes override: comma-separated users:horizon pairs ("1000:2400").
+std::vector<FleetSize> parse_sizes(const std::string& list) {
+  std::vector<FleetSize> sizes;
+  for (const std::string& token : split_list(list)) {
+    const std::size_t colon = token.find(':');
+    // Digits only on both sides: stoull would silently wrap a negative
+    // users count into an astronomically large fleet.
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= token.size() ||
+        token.find_first_not_of("0123456789:") != std::string::npos ||
+        token.find(':', colon + 1) != std::string::npos) {
+      throw std::invalid_argument{
+          "bench_scale: --sizes expects users:horizon pairs, got '" + token +
+          "'"};
+    }
+    FleetSize size;
+    size.users = static_cast<std::size_t>(std::stoull(token.substr(0, colon)));
+    size.horizon =
+        static_cast<sim::Slot>(std::stoll(token.substr(colon + 1)));
+    if (size.users == 0 || size.horizon <= 0) {
+      throw std::invalid_argument{
+          "bench_scale: --sizes needs positive users and horizon"};
+    }
+    sizes.push_back(size);
+  }
+  return sizes;
+}
 
 /// Process-lifetime peak resident set (MiB); 0 when the platform has no
 /// getrusage. ru_maxrss is a monotone high-water mark, so per-fleet rows
@@ -92,8 +157,10 @@ struct FleetRow {
   std::vector<SchedulerRow> schedulers;
 };
 
-FleetRow run_fleet(const FleetSize& size, std::uint64_t seed,
-                   std::size_t jobs, bench::CampaignTotals& totals) {
+FleetRow run_fleet(const FleetSize& size,
+                   const std::vector<core::SchedulerKind>& schedulers,
+                   std::uint64_t seed, std::size_t jobs, std::size_t repeat,
+                   bench::CampaignTotals& totals) {
   core::ExperimentConfig base;
   base.seed = seed;
   // Scheduling-only (real_training stays off): the bench measures the
@@ -102,13 +169,24 @@ FleetRow run_fleet(const FleetSize& size, std::uint64_t seed,
   base = core::apply_scenario(fleet_spec(size), base);
 
   std::vector<core::ExperimentConfig> configs;
-  for (const core::SchedulerKind kind : kSchedulers) {
+  for (const core::SchedulerKind kind : schedulers) {
     core::ExperimentConfig config = base;
     config.scheduler = kind;
     configs.push_back(std::move(config));
   }
-  const core::CampaignReport report = core::run_campaign(configs, jobs);
+  core::CampaignReport report = core::run_campaign(configs, jobs);
   totals.add(report);
+  // Deterministic runs mean repetitions differ only in wall time; keep
+  // each row's fastest (least-interfered) measurement.
+  for (std::size_t rep = 1; rep < repeat; ++rep) {
+    const core::CampaignReport again = core::run_campaign(configs, jobs);
+    totals.add(again);
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+      report.duration_seconds[k] =
+          std::min(report.duration_seconds[k], again.duration_seconds[k]);
+    }
+    report.wall_seconds = std::min(report.wall_seconds, again.wall_seconds);
+  }
 
   FleetRow row;
   row.size = size;
@@ -197,17 +275,35 @@ int main(int argc, char** argv) {
     const bool smoke = args.get_bool("smoke", false);
     const std::string out_path = args.get("out", "BENCH_scale.json");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto repeat =
+        static_cast<std::size_t>(std::max<std::int64_t>(args.get_int("repeat", 1), 1));
 
-    // The smoke grid is deliberately tiny (CI runs it on every push, time-
-    // capped by the workflow); the full grid is the 100/1k/10k headline.
-    const std::vector<FleetSize> sizes =
-        smoke ? std::vector<FleetSize>{{50, 400}, {100, 400}}
-              : std::vector<FleetSize>{{100, 7200}, {1000, 2400}, {10000, 600}};
+    // The smoke grid is small enough for CI's every-push run (time-capped
+    // by the workflow) but each row is sized to take tens of milliseconds:
+    // the regression gate (tools/bench_check) compares row timings, and
+    // millisecond rows are all jitter. The full grid is the
+    // 100/1k/10k/100k headline (100k is the event-driven driver's
+    // flagship row — see docs/performance.md). --sizes/--schedulers
+    // override either for ad-hoc studies.
+    std::vector<FleetSize> sizes =
+        smoke ? std::vector<FleetSize>{{5000, 1000}, {10000, 600}}
+              : std::vector<FleetSize>{
+                    {100, 7200}, {1000, 2400}, {10000, 600}, {100000, 600}};
+    if (args.has("sizes")) sizes = parse_sizes(args.get("sizes"));
+    std::vector<core::SchedulerKind> schedulers(std::begin(kAllSchedulers),
+                                                std::end(kAllSchedulers));
+    if (args.has("schedulers")) {
+      schedulers = parse_schedulers(args.get("schedulers"));
+    }
+    if (sizes.empty() || schedulers.empty()) {
+      throw std::invalid_argument{
+          "bench_scale: --sizes/--schedulers must not be empty"};
+    }
 
     bench::CampaignTotals totals;
     std::vector<FleetRow> rows;
     for (const FleetSize& size : sizes) {
-      rows.push_back(run_fleet(size, seed, jobs, totals));
+      rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat, totals));
       print_fleet(rows.back());
     }
     bench::log_campaign(totals);

@@ -1,12 +1,15 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <queue>
 #include <stdexcept>
 
 #include "apps/arrival.hpp"
-#include "apps/session.hpp"
 #include "core/scheduler.hpp"
 #include "data/partition.hpp"
 #include "device/power_model.hpp"
@@ -44,21 +47,62 @@ namespace {
 
 enum class Phase { kReady, kTraining, kBarrier, kTransferring };
 
+/// Per-user classification for the gap dynamics of one slot (Eq. 12):
+/// absent users neither accrue nor contribute to G(t), training users
+/// contribute their (frozen) gap, everyone else accrues epsilon first.
+enum GapMode : unsigned char { kGapAbsent = 0, kGapTraining = 1, kGapAccrue = 2 };
+
 struct UserState {
-  const device::DeviceProfile* dev = nullptr;
-  const net::Link* link = nullptr;  ///< per-user network tier (wifi/lte)
-  std::optional<apps::AppSessionTracker> session;
-  fl::GapTracker gap{0.05};
+  // Field order is deliberate: the per-slot decision path (consider/decide)
+  // touches only this first block — keeping it inside one cache line is
+  // worth ~2x on 10k-user online fleets whose UserState working set spills
+  // out of L2.
   Phase phase = Phase::kReady;
+  device::DeviceKind dev_kind{};
+  /// Counted in the scheduler's arrival stream A(t) but not yet served —
+  /// lets a mid-backlog departure drain the queue exactly once.
+  bool in_backlog = false;
+  /// Currently included in the driver's active_present_ counter (present
+  /// and not at the barrier). Kept as a membership bit so same-slot event
+  /// chains (a transfer draining exactly on its leave slot) can never
+  /// double-count a transition.
+  bool active_counted = false;
+  bool training_corun = false;
+  device::AppKind train_app = device::AppKind::kMap;
   sim::Slot phase_end = 0;
   /// Presence window [join, leave): churned users are absent outside it.
   sim::Slot join = 0;
   sim::Slot leave = scenario::kNeverLeaves;
-  /// Counted in the scheduler's arrival stream A(t) but not yet served —
-  /// lets a mid-backlog departure drain the queue exactly once.
-  bool in_backlog = false;
-  bool training_corun = false;
-  device::AppKind train_app = device::AppKind::kMap;
+  /// Slot of the live machine's next unconsumed script arrival (mirror of
+  /// script[live_sess.cursor].at) — lets the every-slot decide path skip
+  /// the session machine without touching the cold script vector.
+  sim::Slot live_next_arrival = std::numeric_limits<sim::Slot>::max();
+  const device::DeviceProfile* dev = nullptr;
+
+  // Driver-owned foreground-session timeline. Replaces the old per-slot
+  // AppSessionTracker ticks bit for bit: with scripted arrivals a session's
+  // whole future is determined, so the machine is advanced on demand. Two
+  // copies of the same deterministic machine run at different times: `live`
+  // answers reads at the current slot, `replay` paces the lazy accrual
+  // (historical states must not be contaminated by future arrivals). Both
+  // agree on every slot both have passed; the only external mutation — the
+  // co-run extension in start_training — is applied to both while they are
+  // synchronized.
+  struct SessionMachine {
+    device::AppKind app{};
+    sim::Slot end = 0;       ///< first slot the current app is off screen
+    std::size_t cursor = 0;  ///< next script event this machine sees
+  };
+  SessionMachine live_sess;
+  SessionMachine replay_sess;
+
+  /// Lazy-accrual watermark: energy/gap/battery/thermal state reflects every
+  /// slot through `synced` (-1 = nothing applied yet). Between events the
+  /// per-slot accrual sequence is replayed verbatim when the user is next
+  /// touched, so batched catch-up is bit-identical to the eager slot loop.
+  sim::Slot synced = -1;
+
+  const net::Link* link = nullptr;  ///< per-user network tier (wifi/lte)
   std::uint64_t version_at_download = 0;
   std::vector<float> downloaded_params;  ///< kept only for kDelayComp
   std::vector<float> last_upload;        ///< kept only for gap_aware_lr
@@ -70,6 +114,42 @@ struct UserState {
   util::Rng rng{0};
   std::vector<apps::ScriptedArrivals::Event> script;  ///< oracle view
   std::size_t script_cursor = 0;
+};
+
+/// Fenwick (binary-indexed) tree counting in-flight training end slots —
+/// the expected_lag index. count_le(end) returns exactly the integer the
+/// historical sorted-vector upper_bound produced, but insert/erase are
+/// O(log cap) instead of O(n) memmoves, which dominated large-fleet event
+/// processing.
+class TrainingEndIndex {
+ public:
+  void init(sim::Slot cap) {
+    cap_ = cap;
+    tree_.assign(static_cast<std::size_t>(cap) + 2, 0);
+  }
+
+  void add(sim::Slot end, std::int32_t delta) noexcept {
+    for (std::size_t i = pos(end); i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(tree_[i]) + delta);
+    }
+  }
+
+  /// Number of indexed ends <= `end`.
+  [[nodiscard]] std::size_t count_le(sim::Slot end) const noexcept {
+    std::size_t sum = 0;
+    for (std::size_t i = pos(end); i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+ private:
+  [[nodiscard]] std::size_t pos(sim::Slot end) const noexcept {
+    const sim::Slot clamped = end < 0 ? 0 : (end > cap_ ? cap_ : end);
+    return static_cast<std::size_t>(clamped) + 1;
+  }
+
+  sim::Slot cap_ = 0;
+  std::vector<std::uint32_t> tree_;
 };
 
 nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
@@ -87,11 +167,21 @@ nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
   throw std::invalid_argument{"make_model: unknown kind"};
 }
 
-/// Scheme-agnostic slot-loop driver. All scheduling-policy logic lives
-/// behind the core::Scheduler strategy (src/core/schedulers/); the driver
-/// advances devices, app sessions, energy meters, the gap dynamics, and the
-/// parameter server, and implements the SchedulerContext view strategies
-/// consume.
+/// Scheme-agnostic event-driven slot driver. All scheduling-policy logic
+/// lives behind the core::Scheduler strategy (src/core/schedulers/); the
+/// driver advances devices, app sessions, energy meters, the gap dynamics,
+/// and the parameter server, and implements the SchedulerContext view
+/// strategies consume.
+///
+/// Unlike the original slot loop — which touched every user every slot —
+/// the driver keeps a min-heap of per-user next-event slots (session/phase
+/// ends, arrival cursors, presence-window joins/leaves) and only touches a
+/// user when its state can actually change. Idle-state quantities (energy,
+/// gap, battery, thermal) are accrued lazily from the per-user `synced`
+/// watermark: when an event or a read touches a user, the elapsed slots are
+/// replayed with exactly the per-slot operation sequence of the eager loop,
+/// so every observable stays bit-identical (the golden FNV fingerprint
+/// suites pin this). See docs/performance.md for the full model.
 class Driver final : public SchedulerContext {
  public:
   explicit Driver(const ExperimentConfig& cfg)
@@ -120,7 +210,16 @@ class Driver final : public SchedulerContext {
     }
     model_bytes_ = cfg.model_bytes;
     scheduler_ = make_scheduler(cfg_);
+    // Per-slot fleet sweeps only run for strategies that consume exact
+    // per-slot totals (the Lyapunov queue updates); everything else reads
+    // lazily-materialized state through the context accessors.
+    sweep_gaps_ = scheduler_->needs_slot_totals();
+    charges_overhead_ = scheduler_->charges_decision_overhead();
+    // The battery gate is evaluated (and counted) per ready user per slot,
+    // so when it can fire, ready users cannot be parked.
+    gate_ready_hot_ = cfg_.track_battery && cfg_.min_soc_to_train > 0.0;
     setup_training();
+    setup_lag_index();
     setup_users();
     scheduler_->on_experiment_begin(*this);
   }
@@ -128,7 +227,6 @@ class Driver final : public SchedulerContext {
   ExperimentResult run() {
     for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
       step(t);
-      clock_.advance();
     }
     return finalize();
   }
@@ -156,6 +254,14 @@ class Driver final : public SchedulerContext {
     return present(users_[user], t);
   }
 
+  [[nodiscard]] std::size_t barrier_count() const noexcept override {
+    return barrier_count_;
+  }
+
+  [[nodiscard]] std::size_t active_present_count() const noexcept override {
+    return active_present_;
+  }
+
   [[nodiscard]] const device::DeviceProfile& user_device(
       std::size_t user) const override {
     return *users_[user].dev;
@@ -163,11 +269,21 @@ class Driver final : public SchedulerContext {
 
   [[nodiscard]] std::optional<device::AppKind> user_app(
       std::size_t user) const override {
-    return users_[user].session->current_app();
+    // Materialize this user's live session through the current slot (the
+    // eager driver ticked every session before any read at slot t). The
+    // replay machine is untouched, so lazy accrual stays exact.
+    Driver* self = const_cast<Driver*>(this);
+    UserState& u = self->users_[user];
+    self->advance_live(u, cur_);
+    return cur_ < u.live_sess.end ? std::optional{u.live_sess.app}
+                                  : std::nullopt;
   }
 
   [[nodiscard]] double user_gap(std::size_t user) const override {
-    return users_[user].gap.gap();
+    // Gap state as of the end of slot t-1, exactly what the eager loop's
+    // decide/replan phase observed.
+    if (!sweep_gaps_) const_cast<Driver*>(this)->catch_up(user, cur_ - 1);
+    return gap_[user];
   }
 
   [[nodiscard]] double momentum_norm() const override {
@@ -215,17 +331,54 @@ class Driver final : public SchedulerContext {
     // absent users are left alone. Homogeneous fleets have every user at
     // the barrier here, so this matches the historical transfer-everyone
     // behaviour bit for bit.
-    for (UserState& u : users_) {
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      UserState& u = users_[i];
       if (u.phase != Phase::kBarrier) continue;
+      catch_up(i, t - 1);
+      --barrier_count_;
       if (in_window(u, t)) {
-        begin_transfer(u, t);
+        begin_transfer(i, t);
       } else {
         u.phase = Phase::kReady;
+        set_mode(i, t);
       }
+      sync_active(i, t);
     }
   }
 
  private:
+  // ----------------------------------------------------------- events
+
+  enum class EventType : unsigned char {
+    kJoin = 0,      ///< presence window opens (arrival into A(t))
+    kPhaseEnd = 1,  ///< training or transfer completes
+    kLeave = 2,     ///< presence window closes (backlog drain)
+    kWake = 3,      ///< a parked ready user is due a scheduling decision
+  };
+
+  struct Event {
+    sim::Slot slot;
+    std::uint32_t user;
+    EventType type;
+  };
+
+  /// Same-slot events replay the eager driver's per-user iteration order:
+  /// user-major, then join -> phase end -> leave (the order the old loop
+  /// checked them for each user) with wakes last.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.slot != b.slot) return a.slot > b.slot;
+      if (a.user != b.user) return a.user > b.user;
+      return static_cast<unsigned char>(a.type) >
+             static_cast<unsigned char>(b.type);
+    }
+  };
+
+  void push_event(sim::Slot slot, std::size_t user, EventType type) {
+    if (slot >= cfg_.horizon_slots) return;  // the eager loop never got there
+    events_.push(Event{slot, static_cast<std::uint32_t>(user), type});
+  }
+
   // ------------------------------------------------------------- setup
 
   void setup_training() {
@@ -238,8 +391,40 @@ class Driver final : public SchedulerContext {
     model_bytes_ = nn::encoded_size(prototype_->param_count());
   }
 
+  void setup_lag_index() {
+    // Largest slot any training session can end at: horizon-1 plus the
+    // longest (possibly thermally-elongated) duration. Ends past the cap
+    // clamp to it — always strictly above every reachable query slot, so
+    // counts are unaffected.
+    double max_duration_s = 0.0;
+    lag_slots_.resize(device::kDeviceKinds);
+    for (std::size_t k = 0; k < device::kDeviceKinds; ++k) {
+      const auto kind = static_cast<device::DeviceKind>(k);
+      const device::DeviceProfile& dev = device::profile(kind);
+      for (std::size_t a = 0; a < device::kAppKinds; ++a) {
+        const auto app = static_cast<device::AppKind>(a);
+        const double corun_s = device::training_duration_s(
+            dev, device::AppStatus::kApp, app);
+        lag_slots_[k][a] = clock_.slots_for_seconds(corun_s);
+        max_duration_s = std::max(max_duration_s, corun_s);
+      }
+      const double separate_s = device::training_duration_s(
+          dev, device::AppStatus::kNoApp, device::AppKind::kMap);
+      lag_slots_[k][device::kAppKinds] = clock_.slots_for_seconds(separate_s);
+      max_duration_s = std::max(max_duration_s, separate_s);
+    }
+    if (cfg_.enable_thermal) {
+      max_duration_s *= std::max(cfg_.thermal.max_slowdown, 1.0);
+    }
+    training_ends_.init(cfg_.horizon_slots +
+                        clock_.slots_for_seconds(max_duration_s) + 2);
+  }
+
   void setup_users() {
     users_.resize(cfg_.num_users);
+    gap_.assign(cfg_.num_users, 0.0);
+    gap_mode_.assign(cfg_.num_users, kGapAccrue);
+    gap_chain_.assign(cfg_.num_users, 0);
     data::Partition partition;
     if (cfg_.real_training) {
       util::Rng part_rng = master_rng_.fork();
@@ -263,17 +448,26 @@ class Driver final : public SchedulerContext {
           pu.device ? *pu.device
                     : scenario::assign_device(cfg_.fixed_device, u.rng);
       u.dev = &device::profile(kind);
+      u.dev_kind = kind;
       u.link = pu.use_lte.value_or(cfg_.use_lte) ? &lte_link_ : &wifi_link_;
       u.join = pu.join_slot;
       u.leave = pu.leave_slot;
-      u.gap = fl::GapTracker{cfg_.epsilon};
       u.battery = device::Battery{cfg_.battery};
       u.thermal = device::ThermalModel{cfg_.thermal};
       u.script = generate_script(u.rng, pu);
-      u.session.emplace(std::make_unique<apps::ScriptedArrivals>(u.script),
-                        cfg_.slot_seconds);
+      u.live_next_arrival = u.script.empty()
+                                ? std::numeric_limits<sim::Slot>::max()
+                                : u.script.front().at;
       u.phase = Phase::kReady;
       u.in_backlog = u.join == 0;
+      set_mode(i, 0);
+      if (u.join > 0) push_event(u.join, i, EventType::kJoin);
+      if (u.leave < cfg_.horizon_slots) push_event(u.leave, i, EventType::kLeave);
+      if (u.join == 0) {
+        u.active_counted = true;
+        ++active_present_;
+        hot_ready_.push_back(static_cast<std::uint32_t>(i));
+      }
       if (cfg_.real_training) {
         std::vector<std::size_t> shard = partition[i];
         u.client = std::make_unique<fl::FlClient>(
@@ -323,101 +517,47 @@ class Driver final : public SchedulerContext {
   // ------------------------------------------------------------- per slot
 
   void step(sim::Slot t) {
-    // 1. Foreground app lifecycle (absent users have no foreground).
-    for (UserState& u : users_) {
-      if (present(u, t)) u.session->tick(t, *u.dev, u.rng);
-    }
-
-    // 2. Completions: training finished -> upload; transfer finished ->
-    //    ready. Presence-window edges feed the arrival stream A(t): a user
-    //    joining mid-horizon arrives, a user leaving while queued departs
-    //    (drained below as a served unit so Q(t) stays balanced).
-    double arrivals = pending_arrivals_;
-    double departed = 0.0;
+    cur_ = t;
+    slot_arrivals_ = pending_arrivals_;
     pending_arrivals_ = 0.0;
-    for (std::size_t i = 0; i < users_.size(); ++i) {
-      UserState& u = users_[i];
-      if (t > 0 && u.join == t && u.leave > t) {
-        arrivals += 1.0;
-        u.in_backlog = true;
-      }
-      if (u.phase == Phase::kTraining && t >= u.phase_end) {
-        complete_training(i, t);
-      }
-      if (u.phase == Phase::kTransferring && t >= u.phase_end) {
-        u.phase = Phase::kReady;
-        if (in_window(u, t)) {
-          scheduler_->on_user_ready(i, t, *this);
-          arrivals += 1.0;
-          u.in_backlog = true;
-        }
-      }
-      if (u.leave == t && u.phase == Phase::kReady && u.in_backlog) {
-        departed += 1.0;
-        u.in_backlog = false;
-      }
+    slot_served_ = 0.0;
+    slot_departed_ = 0.0;
+    decide_scratch_.clear();
+
+    // 1. Events due this slot, popped in the eager loop's per-user order.
+    while (!events_.empty() && events_.top().slot == t) {
+      const Event e = events_.top();
+      events_.pop();
+      dispatch(e, t);
     }
 
-    // 3. Strategy slot hook: the sync barrier aggregates here, the offline
-    //    oracle replans its window here.
+    // 2. Strategy slot hook: the sync barrier aggregates here (O(1) via the
+    //    barrier/active counters), the offline oracle replans its window.
     scheduler_->on_slot_begin(t, *this);
 
-    // 4. Scheduling decisions for ready, present users.
-    double served = 0.0;
-    for (std::size_t i = 0; i < users_.size(); ++i) {
-      UserState& u = users_[i];
-      if (u.phase != Phase::kReady || !in_window(u, t)) continue;
-      if (decide(i, u, t)) {
-        start_training(u, t);
-        served += 1.0;
-        u.in_backlog = false;
-      }
-    }
+    // 3. Scheduling decisions for ready, present users that are due one:
+    //    the hot set (consulted every slot) merged with users that became
+    //    ready, joined, or reached their parking horizon this slot.
+    decide_ready(t);
 
-    // 5. Energy accounting for this slot (Eq. 10 states). Absent users
-    //    burn nothing — their device is off the fleet.
-    for (UserState& u : users_) {
-      if (!present(u, t)) continue;
-      const device::Decision decision = u.phase == Phase::kTraining
-                                            ? device::Decision::kSchedule
-                                            : device::Decision::kIdle;
-      const auto app = u.session->current_app();
-      const device::AppStatus status =
-          app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
-      u.meter.accrue(*u.dev, decision, status, app.value_or(u.train_app),
-                     cfg_.slot_seconds);
-      if (scheduler_->charges_decision_overhead() &&
-          cfg_.decision_eval_seconds > 0.0 && u.phase == Phase::kReady) {
-        u.meter.accrue_decision_overhead(*u.dev, cfg_.decision_eval_seconds);
-      }
-      if (cfg_.track_battery) {
-        const double delta = u.meter.total_j() - u.battery_drained_j;
-        u.battery_drained_j = u.meter.total_j();
-        u.battery.drain(delta);
-      }
-      if (cfg_.enable_thermal) {
-        u.thermal.step(device::power_w(*u.dev, decision, status,
-                                       app.value_or(u.train_app)),
-                       cfg_.slot_seconds);
-        result_.max_temperature_c =
-            std::max(result_.max_temperature_c, u.thermal.temperature_c());
-      }
-    }
-
-    // 6. Gap accumulation (Eq. 12 idle branch) and queue updates. Absent
-    //    users neither accrue staleness nor pressure H(t).
+    // 4. Gap accumulation (Eq. 12 idle branch) and queue updates. Only
+    //    strategies consuming exact per-slot totals pay the fleet sweep;
+    //    otherwise gaps accrue lazily and G(t) is materialized at record
+    //    slots. (Energy accrues lazily in both modes — see catch_up.)
     double sum_gaps = 0.0;
-    for (UserState& u : users_) {
-      if (!present(u, t)) continue;
-      if (u.phase != Phase::kTraining) u.gap.accrue_idle();
-      sum_gaps += u.gap.gap();
+    const bool record = t % cfg_.record_interval == 0;
+    if (sweep_gaps_) {
+      sum_gaps = sweep_gap_slot();
+    } else if (record) {
+      sum_gaps = materialize_gap_sum(t);
     }
-    scheduler_->on_slot_end(arrivals, served + departed, sum_gaps);
+    scheduler_->on_slot_end(slot_arrivals_, slot_served_ + slot_departed_,
+                            sum_gaps);
     queue_q_stats_.add(scheduler_->queue_q());
     queue_h_stats_.add(scheduler_->queue_h());
 
-    // 7. Traces.
-    if (t % cfg_.record_interval == 0) {
+    // 5. Traces.
+    if (record) {
       const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
       result_.traces.record("Q", now_s, scheduler_->queue_q());
       result_.traces.record("H", now_s, scheduler_->queue_h());
@@ -425,18 +565,130 @@ class Driver final : public SchedulerContext {
       if (cfg_.record_per_user_gaps) {
         for (std::size_t i = 0; i < users_.size(); ++i) {
           result_.traces.record("gap_user" + std::to_string(i), now_s,
-                                users_[i].gap.gap());
+                                gap_[i]);
         }
       }
     }
 
-    // 8. Periodic accuracy evaluation.
+    // 6. Periodic accuracy evaluation.
     if (cfg_.real_training) {
       const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
       if (now_s >= next_eval_s_) {
         evaluate(now_s);
         next_eval_s_ += cfg_.eval_interval_s;
       }
+    }
+  }
+
+  void dispatch(const Event& e, sim::Slot t) {
+    UserState& u = users_[e.user];
+    switch (e.type) {
+      case EventType::kJoin:
+        // Eager check: t > 0 && join == t && leave > t (join events are
+        // only pushed for join > 0).
+        if (u.join == t && u.leave > t) {
+          catch_up(e.user, t - 1);
+          slot_arrivals_ += 1.0;
+          u.in_backlog = true;
+          sync_active(e.user, t);  // a ready user entered its window
+          set_mode(e.user, t);
+          decide_scratch_.push_back(e.user);
+        }
+        break;
+      case EventType::kPhaseEnd:
+        if (u.phase == Phase::kTraining && t >= u.phase_end) {
+          complete_training(e.user, t);
+        } else if (u.phase == Phase::kTransferring && t >= u.phase_end) {
+          transfer_done(e.user, t);
+        }
+        break;
+      case EventType::kLeave: {
+        catch_up(e.user, t - 1);
+        if (u.phase == Phase::kReady && u.in_backlog) {
+          slot_departed_ += 1.0;
+          u.in_backlog = false;
+        }
+        // In-flight (training/transferring) users stay present and drain;
+        // ready users drop out of the active count now (unless a same-slot
+        // phase end already dropped them). Barrier users were never
+        // counted as active.
+        sync_active(e.user, t);
+        set_mode(e.user, t);
+        break;
+      }
+      case EventType::kWake:
+        decide_scratch_.push_back(e.user);  // guards applied in decide_ready
+        break;
+    }
+  }
+
+  void transfer_done(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
+    catch_up(index, t - 1);
+    u.phase = Phase::kReady;
+    if (in_window(u, t)) {
+      scheduler_->on_user_ready(index, t, *this);
+      slot_arrivals_ += 1.0;
+      u.in_backlog = true;
+      decide_scratch_.push_back(static_cast<std::uint32_t>(index));
+    }
+    sync_active(index, t);  // out-of-window: drained out after its leave
+    set_mode(index, t);
+  }
+
+  /// Consult decide() for every due ready user in ascending user order —
+  /// exactly the users the eager per-slot decision loop would have touched
+  /// with a non-idle outcome possible. Users whose strategy promises kIdle
+  /// until a future slot are parked on a kWake event instead of being
+  /// re-consulted every slot.
+  void decide_ready(sim::Slot t) {
+    if (hot_ready_.empty() && decide_scratch_.empty()) return;
+    next_hot_.clear();
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < hot_ready_.size() || b < decide_scratch_.size()) {
+      std::uint32_t i;
+      if (b >= decide_scratch_.size() ||
+          (a < hot_ready_.size() && hot_ready_[a] < decide_scratch_[b])) {
+        i = hot_ready_[a++];
+      } else {
+        i = decide_scratch_[b++];
+      }
+      consider(i, t);
+    }
+    hot_ready_.swap(next_hot_);
+  }
+
+  void consider(std::uint32_t i, sim::Slot t) {
+    UserState& u = users_[i];
+    if (u.phase != Phase::kReady || !in_window(u, t)) return;
+    // JobScheduler battery condition (Sec. VI): no training below the
+    // configured state of charge. Scheme-agnostic, so gated in the driver
+    // before the strategy is consulted — and re-checked every slot, so
+    // gated users stay hot. Reading the SoC needs the accrual materialized;
+    // without the gate armed, ready users skip the per-slot catch-up
+    // entirely and their idle span replays in one batch at schedule time.
+    if (gate_ready_hot_) {
+      catch_up(i, t - 1);
+      if (u.battery.soc() < cfg_.min_soc_to_train) {
+        ++result_.battery_gated_slots;
+        next_hot_.push_back(i);
+        return;
+      }
+    }
+    advance_live(u, t);
+    if (scheduler_->decide(i, t, *this) == device::Decision::kSchedule) {
+      catch_up(i, t - 1);
+      start_training(i, t);
+      slot_served_ += 1.0;
+      u.in_backlog = false;
+      return;
+    }
+    const sim::Slot until = scheduler_->ready_parked_until(i, t);
+    if (!gate_ready_hot_ && until > t + 1) {
+      push_event(until, i, EventType::kWake);  // parked
+    } else {
+      next_hot_.push_back(i);
     }
   }
 
@@ -457,18 +709,183 @@ class Driver final : public SchedulerContext {
            u.phase == Phase::kTransferring;
   }
 
-  // ------------------------------------------------------------- decisions
-
-  bool decide(std::size_t index, UserState& u, sim::Slot t) {
-    // JobScheduler battery condition (Sec. VI): no training below the
-    // configured state of charge. Scheme-agnostic, so gated in the driver
-    // before the strategy is consulted.
-    if (cfg_.track_battery && u.battery.soc() < cfg_.min_soc_to_train) {
-      ++result_.battery_gated_slots;
-      return false;
-    }
-    return scheduler_->decide(index, t, *this) == device::Decision::kSchedule;
+  void set_mode(std::size_t i, sim::Slot t) {
+    const UserState& u = users_[i];
+    gap_mode_[i] = u.phase == Phase::kTraining
+                       ? kGapTraining
+                       : (present(u, t) ? kGapAccrue : kGapAbsent);
   }
+
+  /// Reconcile the user's membership in active_present_ (present users not
+  /// at the barrier) with its current phase/presence. Called after every
+  /// phase transition and presence edge; idempotent, so overlapping
+  /// same-slot events (phase end + leave) count each transition once.
+  void sync_active(std::size_t i, sim::Slot t) {
+    UserState& u = users_[i];
+    const bool now = u.phase != Phase::kBarrier && present(u, t);
+    if (now != u.active_counted) {
+      u.active_counted = now;
+      if (now) {
+        ++active_present_;
+      } else {
+        --active_present_;
+      }
+    }
+  }
+
+  // ------------------------------------------------------- lazy accrual
+
+  /// Advance the live machine through slot `t`, consulting the hot-block
+  /// arrival mirror first so slots without arrivals never touch the cold
+  /// script storage.
+  void advance_live(UserState& u, sim::Slot t) {
+    if (t < u.live_next_arrival) return;
+    advance_session(u.live_sess, u, t);
+    u.live_next_arrival = u.live_sess.cursor < u.script.size()
+                              ? u.script[u.live_sess.cursor].at
+                              : std::numeric_limits<sim::Slot>::max();
+  }
+
+  /// Advance one of the user's foreground-session machines through slot
+  /// `t`, consuming script arrivals exactly as the per-slot tick did: an
+  /// arrival while an app runs is absorbed; otherwise it starts a session
+  /// lasting the device's measured Table II co-run time.
+  void advance_session(UserState::SessionMachine& m, const UserState& u,
+                       sim::Slot t) {
+    while (m.cursor < u.script.size() && u.script[m.cursor].at <= t) {
+      const apps::ScriptedArrivals::Event& e = u.script[m.cursor];
+      if (e.at >= m.end) {
+        m.app = e.app;
+        const double duration_s = u.dev->app(e.app).corun_time_s;
+        m.end = e.at + static_cast<sim::Slot>(
+                           std::ceil(duration_s / clock_.slot_seconds()));
+      }
+      ++m.cursor;
+    }
+  }
+
+  /// Replay the per-slot accrual sequence for every slot in (u.synced, upto]
+  /// — the bit-exact equivalent of the eager loop's energy/gap/battery/
+  /// thermal bookkeeping for a span in which the user's phase and presence
+  /// are constant (guaranteed: both only change through events, which catch
+  /// up before mutating). The session timeline segments the span; each
+  /// segment accrues a constant per-slot energy quantum.
+  void catch_up(std::size_t index, sim::Slot upto) {
+    UserState& u = users_[index];
+    if (u.synced >= upto) return;
+    const unsigned char mode = gap_mode_[index];
+    if (mode == kGapAbsent) {
+      u.synced = upto;  // absent users burn nothing and never tick
+      return;
+    }
+    if (!sweep_gaps_ && mode == kGapAccrue) {
+      const sim::Slot slots = upto - u.synced;
+      if (gap_chain_[index] >= 0) {
+        // The gap is a pure epsilon chain from 0.0 (the common case: every
+        // update settles the gap to zero) — the continuation of that chain
+        // is user-independent, so it is read from the shared prefix table
+        // instead of being re-added slot by slot. Bit-identical: the table
+        // is built by the same sequential additions.
+        gap_chain_[index] += slots;
+        gap_[index] = eps_chain(gap_chain_[index]);
+      } else {
+        // Impure base (a dropped upload left a closed-form gap accruing):
+        // replay the additions verbatim.
+        double gap = gap_[index];
+        for (sim::Slot s = 0; s < slots; ++s) gap += cfg_.epsilon;
+        gap_[index] = gap;
+      }
+    }
+    const bool training = u.phase == Phase::kTraining;
+    const device::Decision decision =
+        training ? device::Decision::kSchedule : device::Decision::kIdle;
+    const bool overhead = charges_overhead_ &&
+                          cfg_.decision_eval_seconds > 0.0 &&
+                          u.phase == Phase::kReady;
+    const bool slow = cfg_.track_battery || cfg_.enable_thermal || overhead;
+    sim::Slot s = u.synced + 1;
+    while (s <= upto) {
+      advance_session(u.replay_sess, u, s);
+      const bool app_on = s < u.replay_sess.end;
+      sim::Slot seg_end;
+      if (app_on) {
+        seg_end = std::min(upto, u.replay_sess.end - 1);
+      } else {
+        const sim::Slot next_arrival =
+            u.replay_sess.cursor < u.script.size()
+                ? u.script[u.replay_sess.cursor].at
+                : std::numeric_limits<sim::Slot>::max();
+        seg_end = next_arrival > upto ? upto : next_arrival - 1;
+      }
+      const device::AppStatus status =
+          app_on ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+      const device::AppKind app = app_on ? u.replay_sess.app : u.train_app;
+      if (!slow) {
+        u.meter.accrue_repeat(*u.dev, decision, status, app, cfg_.slot_seconds,
+                              seg_end - s + 1);
+      } else {
+        for (sim::Slot k = s; k <= seg_end; ++k) {
+          u.meter.accrue(*u.dev, decision, status, app, cfg_.slot_seconds);
+          if (overhead) {
+            u.meter.accrue_decision_overhead(*u.dev,
+                                             cfg_.decision_eval_seconds);
+          }
+          if (cfg_.track_battery) {
+            const double delta = u.meter.total_j() - u.battery_drained_j;
+            u.battery_drained_j = u.meter.total_j();
+            u.battery.drain(delta);
+          }
+          if (cfg_.enable_thermal) {
+            u.thermal.step(device::power_w(*u.dev, decision, status, app),
+                           cfg_.slot_seconds);
+            result_.max_temperature_c =
+                std::max(result_.max_temperature_c, u.thermal.temperature_c());
+          }
+        }
+      }
+      s = seg_end + 1;
+    }
+    u.synced = upto;
+  }
+
+  /// eps_chain(k) == the value of k sequential `gap += epsilon` additions
+  /// starting from 0.0 — the shared accrual chain every zero-reset gap
+  /// follows. Grown on demand, built by exactly those additions.
+  double eps_chain(sim::Slot k) {
+    while (static_cast<sim::Slot>(eps_chain_.size()) <= k) {
+      eps_chain_.push_back(eps_chain_.back() + cfg_.epsilon);
+    }
+    return eps_chain_[static_cast<std::size_t>(k)];
+  }
+
+  /// The per-slot gap sweep (strategies consuming exact slot totals): the
+  /// eager loop's Eq. 12 accrual + G(t) summation in user-index order.
+  double sweep_gap_slot() {
+    double sum = 0.0;
+    const double epsilon = cfg_.epsilon;
+    const std::size_t n = users_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned char mode = gap_mode_[i];
+      if (mode == kGapAbsent) continue;
+      if (mode == kGapAccrue) gap_[i] += epsilon;
+      sum += gap_[i];
+    }
+    return sum;
+  }
+
+  /// Lazy-mode G(t) at a record slot: materialize every present user's gap
+  /// (and, incidentally, energy) through slot t, summing in index order.
+  double materialize_gap_sum(sim::Slot t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      if (gap_mode_[i] == kGapAbsent) continue;
+      catch_up(i, t);
+      sum += gap_[i];
+    }
+    return sum;
+  }
+
+  // ------------------------------------------------------------- decisions
 
   /// Server-side lag estimate l_{d_i}: how many currently-training users
   /// will apply an update while `u` would be training (Algorithm 2, line 4).
@@ -478,33 +895,58 @@ class Driver final : public SchedulerContext {
   /// it keeps 10k-user online fleets out of O(n^2) per slot.
   double expected_lag(const UserState& u, device::AppStatus status,
                       device::AppKind app, sim::Slot t) const {
-    const double duration = device::training_duration_s(*u.dev, status, app);
-    const sim::Slot end = t + clock_.slots_for_seconds(duration);
-    const auto it =
-        std::upper_bound(training_ends_.begin(), training_ends_.end(), end);
-    return static_cast<double>(it - training_ends_.begin());
+    // Duration-in-slots precomputed per (device, co-run context): the same
+    // training_duration_s/slots_for_seconds values, evaluated once.
+    const sim::Slot slots =
+        lag_slots_[static_cast<std::size_t>(u.dev_kind)]
+                  [status == device::AppStatus::kApp
+                       ? static_cast<std::size_t>(app)
+                       : device::kAppKinds];
+    const sim::Slot end = t + slots;
+    // Within one slot the fleet asks for only a handful of distinct end
+    // slots (device kinds x co-run contexts), so the Fenwick prefix count
+    // is memoized until the next index mutation. The memo returns the
+    // stored integer — bit-identical by construction.
+    if (lag_cache_slot_ != t || lag_cache_version_ != lag_index_version_) {
+      lag_cache_slot_ = t;
+      lag_cache_version_ = lag_index_version_;
+      lag_cache_.clear();
+    }
+    for (const auto& [cached_end, count] : lag_cache_) {
+      if (cached_end == end) return static_cast<double>(count);
+    }
+    const std::size_t count = training_ends_.count_le(end);
+    lag_cache_.emplace_back(end, count);
+    return static_cast<double>(count);
   }
 
   /// Keep the expected_lag index in sync with kTraining phase transitions.
   void index_training_start(sim::Slot end) {
-    training_ends_.insert(
-        std::upper_bound(training_ends_.begin(), training_ends_.end(), end),
-        end);
+    training_ends_.add(end, +1);
+    ++lag_index_version_;
   }
 
   void index_training_finish(sim::Slot end) {
-    training_ends_.erase(
-        std::lower_bound(training_ends_.begin(), training_ends_.end(), end));
+    training_ends_.add(end, -1);
+    ++lag_index_version_;
   }
 
   // ------------------------------------------------------------- lifecycle
 
-  void start_training(UserState& u, sim::Slot t) {
-    const auto app = u.session->current_app();
+  void start_training(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
+    // Caller guarantees accrual through t-1; bring the replay machine to t
+    // so both session machines agree (required before the co-run extension
+    // below mutates them).
+    assert(u.synced == t - 1);
+    advance_session(u.replay_sess, u, t);
+    assert(u.replay_sess.cursor == u.live_sess.cursor &&
+           u.replay_sess.end == u.live_sess.end);
+    const bool app_on = t < u.live_sess.end;
     const device::AppStatus status =
-        app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+        app_on ? device::AppStatus::kApp : device::AppStatus::kNoApp;
     u.training_corun = status == device::AppStatus::kApp;
-    u.train_app = app.value_or(device::AppKind::kMap);
+    u.train_app = app_on ? u.live_sess.app : device::AppKind::kMap;
     double duration = device::training_duration_s(*u.dev, status, u.train_app);
     if (cfg_.enable_thermal) {
       const double factor = u.thermal.throttle_factor();
@@ -514,14 +956,20 @@ class Driver final : public SchedulerContext {
       if (factor > 1.01) ++result_.throttled_sessions;
     }
     if (u.training_corun) {
-      // System model: the app covers the co-scheduled training task.
-      u.session->extend_to_cover(duration, clock_);
+      // System model: the app covers the co-scheduled training task
+      // (extend the session to the training duration if it is shorter) —
+      // applied to both machines while they are synchronized.
+      const sim::Slot needed = clock_.slots_for_seconds(duration);
+      if (needed > u.live_sess.end - t) u.live_sess.end = t + needed;
+      u.replay_sess.end = u.live_sess.end;
       ++result_.corun_sessions;
     } else {
       ++result_.separate_sessions;
     }
-    u.gap.on_schedule(cfg_.eta, cfg_.beta,
-                      expected_lag(u, status, u.train_app, t), momentum_norm());
+    gap_[index] = fl::gradient_gap(
+        cfg_.eta, cfg_.beta, expected_lag(u, status, u.train_app, t),
+        momentum_norm());
+    gap_chain_[index] = gap_[index] == 0.0 ? 0 : -1;
     u.phase = Phase::kTraining;
     u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(duration), 1);
     if (cfg_.real_training) {
@@ -557,10 +1005,13 @@ class Driver final : public SchedulerContext {
       u.version_at_download = synthetic_version_;
     }
     index_training_start(u.phase_end);
+    push_event(u.phase_end, index, EventType::kPhaseEnd);
+    set_mode(index, t);
   }
 
   void complete_training(std::size_t index, sim::Slot t) {
     UserState& u = users_[index];
+    catch_up(index, t - 1);
     index_training_finish(u.phase_end);
     const double now_s = static_cast<double>(t) * cfg_.slot_seconds;
     // Failure injection: the upload is lost (killed background process or
@@ -572,7 +1023,7 @@ class Driver final : public SchedulerContext {
         cfg_.upload_drop_probability > 0.0 &&
         u.rng.bernoulli(cfg_.upload_drop_probability)) {
       ++result_.dropped_updates;
-      begin_transfer(u, t);
+      begin_transfer(index, t);
       return;
     }
     if (cfg_.real_training) {
@@ -581,9 +1032,7 @@ class Driver final : public SchedulerContext {
       (void)epoch;
       if (scheduler_->uses_round_barrier()) {
         server_->stage_sync(u.client->upload());
-        u.gap.on_update_applied();
-        scheduler_->on_update_applied(index, t);
-        u.phase = Phase::kBarrier;
+        park_at_barrier(index, t);
         return;  // lag/gap settle at the aggregation barrier
       }
       std::vector<float> uploaded = u.client->upload();
@@ -593,9 +1042,7 @@ class Driver final : public SchedulerContext {
       record_update(index, now_s, receipt.lag, receipt.gradient_gap);
     } else {
       if (scheduler_->uses_round_barrier()) {
-        u.gap.on_update_applied();
-        scheduler_->on_update_applied(index, t);
-        u.phase = Phase::kBarrier;
+        park_at_barrier(index, t);
         return;
       }
       const std::uint64_t lag = synthetic_version_ - u.version_at_download;
@@ -606,9 +1053,21 @@ class Driver final : public SchedulerContext {
       momentum_model_.on_global_update();
       record_update(index, now_s, lag, gap);
     }
-    u.gap.on_update_applied();
+    gap_[index] = 0.0;
+    gap_chain_[index] = 0;
     scheduler_->on_update_applied(index, t);
-    begin_transfer(u, t);
+    begin_transfer(index, t);
+  }
+
+  void park_at_barrier(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
+    gap_[index] = 0.0;
+    gap_chain_[index] = 0;
+    scheduler_->on_update_applied(index, t);
+    u.phase = Phase::kBarrier;
+    ++barrier_count_;
+    sync_active(index, t);
+    set_mode(index, t);
   }
 
   void record_update(std::size_t user, double now_s, std::uint64_t lag,
@@ -620,7 +1079,8 @@ class Driver final : public SchedulerContext {
     result_.traces.record("server_gap", now_s, gap);
   }
 
-  void begin_transfer(UserState& u, sim::Slot t) {
+  void begin_transfer(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
     // Upload the local model, then download the fresh global copy, over
     // the user's own network tier.
     const net::TransferResult up = u.link->transfer(model_bytes_, u.rng);
@@ -629,6 +1089,8 @@ class Driver final : public SchedulerContext {
     const double seconds = up.duration_s + down.duration_s;
     u.phase = Phase::kTransferring;
     u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(seconds), 1);
+    push_event(u.phase_end, index, EventType::kPhaseEnd);
+    set_mode(index, t);
   }
 
   void evaluate(double now_s) {
@@ -643,6 +1105,11 @@ class Driver final : public SchedulerContext {
   // ------------------------------------------------------------- finalize
 
   ExperimentResult finalize() {
+    // Materialize every outstanding lazy span through the last slot the
+    // eager loop would have accrued.
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      catch_up(i, cfg_.horizon_slots - 1);
+    }
     for (const UserState& u : users_) {
       result_.total_energy_j += u.meter.total_j();
       result_.training_j += u.meter.training_j();
@@ -677,9 +1144,16 @@ class Driver final : public SchedulerContext {
   net::Link wifi_link_;
   net::Link lte_link_;
   fl::SyntheticMomentumModel momentum_model_;
-  /// Sorted phase_end slots of users currently in kTraining (the
-  /// expected_lag index; see index_training_start/finish).
-  std::vector<sim::Slot> training_ends_;
+  /// End slots of users currently in kTraining (the expected_lag index;
+  /// see index_training_start/finish).
+  TrainingEndIndex training_ends_;
+  std::uint64_t lag_index_version_ = 0;
+  mutable std::vector<std::pair<sim::Slot, std::size_t>> lag_cache_;
+  mutable sim::Slot lag_cache_slot_ = -1;
+  mutable std::uint64_t lag_cache_version_ = 0;
+  /// [device kind][app or kAppKinds for no-app] -> training duration in
+  /// slots (the expected_lag lookahead).
+  std::vector<std::array<sim::Slot, device::kAppKinds + 1>> lag_slots_;
 
   data::SynthCifar dataset_;
   std::optional<nn::Network> prototype_;
@@ -687,7 +1161,31 @@ class Driver final : public SchedulerContext {
   std::size_t model_bytes_ = 2'500'000;
 
   std::vector<UserState> users_;
+  /// Per-user gap values g_i (Eq. 12) and their per-slot classification —
+  /// flat arrays so the sweep walks them cache-linearly.
+  std::vector<double> gap_;
+  std::vector<unsigned char> gap_mode_;
+  /// gap_[i] == eps_chain(gap_chain_[i]) when >= 0 (pure chain from a zero
+  /// reset); -1 = impure base, accrual replays slot by slot. Only
+  /// meaningful on the lazy path (!sweep_gaps_).
+  std::vector<sim::Slot> gap_chain_;
+  std::vector<double> eps_chain_{0.0};
   std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::vector<std::uint32_t> hot_ready_;       ///< ready users consulted every slot
+  std::vector<std::uint32_t> next_hot_;        ///< scratch for the rebuild
+  std::vector<std::uint32_t> decide_scratch_;  ///< became ready/woke this slot
+  std::size_t barrier_count_ = 0;    ///< users parked at the sync barrier
+  std::size_t active_present_ = 0;   ///< present users not at the barrier
+  bool sweep_gaps_ = true;
+  bool charges_overhead_ = false;
+  bool gate_ready_hot_ = false;
+  sim::Slot cur_ = 0;
+  double slot_arrivals_ = 0.0;
+  double slot_served_ = 0.0;
+  double slot_departed_ = 0.0;
+
   double pending_arrivals_ = 0.0;
   std::uint64_t synthetic_version_ = 0;
   double next_eval_s_ = 0.0;

@@ -119,6 +119,70 @@ bool in_interval(double point, double lo, double len) noexcept {
 }
 }  // namespace
 
+LagBoundIndex::LagBoundIndex(const std::vector<UserWindow>& users)
+    : users_(&users) {
+  // Group users by their separate-completion time. The grouping key is the
+  // exact double the naive scan computes, so membership tests below see
+  // identical values.
+  std::vector<std::pair<double, double>> ends;
+  ends.reserve(users.size());
+  for (const UserWindow& u : users) {
+    ends.emplace_back(u.begin + u.duration, u.app_arrival + u.duration);
+  }
+  std::sort(ends.begin(), ends.end());
+  for (std::size_t k = 0; k < ends.size();) {
+    Group group;
+    group.end_separate = ends[k].first;
+    while (k < ends.size() && ends[k].first == group.end_separate) {
+      group.end_coruns.push_back(ends[k].second);
+      ++k;
+    }
+    // Sorted already within the group by the pair sort.
+    groups_.push_back(std::move(group));
+  }
+}
+
+namespace {
+/// Elements of sorted `values` inside the closed interval [lo, hi].
+std::size_t count_in(const std::vector<double>& values, double lo,
+                     double hi) noexcept {
+  const auto first = std::lower_bound(values.begin(), values.end(), lo);
+  const auto last = std::upper_bound(values.begin(), values.end(), hi);
+  return first < last ? static_cast<std::size_t>(last - first) : 0;
+}
+}  // namespace
+
+std::size_t LagBoundIndex::bound(std::size_t i) const {
+  if (i >= users_->size()) {
+    throw std::out_of_range{"LagBoundIndex::bound: bad user index"};
+  }
+  const UserWindow& me = (*users_)[i];
+  const double lo1 = me.begin;
+  const double hi1 = me.begin + me.duration;
+  const double lo2 = me.app_arrival;
+  const double hi2 = me.app_arrival + me.duration;
+  const double ilo = std::max(lo1, lo2);
+  const double ihi = std::min(hi1, hi2);
+  std::size_t count = 0;
+  for (const Group& g : groups_) {
+    const double p = g.end_separate;
+    if ((p >= lo1 && p <= hi1) || (p >= lo2 && p <= hi2)) {
+      // Separate completion already hits one of i's intervals: every group
+      // member counts regardless of its co-run completion.
+      count += g.end_coruns.size();
+      continue;
+    }
+    // Otherwise count members whose co-run completion lands in the union
+    // of the two closed intervals (inclusion-exclusion on the overlap).
+    count += count_in(g.end_coruns, lo1, hi1);
+    count += count_in(g.end_coruns, lo2, hi2);
+    if (ilo <= ihi) count -= count_in(g.end_coruns, ilo, ihi);
+  }
+  // The naive scan skips j == i; user i always satisfies the predicate
+  // (its own separate completion t_i + d_i lies in [t_i, t_i + d_i]).
+  return count - 1;
+}
+
 std::size_t lag_upper_bound(const std::vector<UserWindow>& users, std::size_t i) {
   if (i >= users.size()) {
     throw std::out_of_range{"lag_upper_bound: bad user index"};

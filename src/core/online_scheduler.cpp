@@ -1,5 +1,6 @@
 #include "core/online_scheduler.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace fedco::core {
@@ -18,6 +19,22 @@ std::vector<OnlineDecisionOutcome> OnlineScheduler::decide_all(
   return out;
 }
 
+double OnlineScheduler::amplification(double lag) const {
+  constexpr double kMaxCached = 1 << 20;  // ~8 MiB ceiling, far above any fleet
+  const auto index = static_cast<std::size_t>(lag);
+  if (lag >= 0.0 && lag < kMaxCached && static_cast<double>(index) == lag) {
+    if (index >= amp_cache_.size()) {
+      amp_cache_.reserve(index + 1);
+      for (std::size_t l = amp_cache_.size(); l <= index; ++l) {
+        amp_cache_.push_back(
+            fl::momentum_amplification(config_.beta, static_cast<double>(l)));
+      }
+    }
+    return amp_cache_[index];
+  }
+  return fl::momentum_amplification(config_.beta, lag);
+}
+
 OnlineDecisionOutcome OnlineScheduler::decide(
     const device::DeviceProfile& dev, const OnlineDecisionInput& input) const {
   OnlineDecisionOutcome out;
@@ -33,9 +50,10 @@ OnlineDecisionOutcome OnlineScheduler::decide(
                                         input.app_status, input.app);
 
   // Gap realised by scheduling now: the Eq. (4) closed form with the lag the
-  // server expects over this user's training duration.
-  out.gap_if_scheduled = fl::gradient_gap(config_.eta, config_.beta,
-                                          input.expected_lag, input.momentum_norm);
+  // server expects over this user's training duration (the amplification
+  // factor memoized — bit-identical to fl::gradient_gap).
+  out.gap_if_scheduled = std::abs(config_.eta) * amplification(input.expected_lag) *
+                         std::abs(input.momentum_norm);
   // Gap realised by idling: accumulate epsilon (Eq. 12).
   const double gap_if_idle = input.current_gap + config_.epsilon;
 
@@ -47,5 +65,6 @@ OnlineDecisionOutcome OnlineScheduler::decide(
                                                     : device::Decision::kIdle;
   return out;
 }
+
 
 }  // namespace fedco::core

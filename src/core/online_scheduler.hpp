@@ -74,8 +74,17 @@ class OnlineScheduler {
   void reset() noexcept { queues_.reset(); }
 
  private:
+  /// Eq. (4) momentum amplification (1 - beta^lag) / (1 - beta), memoized
+  /// for integral lags. Server lag estimates are counts, so decide() —
+  /// called once per ready user per slot — would otherwise spend most of
+  /// its time in std::pow. The cache stores the exact values
+  /// fl::momentum_amplification returns (same call, same arguments), so
+  /// decisions are bit-identical with or without a hit.
+  [[nodiscard]] double amplification(double lag) const;
+
   OnlineSchedulerConfig config_;
   LyapunovQueues queues_;
+  mutable std::vector<double> amp_cache_;  ///< index = integral lag
 };
 
 }  // namespace fedco::core

@@ -17,10 +17,18 @@
 //    streams or depend on wall-clock/thread identity.
 //  * Hooks are invoked in a fixed per-slot order: completions (including
 //    `on_user_ready` for users finishing their transfer) -> `on_slot_begin`
-//    -> one `decide` per ready user in user-index order -> energy/gap
+//    -> one `decide` per due ready user in user-index order -> energy/gap
 //    accounting -> `on_slot_end`.
 //  * `queue_q`/`queue_h` are sampled once per slot after `on_slot_end` and
 //    must be cheap; schemes without Lyapunov queues report 0.
+//  * The driver is event-driven (DESIGN.md §9): per-user state read through
+//    the context accessors is materialized lazily on access, so a strategy
+//    must never assume the driver refreshed the whole fleet this slot —
+//    fleet-wide conclusions come from the O(1) counters (barrier_count,
+//    active_present_count). A ready user whose decide() returned kIdle is
+//    only re-consulted at ready_parked_until(); strategies that can promise
+//    an idle span (a cached window plan, a decision interval) return a
+//    future slot there to take per-slot work off the driver's hot path.
 #pragma once
 
 #include <cstddef>
@@ -56,6 +64,13 @@ class SchedulerContext {
   /// round barrier would otherwise deadlock the round.
   [[nodiscard]] virtual bool user_present(std::size_t user,
                                           sim::Slot t) const = 0;
+  /// Users currently parked at the synchronous round barrier — maintained
+  /// incrementally by the driver, O(1) per slot (the event-driven
+  /// replacement for scanning the fleet each slot).
+  [[nodiscard]] virtual std::size_t barrier_count() const noexcept = 0;
+  /// Present users NOT at the barrier (idle, training, or transferring) as
+  /// of the current slot — the sync barrier's stragglers, O(1).
+  [[nodiscard]] virtual std::size_t active_present_count() const noexcept = 0;
   [[nodiscard]] virtual const device::DeviceProfile& user_device(
       std::size_t user) const = 0;
   /// Foreground app currently on screen, if any.
@@ -139,6 +154,28 @@ class Scheduler {
   }
 
   // ------------------------------------------------------ policy traits
+
+  /// Does on_slot_end consume exact per-slot totals — in particular the
+  /// summed fleet gap G(t)? True (the safe default) makes the driver run a
+  /// per-slot O(n) gap sweep; strategies that ignore the argument (no
+  /// Lyapunov queues) return false, and the driver then accrues gaps
+  /// lazily, materializing G(t) only at trace-record slots. When false,
+  /// on_slot_end may receive 0 for sum_gaps between record slots.
+  [[nodiscard]] virtual bool needs_slot_totals() const noexcept {
+    return true;
+  }
+
+  /// Parking promise for the event-driven driver. Called after decide()
+  /// returned kIdle for a ready `user` at slot `t`: the strategy guarantees
+  /// decide(user, s) == kIdle for every slot t < s < returned slot, no
+  /// matter how driver state evolves. The driver then skips the user until
+  /// that slot. The default (t + 1) promises nothing — the user stays on
+  /// the every-slot hot path.
+  [[nodiscard]] virtual sim::Slot ready_parked_until(std::size_t user,
+                                                     sim::Slot t) const {
+    (void)user;
+    return t + 1;
+  }
 
   /// Do completed sessions park at a round barrier (FedAvg) instead of
   /// submitting asynchronously?

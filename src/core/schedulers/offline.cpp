@@ -54,6 +54,18 @@ void OfflineScheduler::on_user_ready(std::size_t user, sim::Slot t,
   plans_[user] = OfflineUserPlan{OfflineAction::kDefer, 0};
 }
 
+sim::Slot OfflineScheduler::ready_parked_until(std::size_t user,
+                                               sim::Slot t) const {
+  // Plans only change at the next window boundary (on_slot_begin replan);
+  // until then decide() is a pure function of the cached plan and t.
+  const sim::Slot boundary = (t / window_slots_ + 1) * window_slots_;
+  const OfflineUserPlan& plan = plans_[user];
+  if (plan.action != OfflineAction::kDefer && plan.start_slot > t) {
+    return std::min(boundary, plan.start_slot);
+  }
+  return boundary;
+}
+
 device::Decision OfflineScheduler::decide(std::size_t user, sim::Slot t,
                                           SchedulerContext& ctx) {
   (void)ctx;

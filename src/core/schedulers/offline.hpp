@@ -33,6 +33,19 @@ class OfflineScheduler final : public Scheduler {
   [[nodiscard]] device::Decision decide(std::size_t user, sim::Slot t,
                                         SchedulerContext& ctx) override;
 
+  /// No Lyapunov queues: on_slot_end is ignored, so the driver can skip
+  /// the per-slot fleet gap sweep and accrue lazily.
+  [[nodiscard]] bool needs_slot_totals() const noexcept override {
+    return false;
+  }
+
+  /// A cached window plan pins the decision stream: a deferred user idles
+  /// until the next window boundary, a wait-for-app user until its planned
+  /// start slot — so the driver can park ready users instead of
+  /// re-consulting decide() every slot.
+  [[nodiscard]] sim::Slot ready_parked_until(std::size_t user,
+                                             sim::Slot t) const override;
+
  private:
   OfflinePlannerConfig planner_config_;
   sim::Slot window_slots_;

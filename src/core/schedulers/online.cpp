@@ -14,7 +14,7 @@ device::Decision OnlineLyapunovScheduler::decide(std::size_t user, sim::Slot t,
   input.app_status = app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
   input.app = app.value_or(device::AppKind::kMap);
   input.current_gap = ctx.user_gap(user);
-  input.momentum_norm = ctx.momentum_norm();
+  input.momentum_norm = momentum_norm_;  // constant within a slot, see hpp
   input.expected_lag = ctx.expected_lag(user, input.app_status, input.app, t);
   return online_.decide(ctx.user_device(user), input).decision;
 }

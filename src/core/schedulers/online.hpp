@@ -23,8 +23,32 @@ class OnlineLyapunovScheduler final : public Scheduler {
   [[nodiscard]] device::Decision decide(std::size_t user, sim::Slot t,
                                         SchedulerContext& ctx) override;
 
+  /// ||v_t|| is constant across one slot's decide() calls (global updates
+  /// land during completion events, before on_slot_begin), so it is read
+  /// once per slot instead of once per ready user.
+  void on_slot_begin(sim::Slot t, SchedulerContext& ctx) override {
+    (void)t;
+    momentum_norm_ = ctx.momentum_norm();
+  }
+
   void on_slot_end(double arrivals, double served, double sum_gaps) override {
     online_.update_queues(arrivals, served, sum_gaps);
+  }
+
+  /// The Eq. (15)/(16) queue updates consume exact per-slot A(t), b(t),
+  /// G(t) — the driver must run its per-slot gap sweep.
+  [[nodiscard]] bool needs_slot_totals() const noexcept override {
+    return true;
+  }
+
+  /// Coarsened scheduling granularity: between evaluation slots decide()
+  /// returns kIdle without reading any state, so ready users can be parked
+  /// until the next multiple of the decision interval.
+  [[nodiscard]] sim::Slot ready_parked_until(std::size_t user,
+                                             sim::Slot t) const override {
+    (void)user;
+    if (decision_interval_slots_ <= 1) return t + 1;
+    return (t / decision_interval_slots_ + 1) * decision_interval_slots_;
   }
 
   [[nodiscard]] bool charges_decision_overhead() const noexcept override {
@@ -41,6 +65,7 @@ class OnlineLyapunovScheduler final : public Scheduler {
  private:
   OnlineScheduler online_;
   sim::Slot decision_interval_slots_;
+  double momentum_norm_ = 0.0;  ///< per-slot cache (see on_slot_begin)
 };
 
 }  // namespace fedco::core

@@ -3,18 +3,13 @@
 namespace fedco::core {
 
 void SyncSgdScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
-  const std::size_t n = ctx.num_users();
-  bool any_at_barrier = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ctx.user_at_barrier(i)) {
-      any_at_barrier = true;
-      continue;
-    }
-    // Absent (churned-out) users cannot contribute to this round and must
-    // not gate it; everyone present has to reach the barrier first.
-    if (ctx.user_present(i, t)) return;  // straggler still running
-  }
-  if (!any_at_barrier) return;  // nothing staged (fleet momentarily empty)
+  // The round closes when every present user reached the barrier. Absent
+  // (churned-out) users cannot contribute and must not gate it, and an
+  // empty barrier (fleet momentarily empty) has nothing to aggregate. The
+  // driver maintains both counts incrementally, so the historical per-slot
+  // fleet scan is now two O(1) reads.
+  if (ctx.active_present_count() != 0) return;  // straggler still running
+  if (ctx.barrier_count() == 0) return;         // nothing staged
   ctx.aggregate_round(t);
 }
 

@@ -56,6 +56,26 @@ void EnergyMeter::accrue(const DeviceProfile& dev, Decision decision,
   }
 }
 
+void EnergyMeter::accrue_repeat(const DeviceProfile& dev, Decision decision,
+                                AppStatus status, AppKind app, double seconds,
+                                std::int64_t slots) noexcept {
+  if (slots <= 0) return;
+  const double joules = energy_j(dev, decision, status, app, seconds);
+  double* bucket = decision == Decision::kSchedule
+                       ? (status == AppStatus::kApp ? &corun_j_ : &training_j_)
+                       : (status == AppStatus::kApp ? &app_j_ : &idle_j_);
+  // Replay the per-slot additions verbatim: total and bucket each form the
+  // exact addition chain the slot loop would have produced.
+  double total = total_j_;
+  double in_bucket = *bucket;
+  for (std::int64_t k = 0; k < slots; ++k) {
+    total += joules;
+    in_bucket += joules;
+  }
+  total_j_ = total;
+  *bucket = in_bucket;
+}
+
 void EnergyMeter::accrue_decision_overhead(const DeviceProfile& dev,
                                            double seconds) noexcept {
   // Marginal cost of evaluating Eq. (21): the delta between the Table III

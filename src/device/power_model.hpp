@@ -2,6 +2,7 @@
 // accounting built on it.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "device/profiles.hpp"
@@ -49,6 +50,16 @@ class EnergyMeter {
   /// Account `seconds` in the given state.
   void accrue(const DeviceProfile& dev, Decision decision, AppStatus status,
               AppKind app, double seconds) noexcept;
+
+  /// Account `slots` consecutive slots of `seconds` each in the given
+  /// state: bit-identical to calling accrue() `slots` times (the same
+  /// per-slot quantum is added sequentially — floating-point addition is
+  /// not associative, so this must NOT be folded into one multiply), but
+  /// the quantum is computed once. The event-driven driver uses this to
+  /// replay idle spans lazily (DESIGN.md §9).
+  void accrue_repeat(const DeviceProfile& dev, Decision decision,
+                     AppStatus status, AppKind app, double seconds,
+                     std::int64_t slots) noexcept;
 
   /// Account the online controller's own decision-evaluation cost: the
   /// device sits at Table III "Power(comp.)" instead of whatever baseline

@@ -235,5 +235,30 @@ TEST(OfflinePlanner, StalenessBudgetIsRespected) {
   EXPECT_EQ(plan.lag_bounds.size(), users.size());
 }
 
+class LagBoundIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LagBoundIndexProperty, IndexMatchesNaiveScanExactly) {
+  // The counting index must return the identical integer as the O(n) scan
+  // for every user — including duplicated completion times (grouping),
+  // interval endpoints (closed-interval edges), and overlapping candidate
+  // intervals (the inclusion-exclusion path).
+  util::Rng rng{GetParam()};
+  std::vector<UserWindow> users(rng.uniform_int(std::uint64_t{60}) + 2);
+  for (auto& u : users) {
+    u.begin = 1000.0;  // plan_window gives every user the same window start
+    // Few distinct durations (device/app profiles), arbitrary arrivals.
+    u.duration = 50.0 * static_cast<double>(1 + rng.uniform_int(std::uint64_t{5}));
+    u.app_arrival =
+        u.begin + static_cast<double>(rng.uniform_int(std::uint64_t{500}));
+  }
+  const LagBoundIndex index{users};
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    EXPECT_EQ(index.bound(i), lag_upper_bound(users, i)) << "user " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LagBoundIndexProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
 }  // namespace
 }  // namespace fedco::core

@@ -1,0 +1,169 @@
+// Throughput-regression gate over bench_scale's machine-readable output.
+//
+// Compares a freshly measured BENCH_scale(.json) document against a
+// committed baseline: for every (num_users, horizon_slots, scheduler) row
+// present in BOTH documents, the candidate's slots_per_sec must not fall
+// more than --max-regression-pct below the baseline's. Rows only one side
+// has (grid changes) are reported and skipped. CI runs this against the
+// committed smoke baseline on every push (ROADMAP "BENCH trajectory"), so
+// an accidental O(n) regression in the event-driven driver fails loudly
+// instead of rotting silently.
+//
+// Baselines are machine-specific: recapture them (bench_scale --smoke
+// --jobs 1) when the reference hardware changes, and compare only serial
+// ("timing": "serial") documents — concurrent timings include worker
+// contention.
+//
+//   bench_check --baseline PATH --candidate PATH [--max-regression-pct N]
+//
+// Exit code: 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using fedco::util::JsonValue;
+
+struct Row {
+  std::uint64_t users = 0;
+  std::int64_t horizon = 0;
+  std::string scheduler;
+  double slots_per_sec = 0.0;
+};
+
+std::string row_name(const Row& row) {
+  return std::to_string(row.users) + " users x " +
+         std::to_string(row.horizon) + " slots / " + row.scheduler;
+}
+
+JsonValue load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"bench_check: cannot open " + path};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return fedco::util::parse_json(text.str());
+}
+
+std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
+  const JsonValue* fleets = doc.find("fleets");
+  if (fleets == nullptr || !fleets->is_array()) {
+    throw std::runtime_error{"bench_check: " + path + " has no fleets array"};
+  }
+  if (const JsonValue* timing = doc.find("timing");
+      timing != nullptr && timing->as_string() != "serial") {
+    std::fprintf(stderr,
+                 "bench_check: warning: %s was measured with --jobs > 1; "
+                 "concurrent slots/sec include worker contention\n",
+                 path.c_str());
+  }
+  std::vector<Row> rows;
+  for (const JsonValue& fleet : fleets->as_array()) {
+    const JsonValue* users = fleet.find("num_users");
+    const JsonValue* horizon = fleet.find("horizon_slots");
+    const JsonValue* schedulers = fleet.find("schedulers");
+    if (users == nullptr || horizon == nullptr || schedulers == nullptr) {
+      throw std::runtime_error{"bench_check: malformed fleet row in " + path};
+    }
+    for (const JsonValue& sched : schedulers->as_array()) {
+      const JsonValue* name = sched.find("scheduler");
+      const JsonValue* slots = sched.find("slots_per_sec");
+      if (name == nullptr || slots == nullptr) {
+        throw std::runtime_error{"bench_check: malformed scheduler row in " +
+                                 path};
+      }
+      Row row;
+      row.users = static_cast<std::uint64_t>(users->as_number());
+      row.horizon = static_cast<std::int64_t>(horizon->as_number());
+      row.scheduler = name->as_string();
+      row.slots_per_sec = slots->as_number();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+const Row* match(const std::vector<Row>& rows, const Row& key) {
+  for (const Row& row : rows) {
+    if (row.users == key.users && row.horizon == key.horizon &&
+        row.scheduler == key.scheduler) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const fedco::util::ArgParser args{argc, argv};
+    const std::string baseline_path = args.get("baseline");
+    const std::string candidate_path = args.get("candidate");
+    const double max_regression_pct =
+        args.get_double("max-regression-pct", 20.0);
+    if (baseline_path.empty() || candidate_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: bench_check --baseline PATH --candidate PATH "
+                   "[--max-regression-pct N]\n");
+      return 2;
+    }
+
+    const std::vector<Row> baseline =
+        rows_of(load(baseline_path), baseline_path);
+    const std::vector<Row> candidate =
+        rows_of(load(candidate_path), candidate_path);
+
+    std::size_t compared = 0;
+    std::size_t regressions = 0;
+    for (const Row& base : baseline) {
+      const Row* cand = match(candidate, base);
+      if (cand == nullptr) {
+        std::printf("SKIP  %s: not in candidate (grid change?)\n",
+                    row_name(base).c_str());
+        continue;
+      }
+      ++compared;
+      const double change_pct =
+          base.slots_per_sec > 0.0
+              ? (cand->slots_per_sec / base.slots_per_sec - 1.0) * 100.0
+              : 0.0;
+      const bool regressed = change_pct < -max_regression_pct;
+      std::printf("%s  %s: baseline %.0f -> candidate %.0f slots/s (%+.1f%%)\n",
+                  regressed ? "FAIL" : "OK  ", row_name(base).c_str(),
+                  base.slots_per_sec, cand->slots_per_sec, change_pct);
+      if (regressed) ++regressions;
+    }
+    for (const Row& cand : candidate) {
+      if (match(baseline, cand) == nullptr) {
+        std::printf("NEW   %s: no baseline row (recapture the baseline to "
+                    "start tracking it)\n",
+                    row_name(cand).c_str());
+      }
+    }
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "bench_check: no comparable rows between %s and %s\n",
+                   baseline_path.c_str(), candidate_path.c_str());
+      return 2;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "bench_check: %zu of %zu rows regressed more than %.0f%%\n",
+                   regressions, compared, max_regression_pct);
+      return 1;
+    }
+    std::printf("bench_check: %zu rows within %.0f%% of baseline\n", compared,
+                max_regression_pct);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_check: %s\n", error.what());
+    return 2;
+  }
+}
