@@ -15,6 +15,7 @@
 //
 //   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
 //               [--schedulers LIST] [--sizes LIST] [--repeat N]
+//               [--legacy-planner]
 //
 // Ad-hoc studies (ROADMAP campaign sweeps) can override the grid:
 //   --schedulers online,offline     comma-separated scheme names
@@ -24,6 +25,15 @@
 // --repeat N times every fleet N times and keeps each row's best (minimum)
 // wall time — the noise-robust throughput estimate the CI regression gate
 // compares (runs are deterministic, so repetition changes nothing else).
+//
+// Offline rows run the PR 5 batched window planner by default — the
+// worker-sharded parallel plan plus the budget-scaled adaptive grid — and
+// are tagged with "planner"/"knapsack_grid" fields so tools/bench_check
+// reports rows measured on a different planner mode or DP grid as SKIP
+// (grid change ≠ regression). --legacy-planner reverts to the serial
+// fixed-grid plan (the bit-identical PR 4 configuration). The parallel
+// plan's worker pool sizes from FEDCO_JOBS (else all cores), independent
+// of --jobs, which stays the campaign-level worker count.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -38,6 +48,7 @@
 
 #include "bench_common.hpp"
 #include "core/config_io.hpp"
+#include "core/offline_planner.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -148,6 +159,10 @@ struct SchedulerRow {
   double user_slots_per_sec = 0.0;
   std::uint64_t updates = 0;
   double energy_kj = 0.0;
+  /// Offline rows only: the planner mode and effective DP grid, so
+  /// bench_check can tell a grid change from a regression.
+  const char* planner = nullptr;
+  std::uint64_t knapsack_grid = 0;
 };
 
 struct FleetRow {
@@ -160,12 +175,17 @@ struct FleetRow {
 FleetRow run_fleet(const FleetSize& size,
                    const std::vector<core::SchedulerKind>& schedulers,
                    std::uint64_t seed, std::size_t jobs, std::size_t repeat,
-                   bench::CampaignTotals& totals) {
+                   bool legacy_planner, bench::CampaignTotals& totals) {
   core::ExperimentConfig base;
   base.seed = seed;
   // Scheduling-only (real_training stays off): the bench measures the
   // slot-loop and scheduler throughput, not the NN substrate.
   base.record_interval = 60;  // keep 10k-user trace memory modest
+  // The batched window planner (PR 5) is the measured default; offline
+  // rows carry planner/grid tags so the regression gate knows which mode
+  // a number was captured under.
+  base.offline_parallel_plan = !legacy_planner;
+  base.offline_adaptive_grid = !legacy_planner;
   base = core::apply_scenario(fleet_spec(size), base);
 
   std::vector<core::ExperimentConfig> configs;
@@ -203,6 +223,11 @@ FleetRow run_fleet(const FleetSize& size,
         sched.slots_per_sec * static_cast<double>(size.users);
     sched.updates = report.results[k].total_updates;
     sched.energy_kj = report.results[k].total_energy_j / 1000.0;
+    if (configs[k].scheduler == core::SchedulerKind::kOffline) {
+      sched.planner = legacy_planner ? "serial" : "parallel+adaptive";
+      sched.knapsack_grid = static_cast<std::uint64_t>(
+          core::effective_grid(core::make_planner_config(configs[k])));
+    }
     row.schedulers.push_back(sched);
   }
   return row;
@@ -254,6 +279,10 @@ void write_json(const std::string& path, bool smoke, std::size_t jobs,
       json.member("user_slots_per_sec", sched.user_slots_per_sec);
       json.member("updates", sched.updates);
       json.member("energy_kj", sched.energy_kj);
+      if (sched.planner != nullptr) {
+        json.member("planner", sched.planner);
+        json.member("knapsack_grid", sched.knapsack_grid);
+      }
       json.end_object();
     }
     json.end_array();
@@ -277,6 +306,7 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const auto repeat =
         static_cast<std::size_t>(std::max<std::int64_t>(args.get_int("repeat", 1), 1));
+    const bool legacy_planner = args.get_bool("legacy-planner", false);
 
     // The smoke grid is small enough for CI's every-push run (time-capped
     // by the workflow) but each row is sized to take tens of milliseconds:
@@ -303,7 +333,8 @@ int main(int argc, char** argv) {
     bench::CampaignTotals totals;
     std::vector<FleetRow> rows;
     for (const FleetSize& size : sizes) {
-      rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat, totals));
+      rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat,
+                               legacy_planner, totals));
       print_fleet(rows.back());
     }
     bench::log_campaign(totals);

@@ -281,6 +281,10 @@ void write_config_members(util::JsonWriter& json,
   json.member("offline_window_slots",
               static_cast<std::int64_t>(config.offline_window_slots));
   json.member("offline_lb", config.offline_lb);
+  json.member("offline_incremental_replan", config.offline_incremental_replan);
+  json.member("offline_parallel_plan", config.offline_parallel_plan);
+  json.member("offline_adaptive_grid", config.offline_adaptive_grid);
+  json.member("online_batch_decide", config.online_batch_decide);
   json.member("eta", config.eta);
   json.member("beta", config.beta);
   json.member("real_training", config.real_training);
@@ -419,6 +423,14 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.offline_window_slots = read_int(value, key);
         } else if (key == "offline_lb") {
           config.offline_lb = read_double(value, key);
+        } else if (key == "offline_incremental_replan") {
+          config.offline_incremental_replan = read_bool(value, key);
+        } else if (key == "offline_parallel_plan") {
+          config.offline_parallel_plan = read_bool(value, key);
+        } else if (key == "offline_adaptive_grid") {
+          config.offline_adaptive_grid = read_bool(value, key);
+        } else if (key == "online_batch_decide") {
+          config.online_batch_decide = read_bool(value, key);
         } else if (key == "eta") {
           config.eta = read_double(value, key);
         } else if (key == "beta") {

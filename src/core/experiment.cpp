@@ -182,7 +182,7 @@ nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
 /// replayed with exactly the per-slot operation sequence of the eager loop,
 /// so every observable stays bit-identical (the golden FNV fingerprint
 /// suites pin this). See docs/performance.md for the full model.
-class Driver final : public SchedulerContext {
+class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
  public:
   explicit Driver(const ExperimentConfig& cfg)
       : cfg_(cfg),
@@ -284,6 +284,12 @@ class Driver final : public SchedulerContext {
     // decide/replan phase observed.
     if (!sweep_gaps_) const_cast<Driver*>(this)->catch_up(user, cur_ - 1);
     return gap_[user];
+  }
+
+  [[nodiscard]] const double* gap_values() const noexcept override {
+    // Exact only under the per-slot sweep (see the interface comment);
+    // the online scheme — the one batched consumer — runs in sweep mode.
+    return gap_.data();
   }
 
   [[nodiscard]] double momentum_norm() const override {
@@ -523,6 +529,7 @@ class Driver final : public SchedulerContext {
     slot_served_ = 0.0;
     slot_departed_ = 0.0;
     decide_scratch_.clear();
+    left_ready_.clear();
 
     // 1. Events due this slot, popped in the eager loop's per-user order.
     while (!events_.empty() && events_.top().slot == t) {
@@ -604,9 +611,16 @@ class Driver final : public SchedulerContext {
         break;
       case EventType::kLeave: {
         catch_up(e.user, t - 1);
-        if (u.phase == Phase::kReady && u.in_backlog) {
-          slot_departed_ += 1.0;
-          u.in_backlog = false;
+        if (u.phase == Phase::kReady) {
+          // The hot-set fast path below relies on this record: a ready
+          // user can only stop being decidable mid-run through its leave
+          // event, so hot members outside this (ascending, per-slot) list
+          // are screened without touching their state.
+          left_ready_.push_back(e.user);
+          if (u.in_backlog) {
+            slot_departed_ += 1.0;
+            u.in_backlog = false;
+          }
         }
         // In-flight (training/transferring) users stay present and drain;
         // ready users drop out of the active count now (unless a same-slot
@@ -636,30 +650,63 @@ class Driver final : public SchedulerContext {
     set_mode(index, t);
   }
 
-  /// Consult decide() for every due ready user in ascending user order —
-  /// exactly the users the eager per-slot decision loop would have touched
-  /// with a non-idle outcome possible. Users whose strategy promises kIdle
-  /// until a future slot are parked on a kWake event instead of being
-  /// re-consulted every slot.
+  /// Consult the strategy for every due ready user in ascending user order
+  /// — exactly the users the eager per-slot decision loop would have
+  /// touched with a non-idle outcome possible. The consult is one
+  /// decide_batch() call: the driver screens the candidates (phase,
+  /// presence, battery gate) into `due_`, the strategy evaluates them in
+  /// order, and each outcome comes back through the DecisionSink (a
+  /// schedule is applied before the next user is evaluated, preserving the
+  /// scalar loop's intra-slot expected_lag coupling bit for bit). Users
+  /// whose strategy promises kIdle until a future slot are parked on a
+  /// kWake event instead of being re-consulted every slot.
   void decide_ready(sim::Slot t) {
     if (hot_ready_.empty() && decide_scratch_.empty()) return;
     next_hot_.clear();
+    due_.clear();
     std::size_t a = 0;
     std::size_t b = 0;
+    std::size_t gone = 0;
     while (a < hot_ready_.size() || b < decide_scratch_.size()) {
       std::uint32_t i;
       if (b >= decide_scratch_.size() ||
           (a < hot_ready_.size() && hot_ready_[a] < decide_scratch_[b])) {
         i = hot_ready_[a++];
+        if (!gate_ready_hot_) {
+          // Hot fast path: a hot member was ready and in-window last slot
+          // and can only have lost either through its leave event this
+          // slot (recorded in left_ready_, ascending) — nothing else
+          // flips a ready user before the decide phase. Screening via
+          // that list skips the per-user state touch, keeping this merge
+          // a pure index pass (the batch is the slot's single sweep over
+          // user state).
+          while (gone < left_ready_.size() && left_ready_[gone] < i) ++gone;
+          if (gone < left_ready_.size() && left_ready_[gone] == i) continue;
+          due_.push_back(i);
+          continue;
+        }
       } else {
         i = decide_scratch_[b++];
       }
-      consider(i, t);
+      screen(i, t);
     }
+    if (!due_.empty()) {
+      scheduler_->decide_batch(due_.data(), due_.size(), t, *this, *this);
+    }
+    // Screening pushes gated users to next_hot_ before the batch pushes
+    // idle ones, so with the gate armed the two runs must be re-merged
+    // into the ascending order the next slot's merge loop assumes (the
+    // scalar loop produced it by interleaving).
+    if (gate_ready_hot_) std::sort(next_hot_.begin(), next_hot_.end());
     hot_ready_.swap(next_hot_);
   }
 
-  void consider(std::uint32_t i, sim::Slot t) {
+  /// The scheme-agnostic pre-decide guards, applied per candidate before
+  /// the strategy sees the batch. Screening user B ahead of applying user
+  /// A's decision is order-safe: the gate reads only B's own (independent)
+  /// accrual state, and the shared statistics it touches are commutative
+  /// counts/maxima.
+  void screen(std::uint32_t i, sim::Slot t) {
     UserState& u = users_[i];
     if (u.phase != Phase::kReady || !in_window(u, t)) return;
     // JobScheduler battery condition (Sec. VI): no training below the
@@ -676,16 +723,29 @@ class Driver final : public SchedulerContext {
         return;
       }
     }
-    advance_live(u, t);
-    if (scheduler_->decide(i, t, *this) == device::Decision::kSchedule) {
-      catch_up(i, t - 1);
-      start_training(i, t);
-      slot_served_ += 1.0;
-      u.in_backlog = false;
-      return;
-    }
-    const sim::Slot until = scheduler_->ready_parked_until(i, t);
-    if (!gate_ready_hot_ && until > t + 1) {
+    due_.push_back(i);
+  }
+
+  // ------------------------------------------------------ DecisionSink
+
+  void schedule(std::uint32_t i) override {
+    UserState& u = users_[i];
+    catch_up(i, cur_ - 1);
+    // Materialize the live session through the decision slot (the scalar
+    // loop did this before consulting decide(); deferring it to the apply
+    // point is invisible — the machine is lazy and monotone).
+    advance_live(u, cur_);
+    start_training(i, cur_);
+    slot_served_ += 1.0;
+    u.in_backlog = false;
+  }
+
+  void idle(std::uint32_t i) override {
+    idle_until(i, scheduler_->ready_parked_until(i, cur_));
+  }
+
+  void idle_until(std::uint32_t i, sim::Slot until) override {
+    if (!gate_ready_hot_ && until > cur_ + 1) {
       push_event(until, i, EventType::kWake);  // parked
     } else {
       next_hot_.push_back(i);
@@ -1176,6 +1236,8 @@ class Driver final : public SchedulerContext {
   std::vector<std::uint32_t> hot_ready_;       ///< ready users consulted every slot
   std::vector<std::uint32_t> next_hot_;        ///< scratch for the rebuild
   std::vector<std::uint32_t> decide_scratch_;  ///< became ready/woke this slot
+  std::vector<std::uint32_t> due_;             ///< screened batch for decide_batch
+  std::vector<std::uint32_t> left_ready_;      ///< ready users that left this slot
   std::size_t barrier_count_ = 0;    ///< users parked at the sync barrier
   std::size_t active_present_ = 0;   ///< present users not at the barrier
   bool sweep_gaps_ = true;

@@ -2,30 +2,79 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace fedco::core {
+
+namespace {
+
+void validate_items(const std::vector<KnapsackItem>& items) {
+  for (const auto& item : items) {
+    if (item.weight < 0.0 || item.value < 0.0) {
+      throw std::invalid_argument{"solve_knapsack: negative value/weight"};
+    }
+  }
+}
+
+/// Discretize: weight w -> ceil(w / capacity * grid) units, so any DP
+/// solution respects the true (continuous) capacity.
+std::vector<std::size_t> weight_units(const std::vector<KnapsackItem>& items,
+                                      double capacity, std::size_t grid) {
+  const double unit = capacity / static_cast<double>(grid);
+  std::vector<std::size_t> units(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    units[i] =
+        static_cast<std::size_t>(std::ceil(items[i].weight / unit - 1e-12));
+  }
+  return units;
+}
+
+/// One Eq. (8) DP row update for item (units_i, value_i), rolled in place
+/// over `best`; `row` receives the take/skip bits for backtracking.
+void dp_item_row(std::vector<double>& best, std::vector<bool>& row,
+                 std::size_t units_i, double value_i, std::size_t grid) {
+  if (units_i > grid || value_i <= 0.0) return;  // cannot/no-gain
+  for (std::size_t y = grid + 1; y-- > units_i;) {
+    const double take = best[y - units_i] + value_i;
+    if (take > best[y]) {
+      best[y] = take;
+      row[y] = true;
+    }
+  }
+}
+
+/// Standard backtrack over the per-item choice rows, accumulating the
+/// selected set and totals in decreasing item order. `rows[first + k]`
+/// holds item `items_offset + k`'s row; `budget` is the starting grid cell.
+void backtrack_rows(const std::vector<KnapsackItem>& items,
+                    const std::vector<std::size_t>& units,
+                    const std::vector<std::vector<bool>>& rows,
+                    std::size_t begin, std::size_t end, std::size_t budget,
+                    KnapsackSolution& solution) {
+  std::size_t y = budget;
+  for (std::size_t i = end; i-- > begin;) {
+    if (rows[i][y]) {
+      solution.selected[i] = true;
+      solution.total_value += items[i].value;
+      solution.total_weight += items[i].weight;
+      y -= units[i];
+    }
+  }
+}
+
+}  // namespace
 
 KnapsackSolution solve_knapsack(const std::vector<KnapsackItem>& items,
                                 double capacity, std::size_t grid) {
   KnapsackSolution solution;
   solution.selected.assign(items.size(), false);
   if (items.empty() || capacity <= 0.0 || grid == 0) return solution;
-
-  for (const auto& item : items) {
-    if (item.weight < 0.0 || item.value < 0.0) {
-      throw std::invalid_argument{"solve_knapsack: negative value/weight"};
-    }
-  }
-
-  // Discretize: weight w -> ceil(w / capacity * grid) units, so any DP
-  // solution respects the true (continuous) capacity.
-  const double unit = capacity / static_cast<double>(grid);
-  std::vector<std::size_t> units(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    units[i] = static_cast<std::size_t>(std::ceil(items[i].weight / unit - 1e-12));
-  }
+  validate_items(items);
+  const std::vector<std::size_t> units = weight_units(items, capacity, grid);
 
   // S_i(y): best value using items < i with weight budget y (Eq. 8), rolled
   // into one row; `choice` keeps the take/skip bit for backtracking.
@@ -33,26 +82,274 @@ KnapsackSolution solve_knapsack(const std::vector<KnapsackItem>& items,
   std::vector<std::vector<bool>> choice(items.size(),
                                         std::vector<bool>(grid + 1, false));
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (units[i] > grid || items[i].value <= 0.0) continue;  // cannot/no-gain
-    for (std::size_t y = grid + 1; y-- > units[i];) {
-      const double take = best[y - units[i]] + items[i].value;
-      if (take > best[y]) {
-        best[y] = take;
-        choice[i][y] = true;
+    dp_item_row(best, choice[i], units[i], items[i].value, grid);
+  }
+  backtrack_rows(items, units, choice, 0, items.size(), grid, solution);
+  return solution;
+}
+
+KnapsackSolution KnapsackSolver::solve(const std::vector<KnapsackItem>& items,
+                                       double capacity, std::size_t grid) {
+  last_prefix_reused_ = 0;
+  KnapsackSolution solution;
+  solution.selected.assign(items.size(), false);
+  if (items.empty() || capacity <= 0.0 || grid == 0) {
+    // Degenerate calls cache nothing reusable.
+    items_.clear();
+    checkpoints_.clear();
+    choice_.clear();
+    capacity_ = 0.0;
+    grid_ = 0;
+    return solution;
+  }
+  validate_items(items);
+
+  // Longest bitwise-equal item prefix shared with the previous call (only
+  // meaningful under the same capacity/grid discretization).
+  std::size_t prefix = 0;
+  if (capacity == capacity_ && grid == grid_) {
+    const std::size_t limit = std::min(items.size(), items_.size());
+    while (prefix < limit && items[prefix].value == items_[prefix].value &&
+           items[prefix].weight == items_[prefix].weight) {
+      ++prefix;
+    }
+  }
+  // Resume from the last checkpointed DP row inside the prefix: the first
+  // `start` items' rows (and their choice bits) are exactly what the full
+  // DP would recompute, so they are reused verbatim.
+  const std::size_t checkpoint =
+      std::min(prefix / kCheckpointStride, checkpoints_.size());
+  const std::size_t start = checkpoint * kCheckpointStride;
+  last_prefix_reused_ = start;
+
+  const std::vector<std::size_t> units = weight_units(items, capacity, grid);
+  std::vector<double> best = checkpoint == 0
+                                 ? std::vector<double>(grid + 1, 0.0)
+                                 : checkpoints_[checkpoint - 1];
+  checkpoints_.resize(checkpoint);
+  choice_.resize(items.size());
+  for (std::size_t i = start; i < items.size(); ++i) {
+    choice_[i].assign(grid + 1, false);
+    dp_item_row(best, choice_[i], units[i], items[i].value, grid);
+    if ((i + 1) % kCheckpointStride == 0) checkpoints_.push_back(best);
+  }
+  items_ = items;
+  capacity_ = capacity;
+  grid_ = grid;
+  backtrack_rows(items, units, choice_, 0, items.size(), grid, solution);
+  return solution;
+}
+
+namespace {
+
+/// One contiguous item range solved as a grouped bounded knapsack: equal
+/// (units, value) items collapse into classes, multiplicities binary-split
+/// into pseudo-items, the Eq. (8) DP runs over the pseudo-items, and any
+/// budget backtracks to per-item selections (class members chosen in
+/// ascending original index — the fixed, worker-count-independent rule).
+class GroupedRangeDp {
+ public:
+  GroupedRangeDp(const std::vector<KnapsackItem>& items,
+                 const std::vector<std::size_t>& units, std::size_t begin,
+                 std::size_t end, std::size_t grid)
+      : grid_(grid) {
+    members_.resize(end - begin);
+    std::iota(members_.begin(), members_.end(), begin);
+    std::sort(members_.begin(), members_.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (units[a] != units[b]) return units[a] < units[b];
+                if (items[a].value != items[b].value) {
+                  return items[a].value < items[b].value;
+                }
+                return a < b;  // ascending within a class — determinism
+              });
+    for (std::size_t k = 0; k < members_.size();) {
+      std::size_t run = k + 1;
+      while (run < members_.size() &&
+             units[members_[run]] == units[members_[k]] &&
+             items[members_[run]].value == items[members_[k]].value) {
+        ++run;
+      }
+      class_begin_.push_back(k);
+      // Binary split: pieces of 1, 2, 4, ... plus a remainder reach every
+      // count 0..m. Oversized pieces (units beyond the grid) are emitted
+      // anyway — the DP skips them, exactly as those counts are
+      // infeasible within the budget.
+      std::size_t left = run - k;
+      std::size_t piece = 1;
+      while (left > 0) {
+        const std::size_t take = std::min(piece, left);
+        pseudos_.push_back({units[members_[k]] * take,
+                            items[members_[k]].value *
+                                static_cast<double>(take),
+                            static_cast<std::uint32_t>(class_begin_.size() - 1),
+                            static_cast<std::uint32_t>(take)});
+        left -= take;
+        piece <<= 1;
+      }
+      k = run;
+    }
+    class_begin_.push_back(members_.size());
+  }
+
+  /// Run the DP (separate from construction so shard tasks own the heavy
+  /// part end to end).
+  void solve() {
+    best_.assign(grid_ + 1, 0.0);
+    choice_.assign(pseudos_.size(), {});
+    for (std::size_t p = 0; p < pseudos_.size(); ++p) {
+      choice_[p].assign(grid_ + 1, false);
+      dp_item_row(best_, choice_[p], pseudos_[p].units, pseudos_[p].value,
+                  grid_);
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& best() const noexcept {
+    return best_;
+  }
+
+  /// Mark the range's selections for `budget` grid cells in `selected`.
+  void backtrack(std::size_t budget, std::vector<bool>& selected) const {
+    std::vector<std::size_t> counts(class_begin_.size() - 1, 0);
+    std::size_t y = budget;
+    for (std::size_t p = pseudos_.size(); p-- > 0;) {
+      if (choice_[p][y]) {
+        counts[pseudos_[p].klass] += pseudos_[p].count;
+        y -= pseudos_[p].units;
+      }
+    }
+    for (std::size_t c = 0; c + 1 < class_begin_.size(); ++c) {
+      for (std::size_t j = class_begin_[c]; j < class_begin_[c] + counts[c];
+           ++j) {
+        selected[members_[j]] = true;
       }
     }
   }
 
-  // Backtrack.
-  std::size_t y = grid;
-  for (std::size_t i = items.size(); i-- > 0;) {
-    if (choice[i][y]) {
-      solution.selected[i] = true;
+ private:
+  struct Pseudo {
+    std::size_t units;
+    double value;
+    std::uint32_t klass;
+    std::uint32_t count;
+  };
+
+  std::size_t grid_;
+  std::vector<std::size_t> members_;     ///< range indices, class-sorted
+  std::vector<std::size_t> class_begin_; ///< class c = members_[begin..begin')
+  std::vector<Pseudo> pseudos_;
+  std::vector<double> best_;
+  std::vector<std::vector<bool>> choice_;  ///< per pseudo-item row
+};
+
+/// Selected totals accumulated in ascending item order (the grouped
+/// solvers' fixed accumulation rule).
+void accumulate_totals(const std::vector<KnapsackItem>& items,
+                       KnapsackSolution& solution) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (solution.selected[i]) {
       solution.total_value += items[i].value;
       solution.total_weight += items[i].weight;
-      y -= units[i];
     }
   }
+}
+
+}  // namespace
+
+KnapsackSolution solve_knapsack_grouped(const std::vector<KnapsackItem>& items,
+                                        double capacity, std::size_t grid) {
+  KnapsackSolution solution;
+  solution.selected.assign(items.size(), false);
+  if (items.empty() || capacity <= 0.0 || grid == 0) return solution;
+  validate_items(items);
+  const std::vector<std::size_t> units = weight_units(items, capacity, grid);
+  GroupedRangeDp dp{items, units, 0, items.size(), grid};
+  dp.solve();
+  dp.backtrack(grid, solution.selected);
+  accumulate_totals(items, solution);
+  return solution;
+}
+
+KnapsackSolution solve_knapsack_parallel(
+    const std::vector<KnapsackItem>& items, double capacity, std::size_t grid,
+    util::ThreadPool& pool, std::size_t shards) {
+  KnapsackSolution solution;
+  solution.selected.assign(items.size(), false);
+  if (items.empty() || capacity <= 0.0 || grid == 0) return solution;
+  validate_items(items);
+
+  // Shard boundaries are a pure function of the input sizes — never of the
+  // pool's worker count — so the fold below (and its tie-breaks) replays
+  // identically for any FEDCO_JOBS. Sharding fights grouping (each shard
+  // re-discovers its own classes), so blocks are large and capped at 8:
+  // below ~2 blocks the grouped serial core wins outright.
+  const std::size_t n = items.size();
+  std::size_t count = shards != 0 ? shards
+                                  : std::clamp<std::size_t>(n / 8192, 1, 8);
+  count = std::min(count, n);
+  if (count <= 1) return solve_knapsack_grouped(items, capacity, grid);
+
+  const std::vector<std::size_t> units = weight_units(items, capacity, grid);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  std::vector<std::size_t> begin(count + 1, 0);
+  for (std::size_t s = 0; s < count; ++s) {
+    begin[s + 1] = begin[s] + base + (s < extra ? 1 : 0);
+  }
+
+  // Stage 1: each shard's grouped DP over the full budget axis, as
+  // independent pool tasks writing disjoint slots.
+  std::vector<std::unique_ptr<GroupedRangeDp>> shard_dp(count);
+  pool.run_indexed(count, [&](std::size_t s) {
+    shard_dp[s] = std::make_unique<GroupedRangeDp>(items, units, begin[s],
+                                                   begin[s + 1], grid);
+    shard_dp[s]->solve();
+  });
+
+  // Stage 2: left fold of the shard optima with a max-plus merge —
+  // combined[y] = max over y2 of combined[y - y2] + shard_best[s][y2] —
+  // keeping the argmax per cell for the backtrack. Ties keep the smallest
+  // y2 (fixed rule, worker-count independent); cells are independent, so
+  // each merge is itself sharded across the pool.
+  std::vector<double> combined = shard_dp[0]->best();
+  std::vector<std::vector<std::uint32_t>> pick(count);
+  const std::size_t merge_chunks =
+      std::min<std::size_t>(grid + 1, std::max<std::size_t>(
+                                          pool.thread_count() * 2, 1));
+  for (std::size_t s = 1; s < count; ++s) {
+    pick[s].assign(grid + 1, 0);
+    std::vector<double> merged(grid + 1, 0.0);
+    const std::vector<double>& right = shard_dp[s]->best();
+    pool.run_indexed(merge_chunks, [&](std::size_t chunk) {
+      const std::size_t lo = chunk * (grid + 1) / merge_chunks;
+      const std::size_t hi = (chunk + 1) * (grid + 1) / merge_chunks;
+      for (std::size_t y = lo; y < hi; ++y) {
+        double best_v = combined[y] + right[0];
+        std::uint32_t best_y2 = 0;
+        for (std::size_t y2 = 1; y2 <= y; ++y2) {
+          const double v = combined[y - y2] + right[y2];
+          if (v > best_v) {
+            best_v = v;
+            best_y2 = static_cast<std::uint32_t>(y2);
+          }
+        }
+        merged[y] = best_v;
+        pick[s][y] = best_y2;
+      }
+    });
+    combined = std::move(merged);
+  }
+
+  // Backtrack: peel each shard's budget share off the fold (last shard
+  // first), then backtrack each shard's grouped DP at its share.
+  std::size_t y = grid;
+  for (std::size_t s = count; s-- > 1;) {
+    const std::size_t share = pick[s][y];
+    shard_dp[s]->backtrack(share, solution.selected);
+    y -= share;
+  }
+  shard_dp[0]->backtrack(y, solution.selected);
+  accumulate_totals(items, solution);
   return solution;
 }
 
@@ -140,6 +437,50 @@ LagBoundIndex::LagBoundIndex(const std::vector<UserWindow>& users)
     // Sorted already within the group by the pair sort.
     groups_.push_back(std::move(group));
   }
+  prefix_sizes_.reserve(groups_.size() + 1);
+  prefix_sizes_.push_back(0);
+  for (const Group& g : groups_) {
+    prefix_sizes_.push_back(prefix_sizes_.back() + g.end_coruns.size());
+  }
+  all_coruns_.reserve(users.size());
+  for (const auto& [separate, corun] : ends) all_coruns_.push_back(corun);
+  std::sort(all_coruns_.begin(), all_coruns_.end());
+
+  // Shared-begin fast path (see the header): applicable when every user
+  // starts at the same instant and no arrival precedes it — exactly the
+  // window planner's shape.
+  shared_begin_ = !users.empty();
+  for (const UserWindow& u : users) {
+    if (u.begin != users.front().begin || u.app_arrival < u.begin ||
+        u.duration < 0.0) {
+      shared_begin_ = false;
+      break;
+    }
+  }
+  if (!shared_begin_) return;
+  begin_ = users.front().begin;
+  durations_.reserve(users.size());
+  for (const UserWindow& u : users) durations_.push_back(u.duration);
+  std::sort(durations_.begin(), durations_.end());
+  durations_.erase(std::unique(durations_.begin(), durations_.end()),
+                   durations_.end());
+  duration_prefix_.resize(durations_.size());
+  prefix_coruns_.resize(durations_.size());
+  std::vector<double> merged;
+  std::size_t g = 0;
+  for (std::size_t di = 0; di < durations_.size(); ++di) {
+    // The same doubles the groups were keyed by: group end = begin + d.
+    const double end = begin_ + durations_[di];
+    while (g < groups_.size() && groups_[g].end_separate <= end) {
+      const auto old = static_cast<std::ptrdiff_t>(merged.size());
+      merged.insert(merged.end(), groups_[g].end_coruns.begin(),
+                    groups_[g].end_coruns.end());
+      std::inplace_merge(merged.begin(), merged.begin() + old, merged.end());
+      ++g;
+    }
+    duration_prefix_[di] = g;
+    prefix_coruns_[di] = merged;
+  }
 }
 
 namespace {
@@ -163,20 +504,79 @@ std::size_t LagBoundIndex::bound(std::size_t i) const {
   const double hi2 = me.app_arrival + me.duration;
   const double ilo = std::max(lo1, lo2);
   const double ihi = std::min(hi1, hi2);
-  std::size_t count = 0;
-  for (const Group& g : groups_) {
-    const double p = g.end_separate;
-    if ((p >= lo1 && p <= hi1) || (p >= lo2 && p <= hi2)) {
-      // Separate completion already hits one of i's intervals: every group
-      // member counts regardless of its co-run completion.
-      count += g.end_coruns.size();
-      continue;
+
+  // A group's members count wholesale when its separate completion hits
+  // one of i's intervals ("hit" groups); otherwise members count when
+  // their co-run completion lands in the interval union. Writing the
+  // total as
+  //   sum_hit size_g + sum_all f(g) - sum_hit f(g)
+  // (f = the inclusion-exclusion co-run count) lets the all-groups term
+  // come from one globally sorted co-run array and the hit terms from
+  // contiguous group ranges (groups are sorted by end_separate) — every
+  // term is an exact integer, so this is the same count as the per-group
+  // scan, bit for bit.
+  const auto corun_hits = [&](const std::vector<double>& sorted) {
+    std::size_t hits = count_in(sorted, lo1, hi1) + count_in(sorted, lo2, hi2);
+    if (ilo <= ihi) hits -= count_in(sorted, ilo, ihi);
+    return hits;
+  };
+  const auto range_of = [&](double lo, double hi) {
+    const auto first = std::lower_bound(
+        groups_.begin(), groups_.end(), lo,
+        [](const Group& g, double v) { return g.end_separate < v; });
+    const auto last = std::upper_bound(
+        groups_.begin(), groups_.end(), hi,
+        [](double v, const Group& g) { return v < g.end_separate; });
+    const auto a = static_cast<std::size_t>(first - groups_.begin());
+    const auto b = static_cast<std::size_t>(last - groups_.begin());
+    return std::pair{a, std::max(a, b)};
+  };
+
+  if (shared_begin_) {
+    // Fast path (see the header): the I1 hit set is the duration's group
+    // prefix, and — because every completion lies at or after begin — the
+    // per-group inclusion-exclusion over the prefix telescopes to the
+    // interval-union count over the prefix's merged co-run array. Only
+    // the rare groups hit through I2 beyond the prefix are visited
+    // individually. Every term is the same exact integer as the general
+    // path below.
+    const auto dit =
+        std::lower_bound(durations_.begin(), durations_.end(), me.duration);
+    const auto di = static_cast<std::size_t>(dit - durations_.begin());
+    const std::size_t gp = duration_prefix_[di];
+    const std::vector<double>& merged = prefix_coruns_[di];
+    const auto union_count = [&](const std::vector<double>& sorted) {
+      // lo1 <= lo2, so the closed-interval union is one range when the
+      // intervals meet and two otherwise.
+      return lo2 <= hi1 ? count_in(sorted, lo1, hi2)
+                        : count_in(sorted, lo1, hi1) +
+                              count_in(sorted, lo2, hi2);
+    };
+    std::size_t count =
+        union_count(all_coruns_) + prefix_sizes_[gp] - union_count(merged);
+    auto [ga, gb] = range_of(lo2, hi2);
+    for (std::size_t g = std::max(ga, gp); g < gb; ++g) {
+      count += groups_[g].end_coruns.size() - union_count(groups_[g].end_coruns);
     }
-    // Otherwise count members whose co-run completion lands in the union
-    // of the two closed intervals (inclusion-exclusion on the overlap).
-    count += count_in(g.end_coruns, lo1, hi1);
-    count += count_in(g.end_coruns, lo2, hi2);
-    if (ilo <= ihi) count -= count_in(g.end_coruns, ilo, ihi);
+    return count - 1;
+  }
+
+  auto [a1, b1] = range_of(lo1, hi1);
+  auto [a2, b2] = range_of(lo2, hi2);
+  if (a2 < a1) {
+    std::swap(a1, a2);
+    std::swap(b1, b2);
+  }
+  std::size_t count = corun_hits(all_coruns_);
+  const auto add_hit_range = [&](std::size_t a, std::size_t b) {
+    count += prefix_sizes_[b] - prefix_sizes_[a];
+    for (std::size_t g = a; g < b; ++g) count -= corun_hits(groups_[g].end_coruns);
+  };
+  if (b1 >= a2) {
+    add_hit_range(a1, std::max(b1, b2));  // overlapping ranges merge
+  } else {
+    add_hit_range(a1, b1);
+    add_hit_range(a2, b2);
   }
   // The naive scan skips j == i; user i always satisfies the predicate
   // (its own separate completion t_i + d_i lies in [t_i, t_i + d_i]).

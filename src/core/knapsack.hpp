@@ -7,6 +7,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace fedco::util {
+class ThreadPool;
+}
+
 namespace fedco::core {
 
 /// One candidate item of problem P1.
@@ -28,6 +32,68 @@ struct KnapsackSolution {
 [[nodiscard]] KnapsackSolution solve_knapsack(const std::vector<KnapsackItem>& items,
                                               double capacity,
                                               std::size_t grid = 1000);
+
+/// Class-grouped bounded-knapsack DP — the batched planner's serial core.
+/// Items sharing the exact (discretized weight, value) pair are
+/// interchangeable in Eq. (8), so each class of multiplicity m contributes
+/// ceil(log2 m)+1 binary-split pseudo-items instead of m rows. Window
+/// fleets draw values from a handful of device/app profiles and weights
+/// collapse onto the integer grid, so 10k–100k-item windows shrink to a
+/// few thousand DP rows. Deterministic in the inputs; NOT bit-identical
+/// to solve_knapsack (aggregated values multiply instead of summing, and
+/// among equal-value optima the class assignment selects ascending member
+/// indices).
+[[nodiscard]] KnapsackSolution solve_knapsack_grouped(
+    const std::vector<KnapsackItem>& items, double capacity, std::size_t grid);
+
+/// Parallel variant of the grouped DP: the items are split into `shards`
+/// contiguous blocks (0 = an automatic count derived from items.size()
+/// alone; one block runs the serial grouped core directly), each block's
+/// grouped DP runs as an independent `pool` task, and the block optima
+/// are folded with a max-plus merge over the weight grid (merge
+/// convolutions are themselves sharded across the pool).
+///
+/// Determinism contract: shard boundaries and every tie-break depend only
+/// on (items, capacity, grid, shards) — never on the pool's worker count
+/// or scheduling order — so the returned solution is identical for any
+/// pool size (property-tested across 1/2/8 workers). Like the grouped
+/// core it is NOT guaranteed bit-identical to the serial solver.
+[[nodiscard]] KnapsackSolution solve_knapsack_parallel(
+    const std::vector<KnapsackItem>& items, double capacity, std::size_t grid,
+    util::ThreadPool& pool, std::size_t shards = 0);
+
+/// Incremental re-solver for windowed replans (Sec. IV runs Algorithm 1
+/// every 500 s over a slowly-changing ready set). The solver keeps the
+/// previous call's DP rows checkpointed every kCheckpointStride items;
+/// when the next call shares (capacity, grid) and a bitwise-equal item
+/// prefix, the DP restarts from the last checkpoint inside that prefix
+/// instead of from item 0. Bit-identical to solve_knapsack by
+/// construction — the replayed operations are exactly the ones the full
+/// DP would perform (property-tested in core_knapsack_test).
+class KnapsackSolver {
+ public:
+  /// As solve_knapsack(items, capacity, grid), reusing prior DP rows when
+  /// the inputs share a prefix with the previous call.
+  [[nodiscard]] KnapsackSolution solve(const std::vector<KnapsackItem>& items,
+                                       double capacity, std::size_t grid);
+
+  /// Items whose DP rows the last solve() restored instead of recomputing
+  /// (0 on a cold or non-matching call) — observability for tests/benches.
+  [[nodiscard]] std::size_t last_prefix_reused() const noexcept {
+    return last_prefix_reused_;
+  }
+
+  static constexpr std::size_t kCheckpointStride = 256;
+
+ private:
+  std::vector<KnapsackItem> items_;
+  double capacity_ = 0.0;
+  std::size_t grid_ = 0;
+  /// checkpoints_[c] = the rolled DP row after the first c * stride items.
+  std::vector<std::vector<double>> checkpoints_;
+  std::vector<std::vector<bool>> choice_;  ///< take/skip bits per item row
+  std::size_t last_prefix_reused_ = 0;
+};
 
 /// Exhaustive 0-1 knapsack (2^n) for verification; n <= 24.
 [[nodiscard]] KnapsackSolution solve_knapsack_exact(
@@ -78,6 +144,28 @@ class LagBoundIndex {
   };
   const std::vector<UserWindow>* users_;
   std::vector<Group> groups_;
+  /// prefix_sizes_[k] = members of groups_[0..k); groups whose separate
+  /// completion hits a query interval form contiguous runs (groups_ is
+  /// sorted by end_separate), so their wholesale contribution is two
+  /// prefix-sum reads instead of a scan.
+  std::vector<std::size_t> prefix_sizes_;
+  /// Every end_corun, globally sorted: the miss-group corun contribution
+  /// is the global count minus the hit groups' counts — integer-exact, so
+  /// the regrouping cannot change a single bound.
+  std::vector<double> all_coruns_;
+  /// Shared-begin fast path (the window planner's query shape: every user
+  /// starts at the window begin and arrivals never precede it). The hit
+  /// set from interval [begin, begin + d] is then a group prefix per
+  /// distinct duration d, and the per-group inclusion-exclusion
+  /// telescopes into interval-union counts over the prefix's merged
+  /// co-run array — O(log n) searches per query instead of a group scan.
+  /// Detected at construction; all counts remain integer-exact, so every
+  /// bound is identical to the slow path (property-tested).
+  bool shared_begin_ = false;
+  double begin_ = 0.0;
+  std::vector<double> durations_;               ///< sorted distinct d
+  std::vector<std::size_t> duration_prefix_;    ///< groups with end <= begin+d
+  std::vector<std::vector<double>> prefix_coruns_;  ///< merged sorted coruns
 };
 
 }  // namespace fedco::core

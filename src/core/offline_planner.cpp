@@ -1,29 +1,76 @@
 #include "core/offline_planner.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "core/campaign.hpp"
+#include "core/experiment.hpp"
 #include "device/power_model.hpp"
 #include "fl/staleness.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fedco::core {
 
-OfflineWindowPlan plan_window(sim::Slot window_begin,
-                              const std::vector<OfflineUserInput>& users,
-                              const OfflinePlannerConfig& config) {
+std::size_t effective_grid(const OfflinePlannerConfig& config) {
+  if (!config.adaptive_grid) return config.knapsack_grid;
+  // One weight cell per unit of staleness budget: the replan cost scales
+  // with Lb instead of a fixed fine resolution, and the per-item ceil
+  // rounding overshoot is bounded by one budget unit.
+  const auto cells = static_cast<std::size_t>(
+      std::max<long long>(std::llround(config.lb), 1));
+  // A configured grid below the adaptive floor wins (std::clamp requires
+  // lo <= hi): adaptivity only ever coarsens, never refines.
+  const std::size_t floor =
+      std::min(OfflinePlannerConfig::kMinAdaptiveGrid, config.knapsack_grid);
+  return std::clamp(cells, floor, config.knapsack_grid);
+}
+
+OfflinePlannerConfig make_planner_config(const ExperimentConfig& config) {
+  OfflinePlannerConfig planner;
+  planner.lb = config.offline_lb;
+  planner.window_slots = config.offline_window_slots;
+  planner.epsilon = config.epsilon;
+  planner.eta = config.eta;
+  planner.beta = config.beta;
+  planner.slot_seconds = config.slot_seconds;
+  planner.incremental = config.offline_incremental_replan;
+  planner.parallel = config.offline_parallel_plan;
+  planner.adaptive_grid = config.offline_adaptive_grid;
+  return planner;
+}
+
+OfflinePlanner::OfflinePlanner(OfflinePlannerConfig config)
+    : config_(config), grid_(effective_grid(config)) {
+  if (config_.parallel) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        config_.workers != 0 ? config_.workers : resolve_jobs(0));
+  }
+}
+
+OfflinePlanner::~OfflinePlanner() = default;
+
+OfflineWindowPlan OfflinePlanner::plan(
+    sim::Slot window_begin, const std::vector<OfflineUserInput>& users) {
   OfflineWindowPlan out;
   out.plans.assign(users.size(), OfflineUserPlan{});
   if (users.empty()) return out;
 
-  const double t0 = static_cast<double>(window_begin) * config.slot_seconds;
-  [[maybe_unused]] const double window_s =
-      static_cast<double>(config.window_slots) * config.slot_seconds;
+  const double t0 = static_cast<double>(window_begin) * config_.slot_seconds;
 
-  // Candidate execution windows for the Lemma 1 lag bound.
-  std::vector<UserWindow> windows(users.size());
+  // Candidate execution windows for the Lemma 1 lag bound (scratch
+  // buffers persist across windows, so steady-state replans allocate
+  // nothing here).
+  std::vector<UserWindow>& windows = windows_;
+  windows.resize(users.size());
   for (std::size_t i = 0; i < users.size(); ++i) {
     const auto& u = users[i];
     windows[i].begin = t0;
     windows[i].app_arrival =
-        u.next_arrival ? static_cast<double>(*u.next_arrival) * config.slot_seconds
-                       : t0;
+        u.next_arrival
+            ? static_cast<double>(*u.next_arrival) * config_.slot_seconds
+            : t0;
     windows[i].duration =
         u.next_arrival
             ? device::training_duration_s(*u.dev, device::AppStatus::kApp,
@@ -35,22 +82,50 @@ OfflineWindowPlan plan_window(sim::Slot window_begin,
   // training separately now; weight = the gradient gap that the wait + stale
   // co-run update will have cost (Eq. 4 with the Lemma 1 lag bound, plus the
   // Eq. 12 epsilon accumulation while idling until the app arrives).
-  std::vector<KnapsackItem> items(users.size());
+  std::vector<KnapsackItem>& items = items_;
+  items.resize(users.size());
   out.lag_bounds.resize(users.size());
   // The Lemma 1 bound via the counting index: identical integers to the
   // O(n)-per-user lag_upper_bound scan, but O(K log n) per user — the
   // difference between a tractable and an intractable 100k-user replan.
   const LagBoundIndex lag_index{windows};
-  for (std::size_t i = 0; i < users.size(); ++i) {
+  // Deduplicate the bound queries: every user shares the window start, so
+  // the bound is a pure function of (app_arrival, duration) — and fleets
+  // draw durations from a handful of device/app profiles and arrivals
+  // from the window's slots, so distinct queries are far fewer than
+  // users. Each duplicate receives the identical integer (bit-identical
+  // to querying per user; golden-parity guarded).
+  {
+    std::vector<std::uint32_t>& order = order_;
+    order.resize(users.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (windows[a].app_arrival != windows[b].app_arrival) {
+                  return windows[a].app_arrival < windows[b].app_arrival;
+                }
+                return windows[a].duration < windows[b].duration;
+              });
+    for (std::size_t k = 0; k < order.size();) {
+      const std::uint32_t rep = order[k];
+      const std::size_t bound = lag_index.bound(rep);
+      while (k < order.size() &&
+             windows[order[k]].app_arrival == windows[rep].app_arrival &&
+             windows[order[k]].duration == windows[rep].duration) {
+        out.lag_bounds[order[k]] = bound;
+        ++k;
+      }
+    }
+  }
+  const auto build_item = [&](std::size_t i) {
     const auto& u = users[i];
-    out.lag_bounds[i] = lag_index.bound(i);
     const double lag = static_cast<double>(out.lag_bounds[i]);
     if (u.next_arrival) {
       const double wait_s = windows[i].app_arrival - t0;
-      const double wait_slots = wait_s / config.slot_seconds;
+      const double wait_slots = wait_s / config_.slot_seconds;
       items[i].value = device::corun_saving_joules(*u.dev, u.arrival_app);
-      items[i].weight = u.current_gap + config.epsilon * wait_slots +
-                        fl::gradient_gap(config.eta, config.beta, lag,
+      items[i].weight = u.current_gap + config_.epsilon * wait_slots +
+                        fl::gradient_gap(config_.eta, config_.beta, lag,
                                          u.momentum_norm);
     } else {
       // No in-window arrival: waiting saves the separate-training energy for
@@ -58,13 +133,38 @@ OfflineWindowPlan plan_window(sim::Slot window_begin,
       // window of idle gap accumulation.
       items[i].value = (u.dev->train_power_w - u.dev->idle_power_w) *
                        u.dev->train_time_s;
-      items[i].weight = u.current_gap +
-                        config.epsilon * static_cast<double>(config.window_slots);
+      items[i].weight =
+          u.current_gap +
+          config_.epsilon * static_cast<double>(config_.window_slots);
     }
     if (items[i].value < 0.0) items[i].value = 0.0;  // co-run never helps here
+  };
+  if (pool_ != nullptr) {
+    // Each index writes its own items/lag_bounds slot, so the sharded
+    // build is bit-identical to the serial loop for any worker count.
+    const std::size_t chunks =
+        std::min(users.size(), std::max<std::size_t>(
+                                   pool_->thread_count() * 4, 1));
+    pool_->run_indexed(chunks, [&](std::size_t chunk) {
+      const std::size_t lo = chunk * users.size() / chunks;
+      const std::size_t hi = (chunk + 1) * users.size() / chunks;
+      for (std::size_t i = lo; i < hi; ++i) build_item(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < users.size(); ++i) build_item(i);
   }
 
-  out.knapsack = solve_knapsack(items, config.lb, config.knapsack_grid);
+  if (pool_ != nullptr) {
+    // Parallel supersedes incremental: the sharded grouped DP has no
+    // per-item prefix rows for the KnapsackSolver cache to reuse, so
+    // last_prefix_reused() reports 0 in this mode (documented at the
+    // flags and in docs/performance.md §6).
+    out.knapsack = solve_knapsack_parallel(items, config_.lb, grid_, *pool_);
+  } else if (config_.incremental) {
+    out.knapsack = incremental_.solve(items, config_.lb, grid_);
+  } else {
+    out.knapsack = solve_knapsack(items, config_.lb, grid_);
+  }
 
   for (std::size_t i = 0; i < users.size(); ++i) {
     if (out.knapsack.selected[i]) {
@@ -80,6 +180,16 @@ OfflineWindowPlan plan_window(sim::Slot window_begin,
     }
   }
   return out;
+}
+
+OfflineWindowPlan plan_window(sim::Slot window_begin,
+                              const std::vector<OfflineUserInput>& users,
+                              const OfflinePlannerConfig& config) {
+  OfflinePlannerConfig serial = config;
+  serial.incremental = false;
+  serial.parallel = false;
+  OfflinePlanner planner{serial};
+  return planner.plan(window_begin, users);
 }
 
 }  // namespace fedco::core

@@ -24,7 +24,11 @@ double OnlineScheduler::amplification(double lag) const {
   const auto index = static_cast<std::size_t>(lag);
   if (lag >= 0.0 && lag < kMaxCached && static_cast<double>(index) == lag) {
     if (index >= amp_cache_.size()) {
-      amp_cache_.reserve(index + 1);
+      // Let push_back grow geometrically: an exact-fit reserve here would
+      // reallocate (and copy) the whole memo every time the observed lag
+      // creeps one past the cached maximum — O(L^2) bytes over a run
+      // whose lag reaches L, which at 100k users dominated the decide
+      // path. The cached values are unchanged either way.
       for (std::size_t l = amp_cache_.size(); l <= index; ++l) {
         amp_cache_.push_back(
             fl::momentum_amplification(config_.beta, static_cast<double>(l)));
@@ -37,34 +41,14 @@ double OnlineScheduler::amplification(double lag) const {
 
 OnlineDecisionOutcome OnlineScheduler::decide(
     const device::DeviceProfile& dev, const OnlineDecisionInput& input) const {
-  OnlineDecisionOutcome out;
-  const double td = config_.slot_seconds;
-  const double q = queues_.q();
-  const double h = queues_.h();
-
   // Power levels of the two candidate actions under the current app status
   // (Eq. 10).
   const double p_schedule = device::power_w(dev, device::Decision::kSchedule,
                                             input.app_status, input.app);
   const double p_idle = device::power_w(dev, device::Decision::kIdle,
                                         input.app_status, input.app);
-
-  // Gap realised by scheduling now: the Eq. (4) closed form with the lag the
-  // server expects over this user's training duration (the amplification
-  // factor memoized — bit-identical to fl::gradient_gap).
-  out.gap_if_scheduled = std::abs(config_.eta) * amplification(input.expected_lag) *
-                         std::abs(input.momentum_norm);
-  // Gap realised by idling: accumulate epsilon (Eq. 12).
-  const double gap_if_idle = input.current_gap + config_.epsilon;
-
-  // Eq. (23); when h == 0 this degenerates to the Eq. (22) branch.
-  out.cost_schedule = config_.V * p_schedule * td - q + h * out.gap_if_scheduled;
-  out.cost_idle = config_.V * p_idle * td + h * gap_if_idle;
-
-  out.decision = out.cost_schedule <= out.cost_idle ? device::Decision::kSchedule
-                                                    : device::Decision::kIdle;
-  return out;
+  return evaluate(p_schedule, p_idle, input.current_gap, input.expected_lag,
+                  input.momentum_norm, queues_.q(), queues_.h());
 }
-
 
 }  // namespace fedco::core

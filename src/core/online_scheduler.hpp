@@ -8,6 +8,7 @@
 // the server only supplies the lag estimate (privacy discussion, Sec. V-A).
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "core/queues.hpp"
@@ -61,6 +62,23 @@ class OnlineScheduler {
       const std::vector<const device::DeviceProfile*>& devices,
       const std::vector<OnlineDecisionInput>& inputs) const;
 
+  /// Batched core of decide() for the one-pass Sec. V-A evaluation: the
+  /// caller hoists the slot-invariant queue backlogs and precomputes the
+  /// two candidate power levels (the same device::power_w values decide()
+  /// derives per call), and this evaluates Eq. (21) with arithmetic
+  /// identical to decide() — the batched-vs-scalar golden suite pins the
+  /// two paths to the same fingerprints.
+  [[nodiscard]] device::Decision decide_batched(double p_schedule,
+                                                double p_idle,
+                                                double current_gap,
+                                                double expected_lag,
+                                                double momentum_norm, double q,
+                                                double h) const {
+    return evaluate(p_schedule, p_idle, current_gap, expected_lag,
+                    momentum_norm, q, h)
+        .decision;
+  }
+
   /// End-of-slot queue update (server side of Algorithm 2).
   void update_queues(double arrivals, double served, double sum_gaps) noexcept {
     queues_.step(arrivals, served, sum_gaps);
@@ -81,6 +99,33 @@ class OnlineScheduler {
   /// fl::momentum_amplification returns (same call, same arguments), so
   /// decisions are bit-identical with or without a hit.
   [[nodiscard]] double amplification(double lag) const;
+
+  /// The Eq. (21)/(22)/(23) evaluation both decide() and decide_batched()
+  /// share — one definition so the scalar and batched paths cannot drift.
+  [[nodiscard]] OnlineDecisionOutcome evaluate(double p_schedule,
+                                               double p_idle,
+                                               double current_gap,
+                                               double expected_lag,
+                                               double momentum_norm, double q,
+                                               double h) const {
+    OnlineDecisionOutcome out;
+    const double td = config_.slot_seconds;
+    // Gap realised by scheduling now: the Eq. (4) closed form with the lag
+    // the server expects over this user's training duration (the
+    // amplification factor memoized — bit-identical to fl::gradient_gap).
+    out.gap_if_scheduled = std::abs(config_.eta) *
+                           amplification(expected_lag) *
+                           std::abs(momentum_norm);
+    // Gap realised by idling: accumulate epsilon (Eq. 12).
+    const double gap_if_idle = current_gap + config_.epsilon;
+    // Eq. (23); when h == 0 this degenerates to the Eq. (22) branch.
+    out.cost_schedule = config_.V * p_schedule * td - q + h * out.gap_if_scheduled;
+    out.cost_idle = config_.V * p_idle * td + h * gap_if_idle;
+    out.decision = out.cost_schedule <= out.cost_idle
+                       ? device::Decision::kSchedule
+                       : device::Decision::kIdle;
+    return out;
+  }
 
   OnlineSchedulerConfig config_;
   LyapunovQueues queues_;

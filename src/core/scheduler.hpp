@@ -17,8 +17,9 @@
 //    streams or depend on wall-clock/thread identity.
 //  * Hooks are invoked in a fixed per-slot order: completions (including
 //    `on_user_ready` for users finishing their transfer) -> `on_slot_begin`
-//    -> one `decide` per due ready user in user-index order -> energy/gap
-//    accounting -> `on_slot_end`.
+//    -> one `decide` per due ready user in user-index order (delivered as
+//    a single `decide_batch` call whose default implementation is exactly
+//    that scalar loop) -> energy/gap accounting -> `on_slot_end`.
 //  * `queue_q`/`queue_h` are sampled once per slot after `on_slot_end` and
 //    must be cheap; schemes without Lyapunov queues report 0.
 //  * The driver is event-driven (DESIGN.md §9): per-user state read through
@@ -32,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -78,6 +80,12 @@ class SchedulerContext {
       std::size_t user) const = 0;
   /// Accumulated gradient gap g_i (Eq. 12) of the user.
   [[nodiscard]] virtual double user_gap(std::size_t user) const = 0;
+  /// Flat per-user gap array behind user_gap() — the SoA view batched
+  /// decide passes read instead of one virtual call per user. Only exact
+  /// for strategies running the per-slot gap sweep (needs_slot_totals()
+  /// true): lazy-accrual gaps materialize on access, so lazy-mode
+  /// strategies must keep using user_gap().
+  [[nodiscard]] virtual const double* gap_values() const noexcept = 0;
   /// Server-side momentum norm ||v_t|| (real or synthetic model).
   [[nodiscard]] virtual double momentum_norm() const = 0;
   /// Server lag estimate l_{d_i} (Algorithm 2, line 4): currently-training
@@ -137,6 +145,47 @@ class Scheduler {
   /// scheme-agnostic gating — e.g. the battery SoC condition — first).
   [[nodiscard]] virtual device::Decision decide(std::size_t user, sim::Slot t,
                                                 SchedulerContext& ctx) = 0;
+
+  /// Driver-owned outcome sink for decide_batch(): the strategy reports
+  /// each user's decision through it, in the order evaluated.
+  class DecisionSink {
+   public:
+    virtual ~DecisionSink() = default;
+    /// Apply a kSchedule decision now: the driver starts the training
+    /// session before the strategy evaluates the next user, so later
+    /// evaluations observe it through expected_lag — exactly the scalar
+    /// loop's intra-slot coupling.
+    virtual void schedule(std::uint32_t user) = 0;
+    /// Record a kIdle decision; the driver parks or keeps the user hot via
+    /// ready_parked_until().
+    virtual void idle(std::uint32_t user) = 0;
+    /// Record a kIdle decision with the parking promise supplied inline —
+    /// the batched strategies' fast path: `until` must be exactly what
+    /// ready_parked_until(user, t) would return, so the driver skips that
+    /// per-user virtual consult.
+    virtual void idle_until(std::uint32_t user, sim::Slot until) = 0;
+  };
+
+  /// Batched decision pass: one call per slot covering every due ready
+  /// user (ascending user order, already driver-gated), replacing the
+  /// per-user decide() consult. The contract is strict sequential
+  /// equivalence — the sink must receive exactly the decisions the scalar
+  /// decide() loop would produce, with sink.schedule() invoked before the
+  /// next user is evaluated (intra-slot expected_lag coupling). The
+  /// default implementation IS that scalar loop, so strategies that don't
+  /// override it (immediate, sync_sgd) are untouched; the online scheme
+  /// overrides it with the one-pass Sec. V-A evaluation over flat arrays.
+  virtual void decide_batch(const std::uint32_t* users, std::size_t count,
+                            sim::Slot t, SchedulerContext& ctx,
+                            DecisionSink& sink) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (decide(users[k], t, ctx) == device::Decision::kSchedule) {
+        sink.schedule(users[k]);
+      } else {
+        sink.idle(users[k]);
+      }
+    }
+  }
 
   /// Called when an update from `user` was applied to the global model
   /// (for the barrier scheme: when the user's upload was staged).

@@ -5,18 +5,14 @@
 namespace fedco::core {
 
 OfflineScheduler::OfflineScheduler(const ExperimentConfig& config)
-    : window_slots_(config.offline_window_slots) {
-  if (window_slots_ <= 0) {
-    throw std::invalid_argument{
-        "offline scheduler: offline_window_slots must be positive"};
-  }
-  planner_config_.lb = config.offline_lb;
-  planner_config_.window_slots = config.offline_window_slots;
-  planner_config_.epsilon = config.epsilon;
-  planner_config_.eta = config.eta;
-  planner_config_.beta = config.beta;
-  planner_config_.slot_seconds = config.slot_seconds;
-}
+    : planner_([&config] {
+        if (config.offline_window_slots <= 0) {
+          throw std::invalid_argument{
+              "offline scheduler: offline_window_slots must be positive"};
+        }
+        return make_planner_config(config);
+      }()),
+      window_slots_(config.offline_window_slots) {}
 
 void OfflineScheduler::on_experiment_begin(SchedulerContext& ctx) {
   plans_.assign(ctx.num_users(), OfflineUserPlan{OfflineAction::kDefer, 0});
@@ -41,7 +37,7 @@ void OfflineScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
     }
     inputs.push_back(in);
   }
-  const OfflineWindowPlan plan = plan_window(t, inputs, planner_config_);
+  const OfflineWindowPlan plan = planner_.plan(t, inputs);
   for (std::size_t k = 0; k < ready.size(); ++k) {
     plans_[ready[k]] = plan.plans[k];
   }

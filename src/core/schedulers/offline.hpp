@@ -2,7 +2,9 @@
 // the Sec. IV knapsack planner over the ready users with oracle knowledge of
 // their in-window app arrivals, and caches one plan per user (its
 // scheme-owned state): schedule now, wait for the app and co-run, or defer
-// to the next window.
+// to the next window. The planner is the stateful OfflinePlanner, so the
+// config's batched-engine knobs (incremental DP reuse, the worker-sharded
+// parallel plan, the budget-scaled adaptive grid) apply per window replan.
 #pragma once
 
 #include <vector>
@@ -47,7 +49,7 @@ class OfflineScheduler final : public Scheduler {
                                              sim::Slot t) const override;
 
  private:
-  OfflinePlannerConfig planner_config_;
+  OfflinePlanner planner_;
   sim::Slot window_slots_;
   std::vector<OfflineUserPlan> plans_;  ///< scheme state, one slot per user
 };

@@ -19,4 +19,53 @@ device::Decision OnlineLyapunovScheduler::decide(std::size_t user, sim::Slot t,
   return online_.decide(ctx.user_device(user), input).decision;
 }
 
+void OnlineLyapunovScheduler::decide_batch(const std::uint32_t* users,
+                                           std::size_t count, sim::Slot t,
+                                           SchedulerContext& ctx,
+                                           DecisionSink& sink) {
+  if (!batch_enabled_) {
+    Scheduler::decide_batch(users, count, t, ctx, sink);  // scalar reference
+    return;
+  }
+  // The parking promise is uniform across the batch (ready_parked_until
+  // ignores the user), so it is computed once and delivered through
+  // sink.idle_until instead of a per-user virtual consult.
+  const sim::Slot parked_until =
+      decision_interval_slots_ <= 1
+          ? t + 1
+          : (t / decision_interval_slots_ + 1) * decision_interval_slots_;
+  // Off-interval slots short-circuit the whole batch: the scalar decide()
+  // returns kIdle for every user without reading any state.
+  if (decision_interval_slots_ > 1 && t % decision_interval_slots_ != 0) {
+    for (std::size_t k = 0; k < count; ++k) {
+      sink.idle_until(users[k], parked_until);
+    }
+    return;
+  }
+  // Slot-invariant terms, hoisted once: the queue backlogs only move at
+  // on_slot_end and ||v_t|| is the on_slot_begin cache, so these are the
+  // same doubles the scalar path re-reads per user.
+  const double q = online_.queues().q();
+  const double h = online_.queues().h();
+  const double momentum = momentum_norm_;
+  const double* gaps = ctx.gap_values();  // exact: this scheme sweeps per slot
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t user = users[k];
+    const auto app = ctx.user_app(user);
+    const std::size_t column =
+        app ? static_cast<std::size_t>(*app) : device::kAppKinds;
+    const device::AppStatus status =
+        app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
+    const double lag = ctx.expected_lag(
+        user, status, app.value_or(device::AppKind::kMap), t);
+    const PowerPair& power = user_power_[user][column];
+    if (online_.decide_batched(power.schedule, power.idle, gaps[user], lag,
+                               momentum, q, h) == device::Decision::kSchedule) {
+      sink.schedule(user);
+    } else {
+      sink.idle_until(user, parked_until);
+    }
+  }
+}
+
 }  // namespace fedco::core

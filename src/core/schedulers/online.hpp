@@ -1,8 +1,17 @@
 // Online scheduling: the distributed Lyapunov drift-plus-penalty rule of
 // Algorithm 2 / Eq. (21). The strategy owns the OnlineScheduler (queue
 // state + decision rule) and feeds it per-user inputs assembled from the
-// driver context; the driver stays scheme-agnostic.
+// driver context; the driver stays scheme-agnostic. When
+// config.online_batch_decide is set (the default) the per-slot consults
+// arrive through decide_batch — the paper's centralized Sec. V-A variant:
+// one pass over all due ready users with the queue backlogs, momentum
+// norm, and per-(device, app) power levels hoisted out of the loop.
+// Decisions are bit-identical to the scalar path (same arithmetic, same
+// order, same intra-slot coupling through the DecisionSink).
 #pragma once
+
+#include <array>
+#include <vector>
 
 #include "core/online_scheduler.hpp"
 #include "core/scheduler.hpp"
@@ -14,7 +23,30 @@ class OnlineLyapunovScheduler final : public Scheduler {
   explicit OnlineLyapunovScheduler(const ExperimentConfig& config)
       : online_({config.V, config.lb, config.epsilon, config.slot_seconds,
                  config.eta, config.beta}),
-        decision_interval_slots_(config.decision_interval_slots) {}
+        decision_interval_slots_(config.decision_interval_slots),
+        batch_enabled_(config.online_batch_decide) {
+    // Eq. (10) power levels of the two candidate actions, precomputed per
+    // (device kind, foreground app | no-app): the same device::power_w
+    // values decide() derives per call, evaluated once. Column kAppKinds
+    // is the no-app state (decide() passes kMap there, matching
+    // app.value_or in the scalar path).
+    for (std::size_t k = 0; k < device::kDeviceKinds; ++k) {
+      const device::DeviceProfile& dev =
+          device::profile(static_cast<device::DeviceKind>(k));
+      for (std::size_t a = 0; a <= device::kAppKinds; ++a) {
+        const device::AppStatus status = a < device::kAppKinds
+                                             ? device::AppStatus::kApp
+                                             : device::AppStatus::kNoApp;
+        const device::AppKind app = a < device::kAppKinds
+                                        ? static_cast<device::AppKind>(a)
+                                        : device::AppKind::kMap;
+        power_[k][a] = {device::power_w(dev, device::Decision::kSchedule,
+                                        status, app),
+                        device::power_w(dev, device::Decision::kIdle, status,
+                                        app)};
+      }
+    }
+  }
 
   [[nodiscard]] SchedulerKind kind() const noexcept override {
     return SchedulerKind::kOnline;
@@ -22,6 +54,22 @@ class OnlineLyapunovScheduler final : public Scheduler {
 
   [[nodiscard]] device::Decision decide(std::size_t user, sim::Slot t,
                                         SchedulerContext& ctx) override;
+
+  /// The batched Sec. V-A pass (see the file comment). Falls back to the
+  /// scalar base-class loop when config.online_batch_decide is off.
+  void decide_batch(const std::uint32_t* users, std::size_t count, sim::Slot t,
+                    SchedulerContext& ctx, DecisionSink& sink) override;
+
+  /// Pin each user's power-table row once (device kinds are static for a
+  /// run), so the batched pass reads powers through a flat pointer array
+  /// instead of a user_device() consult per evaluation.
+  void on_experiment_begin(SchedulerContext& ctx) override {
+    user_power_.resize(ctx.num_users());
+    for (std::size_t i = 0; i < ctx.num_users(); ++i) {
+      user_power_[i] =
+          power_[static_cast<std::size_t>(ctx.user_device(i).kind)].data();
+    }
+  }
 
   /// ||v_t|| is constant across one slot's decide() calls (global updates
   /// land during completion events, before on_slot_begin), so it is read
@@ -63,9 +111,21 @@ class OnlineLyapunovScheduler final : public Scheduler {
   }
 
  private:
+  struct PowerPair {
+    double schedule = 0.0;
+    double idle = 0.0;
+  };
+
   OnlineScheduler online_;
   sim::Slot decision_interval_slots_;
+  bool batch_enabled_;
   double momentum_norm_ = 0.0;  ///< per-slot cache (see on_slot_begin)
+  /// [device kind][app, or kAppKinds for no-app] -> Eq. (10) power levels.
+  std::array<std::array<PowerPair, device::kAppKinds + 1>,
+             device::kDeviceKinds>
+      power_{};
+  /// Per-user row of power_ (see on_experiment_begin).
+  std::vector<const PowerPair*> user_power_;
 };
 
 }  // namespace fedco::core

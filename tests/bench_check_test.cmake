@@ -1,0 +1,104 @@
+# tools/bench_check behaviour test, run via ctest:
+#   1. A candidate matching the baseline exits 0 and prints OK rows.
+#   2. A candidate with a >20% slots/sec drop exits 1 and prints FAIL.
+#   3. A row whose planner/knapsack_grid metadata changed (the offline
+#      scheme's adaptive-grid tagging) is reported as SKIP — a grid change
+#      is not a regression — even when its throughput cratered.
+#   4. Rows present on only one side degrade to SKIP/NEW notices.
+# Invoked as: cmake -DBENCH_CHECK=<binary> -P bench_check_test.cmake
+
+if(NOT DEFINED BENCH_CHECK)
+  message(FATAL_ERROR "BENCH_CHECK (path to the bench_check binary) not set")
+endif()
+
+set(work_dir ${CMAKE_CURRENT_BINARY_DIR}/bench_check_test_docs)
+file(MAKE_DIRECTORY ${work_dir})
+
+# Two-row baseline: a plain row and an offline row tagged with planner
+# metadata (grid 1000).
+file(WRITE ${work_dir}/baseline.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000}\
+]}]}\n")
+
+# 1. Identical candidate -> exit 0, OK rows.
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/baseline.json
+  OUTPUT_VARIABLE ok_out ERROR_VARIABLE ok_err RESULT_VARIABLE ok_rc
+)
+if(NOT ok_rc EQUAL 0)
+  message(FATAL_ERROR "identical documents exited ${ok_rc}:\n${ok_out}${ok_err}")
+endif()
+if(NOT ok_out MATCHES "OK")
+  message(FATAL_ERROR "identical documents printed no OK row:\n${ok_out}")
+endif()
+
+# 2. Regressed plain row -> exit 1, FAIL.
+file(WRITE ${work_dir}/regressed.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":2.0,\"slots_per_sec\":300.0,\"user_slots_per_sec\":30000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/regressed.json
+  OUTPUT_VARIABLE bad_out ERROR_VARIABLE bad_err RESULT_VARIABLE bad_rc
+)
+if(NOT bad_rc EQUAL 1)
+  message(FATAL_ERROR "70% regression exited ${bad_rc} (want 1):\n${bad_out}${bad_err}")
+endif()
+if(NOT bad_out MATCHES "FAIL")
+  message(FATAL_ERROR "regression printed no FAIL row:\n${bad_out}")
+endif()
+
+# 3. The offline row re-measured on a different grid (1000 -> 500) with a
+#    90% slots/sec drop must SKIP, not FAIL: grid change, not regression.
+#    The untouched Online row keeps the comparison non-empty -> exit 0.
+file(WRITE ${work_dir}/regridded.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Offline\",\"seconds\":5.0,\"slots_per_sec\":80.0,\"user_slots_per_sec\":8000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"serial\",\"knapsack_grid\":500}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/regridded.json
+  OUTPUT_VARIABLE skip_out ERROR_VARIABLE skip_err RESULT_VARIABLE skip_rc
+)
+if(NOT skip_rc EQUAL 0)
+  message(FATAL_ERROR "grid-changed row exited ${skip_rc} (want 0 — grid change is not a regression):\n${skip_out}${skip_err}")
+endif()
+if(NOT skip_out MATCHES "SKIP.*planner/grid changed")
+  message(FATAL_ERROR "grid-changed row was not SKIPped:\n${skip_out}")
+endif()
+if(skip_out MATCHES "FAIL")
+  message(FATAL_ERROR "grid-changed row FAILed instead of SKIPping:\n${skip_out}")
+endif()
+
+# 4. A candidate missing a baseline row (and adding a new one) degrades to
+#    SKIP + NEW notices while the shared rows still gate -> exit 0.
+file(WRITE ${work_dir}/regrown.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0}\
+]},\
+{\"num_users\":200,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":900.0,\"user_slots_per_sec\":180000.0,\"updates\":5,\"energy_kj\":1.0}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/regrown.json
+  OUTPUT_VARIABLE grow_out ERROR_VARIABLE grow_err RESULT_VARIABLE grow_rc
+)
+if(NOT grow_rc EQUAL 0)
+  message(FATAL_ERROR "grid growth exited ${grow_rc} (want 0):\n${grow_out}${grow_err}")
+endif()
+if(NOT grow_out MATCHES "SKIP" OR NOT grow_out MATCHES "NEW")
+  message(FATAL_ERROR "grid growth printed no SKIP/NEW notices:\n${grow_out}")
+endif()
+
+message(STATUS "bench_check behaviour test passed")

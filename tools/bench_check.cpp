@@ -4,10 +4,14 @@
 // committed baseline: for every (num_users, horizon_slots, scheduler) row
 // present in BOTH documents, the candidate's slots_per_sec must not fall
 // more than --max-regression-pct below the baseline's. Rows only one side
-// has (grid changes) are reported and skipped. CI runs this against the
-// committed smoke baseline on every push (ROADMAP "BENCH trajectory"), so
-// an accidental O(n) regression in the event-driven driver fails loudly
-// instead of rotting silently.
+// has (grid changes) are reported and skipped, as are rows whose optional
+// planner metadata ("planner" mode or "knapsack_grid" — the offline
+// scheme's adaptive-grid tagging) differs between the documents: a row
+// solved on a different DP grid or planner mode measures different work,
+// so a slowdown there is a grid change, not a regression. CI runs this
+// against the committed smoke baseline on every push (ROADMAP "BENCH
+// trajectory"), so an accidental O(n) regression in the event-driven
+// driver fails loudly instead of rotting silently.
 //
 // Baselines are machine-specific: recapture them (bench_scale --smoke
 // --jobs 1) when the reference hardware changes, and compare only serial
@@ -36,6 +40,10 @@ struct Row {
   std::int64_t horizon = 0;
   std::string scheduler;
   double slots_per_sec = 0.0;
+  /// Optional planner metadata (offline rows since PR 5): rows with
+  /// different modes/grids are incomparable and SKIP instead of FAIL.
+  std::string planner;          ///< "" when absent
+  std::int64_t grid = -1;       ///< -1 when absent
 };
 
 std::string row_name(const Row& row) {
@@ -83,6 +91,12 @@ std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
       row.horizon = static_cast<std::int64_t>(horizon->as_number());
       row.scheduler = name->as_string();
       row.slots_per_sec = slots->as_number();
+      if (const JsonValue* planner = sched.find("planner")) {
+        row.planner = planner->as_string();
+      }
+      if (const JsonValue* grid = sched.find("knapsack_grid")) {
+        row.grid = static_cast<std::int64_t>(grid->as_number());
+      }
       rows.push_back(std::move(row));
     }
   }
@@ -127,6 +141,20 @@ int main(int argc, char** argv) {
       if (cand == nullptr) {
         std::printf("SKIP  %s: not in candidate (grid change?)\n",
                     row_name(base).c_str());
+        continue;
+      }
+      if (cand->planner != base.planner || cand->grid != base.grid) {
+        // A different planner mode or DP grid does different work per
+        // slot; a throughput delta there is a grid change, not a
+        // regression. Recapture the baseline to start tracking the row.
+        std::printf(
+            "SKIP  %s: planner/grid changed (baseline %s/%lld -> candidate "
+            "%s/%lld) — grid change, not a regression\n",
+            row_name(base).c_str(),
+            base.planner.empty() ? "-" : base.planner.c_str(),
+            static_cast<long long>(base.grid),
+            cand->planner.empty() ? "-" : cand->planner.c_str(),
+            static_cast<long long>(cand->grid));
         continue;
       }
       ++compared;
