@@ -1,6 +1,6 @@
 // Large-fleet scalability bench (no paper analogue — the ROADMAP's
 // production-scale axis). Sweeps scheduling-only heterogeneous fleets of
-// 100 / 1k / 10k / 100k users across all four schedulers via
+// 100 / 1k / 10k / 100k / 1M users across all four schedulers via
 // core::run_campaign, and reports the simulator's throughput: slots/sec
 // (simulated slots per wall-clock second), user-slots/sec (slots/sec ×
 // fleet size, the per-device work rate), and the process peak RSS.
@@ -135,6 +135,14 @@ double process_peak_rss_mib() {
 #endif
 }
 
+/// Fleets at or above this size run the PR 6 stream-RNG mode: on-demand
+/// counter-based arrival streams plus the SoA fleet arena, the only setup
+/// path whose cost is O(events) rather than O(users x horizon). Stream
+/// rows are tagged "rng": "stream" so tools/bench_check never compares
+/// them against legacy-RNG baselines (different draw layout = different
+/// arrival sequences = incomparable work).
+constexpr std::size_t kStreamRngThreshold = 1000000;
+
 /// The bench's heterogeneous population at a given scale.
 scenario::ScenarioSpec fleet_spec(const FleetSize& size) {
   scenario::ScenarioSpec spec;
@@ -149,6 +157,18 @@ scenario::ScenarioSpec fleet_spec(const FleetSize& size) {
   spec.arrival.mean_probability = 0.002;
   spec.arrival.sigma = 0.5;
   spec.network.lte_fraction = 0.3;
+  if (size.users >= kStreamRngThreshold) {
+    // Mirror examples/scenarios/fleet_1m.json: the 1M row exercises the
+    // full stream path — diurnal thinning and churn presence windows —
+    // not just the flat-rate fast path.
+    spec.stream_rng = true;
+    spec.diurnal.enabled = true;
+    spec.diurnal.swing = 0.8;
+    spec.diurnal.timezone_spread_hours = 10.0;
+    spec.churn.churn_fraction = 0.2;
+    spec.churn.min_presence = 0.3;
+    spec.churn.max_presence = 0.8;
+  }
   return spec;
 }
 
@@ -167,6 +187,11 @@ struct SchedulerRow {
 
 struct FleetRow {
   FleetSize size{};
+  /// "legacy" (per-user forked xoshiro + pre-generated scripts) or
+  /// "stream" (counter-based on-demand arrival streams). Rows measured
+  /// under different RNG layouts sample different arrival sequences, so
+  /// bench_check SKIPs instead of comparing them.
+  const char* rng = "legacy";
   double wall_seconds = 0.0;
   double process_peak_rss_mib = 0.0;  ///< cumulative high-water mark
   std::vector<SchedulerRow> schedulers;
@@ -186,7 +211,13 @@ FleetRow run_fleet(const FleetSize& size,
   // a number was captured under.
   base.offline_parallel_plan = !legacy_planner;
   base.offline_adaptive_grid = !legacy_planner;
-  base = core::apply_scenario(fleet_spec(size), base);
+  // Stream fleets expand through the SoA arena (O(1) allocations per
+  // override concern); the bench never archives its configs, so the
+  // arena's not-serializable caveat does not apply. Legacy fleets keep
+  // the AoS expansion their committed baselines were captured under.
+  const scenario::ScenarioSpec spec = fleet_spec(size);
+  base = spec.stream_rng ? core::apply_scenario_arena(spec, base)
+                         : core::apply_scenario(spec, base);
 
   std::vector<core::ExperimentConfig> configs;
   for (const core::SchedulerKind kind : schedulers) {
@@ -210,6 +241,7 @@ FleetRow run_fleet(const FleetSize& size,
 
   FleetRow row;
   row.size = size;
+  row.rng = spec.stream_rng ? "stream" : "legacy";
   row.wall_seconds = report.wall_seconds;
   row.process_peak_rss_mib = process_peak_rss_mib();
   for (std::size_t k = 0; k < configs.size(); ++k) {
@@ -268,6 +300,7 @@ void write_json(const std::string& path, bool smoke, std::size_t jobs,
     json.begin_object();
     json.member("num_users", static_cast<std::uint64_t>(row.size.users));
     json.member("horizon_slots", static_cast<std::int64_t>(row.size.horizon));
+    json.member("rng", row.rng);
     json.member("wall_seconds", row.wall_seconds);
     json.member("process_peak_rss_mib", row.process_peak_rss_mib);
     json.key("schedulers").begin_array();
@@ -312,13 +345,19 @@ int main(int argc, char** argv) {
     // by the workflow) but each row is sized to take tens of milliseconds:
     // the regression gate (tools/bench_check) compares row timings, and
     // millisecond rows are all jitter. The full grid is the
-    // 100/1k/10k/100k headline (100k is the event-driven driver's
-    // flagship row — see docs/performance.md). --sizes/--schedulers
-    // override either for ad-hoc studies.
+    // 100/1k/10k/100k/1M headline (100k is the event-driven driver's
+    // flagship row; 1M is the stream-RNG + SoA-arena row — see
+    // docs/performance.md). --sizes/--schedulers override either for
+    // ad-hoc studies.
     std::vector<FleetSize> sizes =
-        smoke ? std::vector<FleetSize>{{5000, 1000}, {10000, 600}}
-              : std::vector<FleetSize>{
-                    {100, 7200}, {1000, 2400}, {10000, 600}, {100000, 600}};
+        smoke ? std::vector<FleetSize>{{5000, 1000},
+                                       {10000, 600},
+                                       {1000000, 60}}
+              : std::vector<FleetSize>{{100, 7200},
+                                       {1000, 2400},
+                                       {10000, 600},
+                                       {100000, 600},
+                                       {1000000, 600}};
     if (args.has("sizes")) sizes = parse_sizes(args.get("sizes"));
     std::vector<core::SchedulerKind> schedulers(std::begin(kAllSchedulers),
                                                 std::end(kAllSchedulers));

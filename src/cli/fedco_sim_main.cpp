@@ -37,11 +37,14 @@ Scenario:
                        flag below overrides the loaded value
   --scenario F         load a declarative ScenarioSpec JSON (device mix,
                        arrival-rate distribution, timezones, LTE share,
-                       churn; see examples/scenarios/) and expand it into
-                       a per-user fleet. The spec owns users/horizon/
-                       arrivals (including any --arrival-trace) and the
-                       network tier, overriding those flags; scheduler,
-                       training and environment flags still apply
+                       churn, stream_rng; see examples/scenarios/) and
+                       expand it into a per-user fleet. The spec owns
+                       users/horizon/arrivals (including any
+                       --arrival-trace) and the network tier, overriding
+                       those flags; scheduler, training and environment
+                       flags still apply. Specs with "stream_rng": true
+                       sample arrivals on demand from counter-based
+                       per-user streams (the 1M-user fast-setup mode)
   --save-config F      write the effective (expanded) config as JSON and
                        exit
   --replications R     run R replications (seeds seed..seed+R-1) as a
@@ -202,8 +205,17 @@ core::ExperimentConfig effective_config(const util::ArgParser& args) {
   // generated from the effective seed): the spec owns the population.
   const std::string scenario_path = args.get("scenario");
   if (!scenario_path.empty()) {
-    cfg = core::apply_scenario(scenario::load_scenario_json(scenario_path),
-                               cfg);
+    const scenario::ScenarioSpec spec =
+        scenario::load_scenario_json(scenario_path);
+    // Runs that archive JSON (--save-config / --save-result / --json) embed
+    // the expanded per-user fleet in the document, so they materialize the
+    // AoS form; pure simulation runs expand into the SoA fleet arena —
+    // O(1) allocations per override concern, the 1M-user path. Both forms
+    // run bit-identically (user i's overrides are equal).
+    const bool archives = args.has("save-config") ||
+                          args.has("save-result") || args.has("json");
+    cfg = archives ? core::apply_scenario(spec, cfg)
+                   : core::apply_scenario_arena(spec, cfg);
   }
   return cfg;
 }

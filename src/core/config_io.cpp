@@ -274,6 +274,8 @@ void write_config_members(util::JsonWriter& json,
   json.member("diurnal", config.diurnal);
   json.member("diurnal_swing", config.diurnal_swing);
   json.member("arrival_trace_path", config.arrival_trace_path);
+  json.member("arrival_streams", config.arrival_streams);
+  json.member("pregenerate_streams", config.pregenerate_streams);
   json.member("fixed_device", device_token(config.fixed_device));
   json.member("V", config.V);
   json.member("lb", config.lb);
@@ -411,6 +413,10 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.diurnal_swing = read_double(value, key);
         } else if (key == "arrival_trace_path") {
           config.arrival_trace_path = read_string(value, key);
+        } else if (key == "arrival_streams") {
+          config.arrival_streams = read_bool(value, key);
+        } else if (key == "pregenerate_streams") {
+          config.pregenerate_streams = read_bool(value, key);
         } else if (key == "fixed_device") {
           config.fixed_device = parse_device_token(read_string(value, key));
         } else if (key == "V") {
@@ -510,8 +516,12 @@ void save_config_json(const std::string& path,
 
 // ------------------------------------------------------------- scenarios
 
-ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
-                                ExperimentConfig base) {
+namespace {
+
+/// The population fields both scenario expansions share; only the fleet
+/// storage form differs between apply_scenario and apply_scenario_arena.
+void apply_scenario_fields(const scenario::ScenarioSpec& spec,
+                           ExperimentConfig& base) {
   base.num_users = spec.num_users;
   base.horizon_slots = spec.horizon_slots;
   base.arrival_probability = spec.arrival.mean_probability;
@@ -521,7 +531,8 @@ ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
   base.arrival_trace_path.clear();
   base.diurnal = spec.diurnal.enabled;
   base.diurnal_swing = spec.diurnal.swing;
-  // An explicit device mix supersedes a pinned fleet; the expansion below
+  base.arrival_streams = spec.stream_rng;
+  // An explicit device mix supersedes a pinned fleet; the expansion
   // writes concrete per-user devices.
   if (!spec.device_mix.empty()) base.fixed_device.reset();
   // The spec owns the network tier too. A fractional share pins every
@@ -529,7 +540,24 @@ ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
   // default so lte_fraction 0.0 really is an all-WiFi fleet even over a
   // base config that had use_lte on.
   base.use_lte = spec.network.lte_fraction >= 1.0;
+}
+
+}  // namespace
+
+ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
+                                ExperimentConfig base) {
+  apply_scenario_fields(spec, base);
+  base.fleet.reset();
   base.per_user = scenario::generate_fleet(spec, base.seed);
+  return base;
+}
+
+ExperimentConfig apply_scenario_arena(const scenario::ScenarioSpec& spec,
+                                      ExperimentConfig base) {
+  apply_scenario_fields(spec, base);
+  base.per_user.clear();
+  base.fleet = std::make_shared<const scenario::FleetArena>(
+      scenario::generate_fleet_arena(spec, base.seed));
   return base;
 }
 

@@ -67,4 +67,14 @@ void save_config_json(const std::string& path, const ExperimentConfig& config);
 [[nodiscard]] ExperimentConfig apply_scenario(const scenario::ScenarioSpec& spec,
                                               ExperimentConfig base);
 
+/// apply_scenario with SoA fleet storage: generate_fleet_arena fills
+/// config.fleet instead of materializing the per_user vector — O(1)
+/// allocations per override concern, the 1M-user expansion path. The
+/// resulting config runs bit-identically to apply_scenario's (user i's
+/// overrides are equal), but it is NOT self-contained under config_io
+/// serialization (the arena is not written to JSON); callers that archive
+/// the config must use apply_scenario instead.
+[[nodiscard]] ExperimentConfig apply_scenario_arena(
+    const scenario::ScenarioSpec& spec, ExperimentConfig base);
+
 }  // namespace fedco::core

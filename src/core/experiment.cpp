@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "apps/arrival.hpp"
+#include "apps/arrival_stream.hpp"
 #include "core/scheduler.hpp"
 #include "data/partition.hpp"
 #include "device/power_model.hpp"
@@ -20,6 +21,7 @@
 #include "nn/serialize.hpp"
 #include "nn/zoo.hpp"
 #include "util/stats.hpp"
+#include "util/stream_rng.hpp"
 
 namespace fedco::core {
 
@@ -52,6 +54,22 @@ enum class Phase { kReady, kTraining, kBarrier, kTransferring };
 /// contribute their (frozen) gap, everyone else accrues epsilon first.
 enum GapMode : unsigned char { kGapAbsent = 0, kGapTraining = 1, kGapAccrue = 2 };
 
+/// One independent reader over a user's arrival sequence. The driver runs
+/// three per user (live session, replay session, scheduler oracle), each at
+/// its own position. `at` is the next unconsumed arrival (the kNoArrival
+/// sentinel compares greater than every reachable slot, so `feed.at <= t`
+/// loops need no exhaustion flag) regardless of the backing store: a slice
+/// of the driver's shared script arena (index) or a lazy counter-based
+/// arrival stream (stream) — the driver's feed_init/feed_next dispatch on
+/// the user's arrival source.
+struct Feed {
+  static constexpr sim::Slot kNoArrival = std::numeric_limits<sim::Slot>::max();
+  sim::Slot at = kNoArrival;
+  device::AppKind app{};
+  std::size_t index = 0;       ///< script mode: next arena event
+  apps::ArrivalCursor stream;  ///< stream mode: iteration state
+};
+
 struct UserState {
   // Field order is deliberate: the per-slot decision path (consider/decide)
   // touches only this first block — keeping it inside one cache line is
@@ -73,25 +91,25 @@ struct UserState {
   /// Presence window [join, leave): churned users are absent outside it.
   sim::Slot join = 0;
   sim::Slot leave = scenario::kNeverLeaves;
-  /// Slot of the live machine's next unconsumed script arrival (mirror of
-  /// script[live_sess.cursor].at) — lets the every-slot decide path skip
-  /// the session machine without touching the cold script vector.
+  /// Slot of the live machine's next unconsumed arrival (mirror of
+  /// live_sess.feed.at) — lets the every-slot decide path skip the session
+  /// machine without touching the cold feed state.
   sim::Slot live_next_arrival = std::numeric_limits<sim::Slot>::max();
   const device::DeviceProfile* dev = nullptr;
 
   // Driver-owned foreground-session timeline. Replaces the old per-slot
-  // AppSessionTracker ticks bit for bit: with scripted arrivals a session's
-  // whole future is determined, so the machine is advanced on demand. Two
-  // copies of the same deterministic machine run at different times: `live`
-  // answers reads at the current slot, `replay` paces the lazy accrual
-  // (historical states must not be contaminated by future arrivals). Both
-  // agree on every slot both have passed; the only external mutation — the
-  // co-run extension in start_training — is applied to both while they are
-  // synchronized.
+  // AppSessionTracker ticks bit for bit: with a deterministic arrival feed
+  // a session's whole future is determined, so the machine is advanced on
+  // demand. Two copies of the same deterministic machine run at different
+  // times: `live` answers reads at the current slot, `replay` paces the
+  // lazy accrual (historical states must not be contaminated by future
+  // arrivals). Both agree on every slot both have passed; the only
+  // external mutation — the co-run extension in start_training — is
+  // applied to both while they are synchronized.
   struct SessionMachine {
     device::AppKind app{};
-    sim::Slot end = 0;       ///< first slot the current app is off screen
-    std::size_t cursor = 0;  ///< next script event this machine sees
+    sim::Slot end = 0;  ///< first slot the current app is off screen
+    Feed feed;          ///< next arrival this machine has not consumed
   };
   SessionMachine live_sess;
   SessionMachine replay_sess;
@@ -112,8 +130,18 @@ struct UserState {
   double battery_drained_j = 0.0;  ///< meter total already drained
   device::ThermalModel thermal{};
   util::Rng rng{0};
-  std::vector<apps::ScriptedArrivals::Event> script;  ///< oracle view
-  std::size_t script_cursor = 0;
+
+  // Arrival source. Stream mode (stream_params != nullptr): feeds iterate
+  // the counter-based stream keyed by arrival_key over [join, arrivals_end).
+  // Script mode: feeds read the half-open slice [script_begin, script_end)
+  // of the driver's shared script arena — per-user vectors are gone; one
+  // arena allocation serves the whole fleet.
+  const apps::ArrivalStreamParams* stream_params = nullptr;
+  std::uint64_t arrival_key = 0;
+  sim::Slot arrivals_end = 0;  ///< stream mode: min(horizon, leave)
+  std::size_t script_begin = 0;
+  std::size_t script_end = 0;
+  Feed oracle;  ///< next_arrival_between's reader (scheduler look-ahead)
 };
 
 /// Fenwick (binary-indexed) tree counting in-flight training end slots —
@@ -207,6 +235,18 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         throw std::invalid_argument{
             "run_experiment: per_user presence window is empty"};
       }
+    }
+    if (cfg.fleet) {
+      if (!cfg.per_user.empty()) {
+        throw std::invalid_argument{
+            "run_experiment: fleet and per_user are mutually exclusive"};
+      }
+      if (cfg.fleet->size() != cfg.num_users) {
+        throw std::invalid_argument{
+            "run_experiment: fleet must hold num_users entries"};
+      }
+      // Presence windows are validated per user inside setup_users (one
+      // arena read per user instead of a second full pass).
     }
     model_bytes_ = cfg.model_bytes;
     scheduler_ = make_scheduler(cfg_);
@@ -308,13 +348,9 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   next_arrival_between(std::size_t user, sim::Slot from,
                        sim::Slot until) override {
     UserState& u = users_[user];
-    while (u.script_cursor < u.script.size() &&
-           u.script[u.script_cursor].at < from) {
-      ++u.script_cursor;
-    }
-    if (u.script_cursor < u.script.size() &&
-        u.script[u.script_cursor].at < until) {
-      return u.script[u.script_cursor];
+    while (u.oracle.at < from) feed_next(u.oracle, u);
+    if (u.oracle.at < until) {
+      return apps::ScriptedArrivals::Event{u.oracle.at, u.oracle.app};
     }
     return std::nullopt;
   }
@@ -441,18 +477,45 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
                                             cfg_.num_users, part_rng);
     }
     const nn::SgdConfig sgd{cfg_.eta, cfg_.beta, 0.0, 0.0};
-    const scenario::PerUserConfig default_pu;
+    // Stream mode: arrivals, device picks, and runtime draws come from
+    // counter-based streams keyed on (seed, user, concern) — no per-user
+    // master forks, so user i's state is independent of fleet size and
+    // construction order. Lazy unless pregenerate_streams materializes the
+    // streams into the script arena (bit-identical by construction — the
+    // parity battery's A/B switch). A replayed trace is already a script.
+    const bool stream_mode =
+        cfg_.arrival_streams && cfg_.arrival_trace_path.empty();
+    const bool lazy_streams = stream_mode && !cfg_.pregenerate_streams;
+    if (lazy_streams) stream_params_.resize(cfg_.num_users);
     for (std::size_t i = 0; i < cfg_.num_users; ++i) {
       UserState& u = users_[i];
-      const scenario::PerUserConfig& pu =
-          cfg_.per_user.empty() ? default_pu : cfg_.per_user[i];
-      u.rng = master_rng_.fork();
+      const scenario::PerUserConfig pu = user_overrides(i);
+      if (cfg_.fleet && (pu.join_slot < 0 || pu.leave_slot <= pu.join_slot)) {
+        throw std::invalid_argument{
+            "run_experiment: per_user presence window is empty"};
+      }
+      if (cfg_.arrival_streams) {
+        u.rng = util::Rng{util::stream_key(
+            cfg_.seed, i,
+            static_cast<std::uint64_t>(apps::StreamConcern::kRuntime))};
+      } else {
+        u.rng = master_rng_.fork();
+      }
       // Device assignment is owned by the scenario layer: an explicit
       // per-user kind wins draw-free; otherwise assign_device makes the
-      // classic uniform pick (or honours fixed_device) from u.rng.
-      const device::DeviceKind kind =
-          pu.device ? *pu.device
-                    : scenario::assign_device(cfg_.fixed_device, u.rng);
+      // classic uniform pick (or honours fixed_device) — from the user's
+      // dedicated device stream in stream mode, from u.rng legacy.
+      device::DeviceKind kind;
+      if (pu.device) {
+        kind = *pu.device;
+      } else if (cfg_.arrival_streams) {
+        util::Rng dev_rng{util::stream_key(
+            cfg_.seed, i,
+            static_cast<std::uint64_t>(apps::StreamConcern::kDevice))};
+        kind = scenario::assign_device(cfg_.fixed_device, dev_rng);
+      } else {
+        kind = scenario::assign_device(cfg_.fixed_device, u.rng);
+      }
       u.dev = &device::profile(kind);
       u.dev_kind = kind;
       u.link = pu.use_lte.value_or(cfg_.use_lte) ? &lte_link_ : &wifi_link_;
@@ -460,10 +523,34 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       u.leave = pu.leave_slot;
       u.battery = device::Battery{cfg_.battery};
       u.thermal = device::ThermalModel{cfg_.thermal};
-      u.script = generate_script(u.rng, pu);
-      u.live_next_arrival = u.script.empty()
-                                ? std::numeric_limits<sim::Slot>::max()
-                                : u.script.front().at;
+      if (stream_mode) {
+        const apps::ArrivalStreamParams params{
+            pu.arrival_probability.value_or(cfg_.arrival_probability),
+            pu.diurnal.value_or(cfg_.diurnal),
+            pu.diurnal_swing.value_or(cfg_.diurnal_swing),
+            pu.diurnal_peak_hour, cfg_.slot_seconds};
+        u.arrival_key = util::stream_key(
+            cfg_.seed, i,
+            static_cast<std::uint64_t>(apps::StreamConcern::kArrivals));
+        u.arrivals_end = std::min(cfg_.horizon_slots, u.leave);
+        if (lazy_streams) {
+          stream_params_[i] = params;
+          u.stream_params = &stream_params_[i];
+        } else {
+          u.script_begin = script_arena_.size();
+          const auto events = apps::materialize_stream(
+              params, u.arrival_key, u.join, u.arrivals_end);
+          script_arena_.insert(script_arena_.end(), events.begin(),
+                               events.end());
+          u.script_end = script_arena_.size();
+        }
+      } else {
+        generate_script(u, pu);
+      }
+      feed_init(u.live_sess.feed, u);
+      feed_init(u.replay_sess.feed, u);
+      feed_init(u.oracle, u);
+      u.live_next_arrival = u.live_sess.feed.at;
       u.phase = Phase::kReady;
       u.in_backlog = u.join == 0;
       set_mode(i, 0);
@@ -487,14 +574,30 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     pending_arrivals_ = initial;
   }
 
-  std::vector<apps::ScriptedArrivals::Event> generate_script(
-      util::Rng& rng, const scenario::PerUserConfig& pu) {
-    std::vector<apps::ScriptedArrivals::Event> events;
+  /// The per-user override source: the SoA arena when present, the AoS
+  /// vector otherwise, the identity override for a homogeneous fleet.
+  [[nodiscard]] scenario::PerUserConfig user_overrides(std::size_t i) const {
+    if (cfg_.fleet) return cfg_.fleet->user(i);
+    if (!cfg_.per_user.empty()) return cfg_.per_user[i];
+    return scenario::PerUserConfig{};
+  }
+
+  /// Legacy script generation, appended to the shared arena as the slice
+  /// [u.script_begin, u.script_end). Draw-for-draw the historical per-user
+  /// vector build: the full-horizon Bernoulli walk runs even for churned
+  /// users (identical RNG consumption across presence windows) and the app
+  /// draw fires on every arrival; only in-window events are stored.
+  void generate_script(UserState& u, const scenario::PerUserConfig& pu) {
+    u.script_begin = script_arena_.size();
     if (!cfg_.arrival_trace_path.empty()) {
       if (trace_events_.empty()) {
         trace_events_ = apps::load_arrival_trace_csv(cfg_.arrival_trace_path);
       }
-      events = trace_events_;
+      for (const apps::ScriptedArrivals::Event& e : trace_events_) {
+        if (e.at >= pu.join_slot && e.at < pu.leave_slot) {
+          script_arena_.push_back(e);
+        }
+      }
     } else {
       const double p =
           pu.arrival_probability.value_or(cfg_.arrival_probability);
@@ -502,22 +605,54 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       const apps::DiurnalArrivals diurnal{
           p, pu.diurnal_swing.value_or(cfg_.diurnal_swing), cfg_.slot_seconds,
           pu.diurnal_peak_hour};
-      // The full-horizon draw runs even for churned users (identical RNG
-      // consumption across presence windows); off-window events are
-      // dropped afterwards.
       for (sim::Slot t = 0; t < cfg_.horizon_slots; ++t) {
         const double prob = diurnal_on ? diurnal.probability_at(t) : p;
-        if (rng.bernoulli(prob)) {
-          events.push_back({t, apps::random_app(rng)});
+        if (u.rng.bernoulli(prob)) {
+          const device::AppKind app = apps::random_app(u.rng);
+          if (t >= pu.join_slot && t < pu.leave_slot) {
+            script_arena_.push_back({t, app});
+          }
         }
       }
     }
-    if (pu.join_slot > 0 || pu.leave_slot < cfg_.horizon_slots) {
-      std::erase_if(events, [&](const apps::ScriptedArrivals::Event& e) {
-        return e.at < pu.join_slot || e.at >= pu.leave_slot;
-      });
+    u.script_end = script_arena_.size();
+  }
+
+  // ------------------------------------------------------------- feeds
+
+  /// Position a feed at the user's first arrival.
+  void feed_init(Feed& f, const UserState& u) {
+    if (u.stream_params != nullptr) {
+      f.stream = apps::stream_arrivals_begin(*u.stream_params, u.arrival_key,
+                                             u.join, u.arrivals_end);
+      f.at = f.stream.at;  // kNoArrival sentinels are the same value
+      f.app = f.stream.app;
+    } else {
+      f.index = u.script_begin;
+      if (f.index < u.script_end) {
+        f.at = script_arena_[f.index].at;
+        f.app = script_arena_[f.index].app;
+      } else {
+        f.at = Feed::kNoArrival;
+      }
     }
-    return events;
+  }
+
+  /// Advance a feed to the user's next arrival (kNoArrival when exhausted).
+  void feed_next(Feed& f, const UserState& u) {
+    if (u.stream_params != nullptr) {
+      apps::stream_arrivals_next(*u.stream_params, f.stream, u.arrivals_end);
+      f.at = f.stream.at;
+      f.app = f.stream.app;
+    } else {
+      ++f.index;
+      if (f.index < u.script_end) {
+        f.at = script_arena_[f.index].at;
+        f.app = script_arena_[f.index].app;
+      } else {
+        f.at = Feed::kNoArrival;
+      }
+    }
   }
 
   // ------------------------------------------------------------- per slot
@@ -796,31 +931,27 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   // ------------------------------------------------------- lazy accrual
 
   /// Advance the live machine through slot `t`, consulting the hot-block
-  /// arrival mirror first so slots without arrivals never touch the cold
-  /// script storage.
+  /// arrival mirror first so slots without arrivals never touch the feed.
   void advance_live(UserState& u, sim::Slot t) {
     if (t < u.live_next_arrival) return;
     advance_session(u.live_sess, u, t);
-    u.live_next_arrival = u.live_sess.cursor < u.script.size()
-                              ? u.script[u.live_sess.cursor].at
-                              : std::numeric_limits<sim::Slot>::max();
+    u.live_next_arrival = u.live_sess.feed.at;
   }
 
   /// Advance one of the user's foreground-session machines through slot
-  /// `t`, consuming script arrivals exactly as the per-slot tick did: an
+  /// `t`, consuming feed arrivals exactly as the per-slot tick did: an
   /// arrival while an app runs is absorbed; otherwise it starts a session
   /// lasting the device's measured Table II co-run time.
   void advance_session(UserState::SessionMachine& m, const UserState& u,
                        sim::Slot t) {
-    while (m.cursor < u.script.size() && u.script[m.cursor].at <= t) {
-      const apps::ScriptedArrivals::Event& e = u.script[m.cursor];
-      if (e.at >= m.end) {
-        m.app = e.app;
-        const double duration_s = u.dev->app(e.app).corun_time_s;
-        m.end = e.at + static_cast<sim::Slot>(
-                           std::ceil(duration_s / clock_.slot_seconds()));
+    while (m.feed.at <= t) {
+      if (m.feed.at >= m.end) {
+        m.app = m.feed.app;
+        const double duration_s = u.dev->app(m.feed.app).corun_time_s;
+        m.end = m.feed.at + static_cast<sim::Slot>(
+                                std::ceil(duration_s / clock_.slot_seconds()));
       }
-      ++m.cursor;
+      feed_next(m.feed, u);
     }
   }
 
@@ -871,10 +1002,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       if (app_on) {
         seg_end = std::min(upto, u.replay_sess.end - 1);
       } else {
-        const sim::Slot next_arrival =
-            u.replay_sess.cursor < u.script.size()
-                ? u.script[u.replay_sess.cursor].at
-                : std::numeric_limits<sim::Slot>::max();
+        const sim::Slot next_arrival = u.replay_sess.feed.at;
         seg_end = next_arrival > upto ? upto : next_arrival - 1;
       }
       const device::AppStatus status =
@@ -1000,7 +1128,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     // below mutates them).
     assert(u.synced == t - 1);
     advance_session(u.replay_sess, u, t);
-    assert(u.replay_sess.cursor == u.live_sess.cursor &&
+    assert(u.replay_sess.feed.at == u.live_sess.feed.at &&
            u.replay_sess.end == u.live_sess.end);
     const bool app_on = t < u.live_sess.end;
     const device::AppStatus status =
@@ -1231,6 +1359,14 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   std::vector<sim::Slot> gap_chain_;
   std::vector<double> eps_chain_{0.0};
   std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
+  /// Fleet-shared arrival-script storage: every script-mode user's events
+  /// live here as the slice [script_begin, script_end) — one allocation for
+  /// the whole fleet instead of one vector per user. Indices (not
+  /// pointers), so growth during setup is safe.
+  std::vector<apps::ScriptedArrivals::Event> script_arena_;
+  /// Lazy stream mode: per-user arrival laws; UserState::stream_params
+  /// points into this (sized once before the user loop, never reallocated).
+  std::vector<apps::ArrivalStreamParams> stream_params_;
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   std::vector<std::uint32_t> hot_ready_;       ///< ready users consulted every slot

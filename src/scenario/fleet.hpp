@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "device/profiles.hpp"
 #include "sim/clock.hpp"
@@ -65,5 +66,73 @@ struct PerUserConfig {
 /// home (the golden parity fingerprints pin the equivalence).
 [[nodiscard]] device::DeviceKind assign_device(
     const std::optional<device::DeviceKind>& pinned, util::Rng& rng) noexcept;
+
+/// Structure-of-arrays fleet storage: one paired value/set-mask column per
+/// override concern, each column either empty (every user inherits the
+/// homogeneous config value) or allocated exactly once at fleet-build time.
+///
+/// A std::vector<PerUserConfig> of 1M users costs ~100 MB of AoS optionals
+/// and churns the allocator per user; the arena stores the same information
+/// in at most 13 flat allocations (column_count() reports how many are
+/// live), independent of fleet size. user(i) reconstitutes the exact
+/// PerUserConfig an AoS fleet would hold — fleet_from(fleet_arena_from(f))
+/// round-trips every fleet (the arena parity tests pin this).
+class FleetArena {
+ public:
+  FleetArena() = default;
+  explicit FleetArena(std::size_t num_users) : num_users_(num_users) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_users_; }
+
+  /// Columns are materialized lazily: the first set_* for a concern
+  /// allocates its column(s) filled with the inherit default; a fleet that
+  /// never overrides a concern never pays for its column.
+  void set_device(std::size_t i, device::DeviceKind kind);
+  void set_arrival_probability(std::size_t i, double probability);
+  void set_diurnal(std::size_t i, bool enabled);
+  void set_diurnal_swing(std::size_t i, double swing);
+  void set_diurnal_peak_hour(std::size_t i, double hour);
+  void set_use_lte(std::size_t i, bool lte);
+  void set_presence(std::size_t i, sim::Slot join, sim::Slot leave);
+
+  /// The AoS view of user i (what the equivalent vector<PerUserConfig>
+  /// would hold at index i).
+  [[nodiscard]] PerUserConfig user(std::size_t i) const;
+
+  /// Number of live (allocated) columns — the arena's total allocation
+  /// count. Bounded by a constant (13) regardless of fleet size; the
+  /// memory-budget property test pins this.
+  [[nodiscard]] std::size_t column_count() const noexcept;
+
+  friend bool operator==(const FleetArena&, const FleetArena&) = default;
+
+ private:
+  std::size_t num_users_ = 0;
+
+  // Paired value/mask columns. Masks are uint8_t (not vector<bool>) so a
+  // column is one contiguous allocation with byte-addressable flags.
+  // Columns without a mask (peak hour, presence window) carry their inherit
+  // default as the fill value instead.
+  std::vector<device::DeviceKind> device_;
+  std::vector<std::uint8_t> device_set_;
+  std::vector<double> arrival_probability_;
+  std::vector<std::uint8_t> arrival_probability_set_;
+  std::vector<std::uint8_t> diurnal_;
+  std::vector<std::uint8_t> diurnal_set_;
+  std::vector<double> diurnal_swing_;
+  std::vector<std::uint8_t> diurnal_swing_set_;
+  std::vector<double> diurnal_peak_hour_;  // empty = all 20.0
+  std::vector<std::uint8_t> use_lte_;
+  std::vector<std::uint8_t> use_lte_set_;
+  std::vector<sim::Slot> join_slot_;   // empty = all 0
+  std::vector<sim::Slot> leave_slot_;  // empty = all kNeverLeaves
+};
+
+/// Pack an AoS fleet into the arena form (test/interop helper).
+[[nodiscard]] FleetArena fleet_arena_from(
+    const std::vector<PerUserConfig>& fleet);
+
+/// Expand an arena back to the AoS form (serialization and legacy paths).
+[[nodiscard]] std::vector<PerUserConfig> fleet_from(const FleetArena& arena);
 
 }  // namespace fedco::scenario

@@ -212,6 +212,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   json.member("min_presence", spec.churn.min_presence);
   json.member("max_presence", spec.churn.max_presence);
   json.end_object();
+  json.member("stream_rng", spec.stream_rng);
   json.end_object();
   return json.str();
 }
@@ -241,6 +242,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
           read_network(value, spec.network);
         } else if (key == "churn") {
           read_churn(value, spec.churn);
+        } else if (key == "stream_rng") {
+          spec.stream_rng = read_bool(value, key);
         } else {
           return false;
         }

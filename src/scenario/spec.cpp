@@ -109,9 +109,14 @@ void validate(const ScenarioSpec& spec) {
 
 std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
                                           std::uint64_t seed) {
+  return fleet_from(generate_fleet_arena(spec, seed));
+}
+
+FleetArena generate_fleet_arena(const ScenarioSpec& spec,
+                                std::uint64_t seed) {
   validate(spec);
   const std::size_t n = spec.num_users;
-  std::vector<PerUserConfig> fleet(n);
+  FleetArena fleet{n};
 
   // One forked stream per concern: enabling churn never perturbs device
   // assignment, widening the device mix never re-rolls arrival rates, etc.
@@ -126,16 +131,17 @@ std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
     std::vector<device::DeviceKind> assignment =
         apportion_devices(spec.device_mix, n);
     device_rng.shuffle(assignment);  // decorrelate device from user index
-    for (std::size_t i = 0; i < n; ++i) fleet[i].device = assignment[i];
+    for (std::size_t i = 0; i < n; ++i) fleet.set_device(i, assignment[i]);
   }
 
   switch (spec.arrival.distribution) {
     case ArrivalSpec::Distribution::kFixed:
       break;  // every user inherits the config's homogeneous rate
     case ArrivalSpec::Distribution::kUniform:
-      for (PerUserConfig& user : fleet) {
-        user.arrival_probability = arrival_rng.uniform(
-            spec.arrival.min_probability, spec.arrival.max_probability);
+      for (std::size_t i = 0; i < n; ++i) {
+        fleet.set_arrival_probability(
+            i, arrival_rng.uniform(spec.arrival.min_probability,
+                                   spec.arrival.max_probability));
       }
       break;
     case ArrivalSpec::Distribution::kLogNormal: {
@@ -143,11 +149,11 @@ std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
       // expectation `mean`; clamping to [0, 1] truncates the (rare) tail
       // above a certain-arrival-per-slot rate.
       const double sigma = spec.arrival.sigma;
-      for (PerUserConfig& user : fleet) {
+      for (std::size_t i = 0; i < n; ++i) {
         const double rate = spec.arrival.mean_probability *
                             std::exp(sigma * arrival_rng.normal() -
                                      0.5 * sigma * sigma);
-        user.arrival_probability = std::clamp(rate, 0.0, 1.0);
+        fleet.set_arrival_probability(i, std::clamp(rate, 0.0, 1.0));
       }
       break;
     }
@@ -159,10 +165,10 @@ std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
   if (spec.diurnal.enabled && (spec.diurnal.timezone_spread_hours > 0.0 ||
                                spec.diurnal.peak_hour != 20.0)) {
     const double spread = spec.diurnal.timezone_spread_hours;
-    for (PerUserConfig& user : fleet) {
+    for (std::size_t i = 0; i < n; ++i) {
       const double shift =
           spread > 0.0 ? tz_rng.uniform(-spread / 2.0, spread / 2.0) : 0.0;
-      user.diurnal_peak_hour = wrap_hour(spec.diurnal.peak_hour + shift);
+      fleet.set_diurnal_peak_hour(i, wrap_hour(spec.diurnal.peak_hour + shift));
     }
   }
 
@@ -179,7 +185,7 @@ std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
     net_rng.shuffle(order);
     // A non-zero fraction pins every user's tier explicitly, so the result
     // is independent of the base config's use_lte.
-    for (std::size_t i = 0; i < n; ++i) fleet[order[i]].use_lte = on_lte[i];
+    for (std::size_t i = 0; i < n; ++i) fleet.set_use_lte(order[i], on_lte[i]);
   }
 
   if (spec.churn.churn_fraction > 0.0) {
@@ -189,16 +195,15 @@ std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
     std::iota(order.begin(), order.end(), 0);
     churn_rng.shuffle(order);
     for (std::size_t k = 0; k < std::min(churners, n); ++k) {
-      PerUserConfig& user = fleet[order[k]];
       const double presence = churn_rng.uniform(spec.churn.min_presence,
                                                 spec.churn.max_presence);
       const auto length = std::max<sim::Slot>(
           1, static_cast<sim::Slot>(std::llround(
                  presence * static_cast<double>(spec.horizon_slots))));
       const sim::Slot latest_join = spec.horizon_slots - length;
-      user.join_slot =
+      const sim::Slot join =
           latest_join > 0 ? churn_rng.uniform_int(0, latest_join) : 0;
-      user.leave_slot = user.join_slot + length;
+      fleet.set_presence(order[k], join, join + length);
     }
   }
 

@@ -98,6 +98,11 @@ struct ScenarioSpec {
   DiurnalSpec diurnal{};
   NetworkSpec network{};
   ChurnSpec churn{};
+  /// Run the experiment with counter-based arrival streams (O(events)
+  /// setup) instead of the legacy pre-generated full-horizon scripts.
+  /// Changes the RNG layout, so results differ from legacy mode; the
+  /// stream-parity goldens pin this mode's trajectories.
+  bool stream_rng = false;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
@@ -107,8 +112,17 @@ void validate(const ScenarioSpec& spec);
 
 /// Expand a spec into one PerUserConfig per user. Deterministic in
 /// (spec, seed); validates the spec first. See the file comment for the
-/// stream-separation contract.
+/// stream-separation contract. Equivalent to
+/// fleet_from(generate_fleet_arena(spec, seed)) — which is the
+/// implementation.
 [[nodiscard]] std::vector<PerUserConfig> generate_fleet(
     const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Expand a spec directly into SoA arena form: the same draws in the same
+/// order as generate_fleet (user i's overrides are bit-identical), but the
+/// storage is O(1) allocations per override concern instead of O(users) —
+/// the fleet-build path for 1M-user scenarios.
+[[nodiscard]] FleetArena generate_fleet_arena(const ScenarioSpec& spec,
+                                              std::uint64_t seed);
 
 }  // namespace fedco::scenario

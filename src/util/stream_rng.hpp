@@ -1,0 +1,122 @@
+// Counter-based ("stateless") pseudo-random streams for on-demand sampling.
+//
+// Rng (xoshiro256**) is fast but inherently sequential: the i-th draw exists
+// only after the previous i-1, and forking per-user children makes every
+// user's stream depend on the order the fleet was constructed in. For the
+// 1M-user setup path we instead need draws that are a pure function of
+// (seed, user, concern, draw index): any consumer can compute draw #k of any
+// stream in O(1), in any order, on any thread, and always gets the same
+// value. This is the counter-based construction of Salmon et al. ("Parallel
+// random numbers: as easy as 1, 2, 3"), instantiated with the splitmix64
+// finalizer already used to seed Rng: output(k) = mix64(key + GAMMA*(k+1)),
+// i.e. exactly the (k+1)-th splitmix64 output from initial state `key`, so
+// a StreamRng and a splitmix64 sequence started at the same key agree
+// bit-for-bit.
+//
+// StreamRng mirrors Rng's helper algorithms (same [0,1) mantissa mapping,
+// same Lemire uniform_int, same bernoulli comparison) so a distribution draw
+// made through either engine from the same raw 64-bit outputs is identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fedco::util {
+
+/// splitmix64's output finalizer on its own (the stateless half of
+/// splitmix64): a bijective 64-bit mixer with full avalanche.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// splitmix64's additive constant (the golden-ratio gamma).
+inline constexpr std::uint64_t kStreamGamma = 0x9E3779B97F4A7C15ULL;
+
+/// Draw `counter` (0-based) of the stream identified by `key`: the
+/// (counter+1)-th splitmix64 output from initial state `key`. Pure function
+/// — O(1) random access into the stream.
+[[nodiscard]] constexpr std::uint64_t stream_u64(std::uint64_t key,
+                                                 std::uint64_t counter) noexcept {
+  return mix64(key + kStreamGamma * (counter + 1));
+}
+
+/// Derive the stream key for one (seed, user, concern) triple. Three
+/// absorb-and-mix rounds keep distinct triples on well-separated keys (each
+/// word lands on an avalanched state before the next is absorbed), so
+/// streams for different users — or different concerns of one user — are
+/// statistically independent.
+[[nodiscard]] constexpr std::uint64_t stream_key(std::uint64_t seed,
+                                                 std::uint64_t user,
+                                                 std::uint64_t concern) noexcept {
+  std::uint64_t k = mix64(seed + kStreamGamma) ^ user;
+  k = mix64(k + kStreamGamma) ^ concern;
+  return mix64(k + kStreamGamma);
+}
+
+/// Counter-based generator over one stream: {key, counter} is the complete
+/// state, so skip-ahead is a counter assignment and two instances at the
+/// same position are indistinguishable regardless of construction history.
+/// Helper methods are bit-compatible with Rng's (same mantissa mapping,
+/// Lemire rejection and bernoulli comparison over the raw 64-bit outputs).
+class StreamRng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr StreamRng() noexcept = default;
+  explicit constexpr StreamRng(std::uint64_t key,
+                               std::uint64_t counter = 0) noexcept
+      : key_(key), counter_(counter) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    return stream_u64(key_, counter_++);
+  }
+
+  /// Uniform double in [0, 1); same mapping as Rng::uniform.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); Lemire rejection, bit-identical to
+  /// Rng::uniform_int over the same raw outputs. Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// O(1) skip-ahead: after skip(n) the next draw is what the (n+1)-th
+  /// sequential draw would have been.
+  constexpr void skip(std::uint64_t n) noexcept { counter_ += n; }
+
+  [[nodiscard]] constexpr std::uint64_t key() const noexcept { return key_; }
+  [[nodiscard]] constexpr std::uint64_t counter() const noexcept {
+    return counter_;
+  }
+  constexpr void set_counter(std::uint64_t counter) noexcept {
+    counter_ = counter;
+  }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace fedco::util

@@ -5,6 +5,11 @@
 #      scheme's adaptive-grid tagging) is reported as SKIP — a grid change
 #      is not a regression — even when its throughput cratered.
 #   4. Rows present on only one side degrade to SKIP/NEW notices.
+#   5. A fleet whose "rng" tag flipped (legacy <-> stream, the PR 6
+#      counter-based arrival streams) SKIPs both its timing and RSS rows:
+#      different RNG layouts sample different arrivals.
+#   6. A fleet whose process_peak_rss_mib grew beyond --max-rss-growth-pct
+#      exits 1 with a FAIL row; growth inside the tolerance stays OK.
 # Invoked as: cmake -DBENCH_CHECK=<binary> -P bench_check_test.cmake
 
 if(NOT DEFINED BENCH_CHECK)
@@ -99,6 +104,73 @@ if(NOT grow_rc EQUAL 0)
 endif()
 if(NOT grow_out MATCHES "SKIP" OR NOT grow_out MATCHES "NEW")
   message(FATAL_ERROR "grid growth printed no SKIP/NEW notices:\n${grow_out}")
+endif()
+
+# 5. The baseline fleet re-measured under the stream RNG layout must SKIP
+#    every row of that fleet (timing and RSS), even with cratered numbers.
+#    A second untagged fleet keeps the comparison non-empty -> exit 0.
+file(WRITE ${work_dir}/rng_base.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"rng\":\"legacy\",\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0}\
+]},\
+{\"num_users\":200,\"horizon_slots\":600,\"rng\":\"legacy\",\"wall_seconds\":1.0,\"process_peak_rss_mib\":12.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":900.0,\"user_slots_per_sec\":180000.0,\"updates\":5,\"energy_kj\":1.0}\
+]}]}\n")
+file(WRITE ${work_dir}/rng_flipped.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"rng\":\"stream\",\"wall_seconds\":9.0,\"process_peak_rss_mib\":90.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":5.0,\"slots_per_sec\":100.0,\"user_slots_per_sec\":10000.0,\"updates\":5,\"energy_kj\":1.0}\
+]},\
+{\"num_users\":200,\"horizon_slots\":600,\"rng\":\"legacy\",\"wall_seconds\":1.0,\"process_peak_rss_mib\":12.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":900.0,\"user_slots_per_sec\":180000.0,\"updates\":5,\"energy_kj\":1.0}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/rng_base.json
+          --candidate ${work_dir}/rng_flipped.json
+  OUTPUT_VARIABLE rng_out ERROR_VARIABLE rng_err RESULT_VARIABLE rng_rc
+)
+if(NOT rng_rc EQUAL 0)
+  message(FATAL_ERROR "rng-flipped fleet exited ${rng_rc} (want 0 — mode change is not a regression):\n${rng_out}${rng_err}")
+endif()
+if(NOT rng_out MATCHES "SKIP.*rng layout changed")
+  message(FATAL_ERROR "rng-flipped fleet was not SKIPped:\n${rng_out}")
+endif()
+if(rng_out MATCHES "FAIL")
+  message(FATAL_ERROR "rng-flipped fleet FAILed instead of SKIPping:\n${rng_out}")
+endif()
+
+# 6a. Peak RSS grown beyond the default 50% tolerance -> exit 1, FAIL,
+#     even though every timing row is unchanged.
+file(WRITE ${work_dir}/bloated.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":30.0,\"schedulers\":[\
+{\"scheduler\":\"Online\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/bloated.json
+  OUTPUT_VARIABLE rss_out ERROR_VARIABLE rss_err RESULT_VARIABLE rss_rc
+)
+if(NOT rss_rc EQUAL 1)
+  message(FATAL_ERROR "tripled peak RSS exited ${rss_rc} (want 1):\n${rss_out}${rss_err}")
+endif()
+if(NOT rss_out MATCHES "FAIL.*peak RSS")
+  message(FATAL_ERROR "tripled peak RSS printed no FAIL row:\n${rss_out}")
+endif()
+
+# 6b. The same candidate passes when the operator widens the tolerance.
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/baseline.json
+          --candidate ${work_dir}/bloated.json --max-rss-growth-pct 300
+  OUTPUT_VARIABLE wide_out ERROR_VARIABLE wide_err RESULT_VARIABLE wide_rc
+)
+if(NOT wide_rc EQUAL 0)
+  message(FATAL_ERROR "widened RSS tolerance exited ${wide_rc} (want 0):\n${wide_out}${wide_err}")
+endif()
+if(NOT wide_out MATCHES "OK.*peak RSS")
+  message(FATAL_ERROR "widened RSS tolerance printed no OK RSS row:\n${wide_out}")
 endif()
 
 message(STATUS "bench_check behaviour test passed")

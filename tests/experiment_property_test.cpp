@@ -8,6 +8,7 @@
 
 #include "core/experiment.hpp"
 #include "core/result_io.hpp"
+#include "scenario/spec.hpp"
 
 namespace fedco::core {
 namespace {
@@ -104,6 +105,73 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyCase{SchedulerKind::kOnline, 2, 0.05},
         PropertyCase{SchedulerKind::kOnline, 3, 0.0}),
     case_name);
+
+// Memory-budget property for the 1M-user fleet path (docs/performance.md
+// §"The 1M-user fleet"): arena fleet builds must allocate O(1) columns per
+// override concern, never O(users) separate blocks. column_count() reports
+// exactly how many columns are live, so growing the fleet 10x must leave it
+// unchanged — per-user vector growth anywhere in the arena would show up as
+// a size-dependent count. The companion RSS gate lives in tools/bench_check
+// (--max-rss-growth-pct over bench_scale's process_peak_rss_mib).
+TEST(FleetMemoryBudget, ArenaAllocationCountIsConstantInFleetSize) {
+  scenario::ScenarioSpec spec;
+  spec.horizon_slots = 600;
+  spec.device_mix = {{device::DeviceKind::kPixel2, 0.25},
+                     {device::DeviceKind::kNexus6P, 0.25},
+                     {device::DeviceKind::kNexus6, 0.25},
+                     {device::DeviceKind::kHikey970, 0.25}};
+  spec.arrival.distribution = scenario::ArrivalSpec::Distribution::kLogNormal;
+  spec.arrival.mean_probability = 0.002;
+  spec.arrival.sigma = 0.5;
+  spec.diurnal.enabled = true;
+  spec.diurnal.swing = 0.8;
+  spec.diurnal.timezone_spread_hours = 10.0;
+  spec.network.lte_fraction = 0.3;
+  spec.churn.churn_fraction = 0.2;
+  spec.stream_rng = true;
+
+  spec.num_users = 10000;
+  const scenario::FleetArena small = scenario::generate_fleet_arena(spec, 1);
+  spec.num_users = 100000;
+  const scenario::FleetArena large = scenario::generate_fleet_arena(spec, 1);
+
+  // Every concern of this spec is active, yet the arena holds a constant
+  // number of flat columns — the same number at 10k and at 100k users.
+  EXPECT_EQ(small.column_count(), large.column_count());
+  EXPECT_LE(large.column_count(), 13u);
+  EXPECT_EQ(large.size(), 100000u);
+
+  // A concern the spec never overrides must cost zero columns: the default
+  // spec (homogeneous fleet, no churn/diurnal/LTE/mix) allocates nothing.
+  scenario::ScenarioSpec plain;
+  plain.num_users = 100000;
+  plain.horizon_slots = 600;
+  EXPECT_EQ(scenario::generate_fleet_arena(plain, 1).column_count(), 0u);
+}
+
+// Stream mode upholds the same driver invariants as the legacy script path
+// (the parity battery proves lazy == pregenerated; this proves the mode is
+// physically sensible, not just self-consistent).
+TEST(StreamModeInvariants, ConservationHoldsUnderArrivalStreams) {
+  for (const auto kind : {SchedulerKind::kImmediate, SchedulerKind::kSyncSgd,
+                          SchedulerKind::kOffline, SchedulerKind::kOnline}) {
+    ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.num_users = 12;
+    cfg.horizon_slots = 3000;
+    cfg.arrival_probability = 0.005;
+    cfg.seed = 17;
+    cfg.arrival_streams = true;
+    const ExperimentResult r = run_experiment(cfg);
+    const double parts = r.training_j + r.corun_j + r.app_j + r.idle_j +
+                         r.network_j + r.overhead_j;
+    EXPECT_NEAR(r.total_energy_j, parts, 1e-6) << scheduler_name(kind);
+    EXPECT_GT(r.total_updates + r.dropped_updates, 0u) << scheduler_name(kind);
+    EXPECT_GE(r.corun_sessions + r.separate_sessions,
+              r.total_updates + r.dropped_updates)
+        << scheduler_name(kind);
+  }
+}
 
 TEST(ResultJson, FileExportAndOptions) {
   ExperimentConfig cfg;

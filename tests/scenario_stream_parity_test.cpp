@@ -1,0 +1,394 @@
+// Stream-equivalence test battery for the 1M-user arrival-stream mode.
+//
+// The counter-based stream mode (ExperimentConfig::arrival_streams) replaces
+// full-horizon script pre-generation with on-demand per-user cursors; this
+// suite is the proof that the rewrite is safe to ship:
+//
+//   1. Cursor level: lazily iterating a stream is byte-identical to
+//      materializing it up front, from any starting window, and a cursor
+//      re-created mid-stream agrees with one advanced to the same point.
+//   2. Fleet level: generate_fleet_arena's SoA columns reconstitute the
+//      exact AoS fleet generate_fleet returns, and fleet_arena_from /
+//      fleet_from round-trip every fleet.
+//   3. Driver level (the headline goldens): for churn, diurnal-shifted,
+//      LTE-heavy, and per-user-override scenarios under all four schedulers,
+//      a lazy-stream run is bit-identical to a pregenerated-stream run
+//      (pregenerate_streams materializes the very same streams into the
+//      script arena), and an arena-backed config is bit-identical to its
+//      AoS-materialized twin. The fingerprints are additionally pinned as
+//      golden constants so the stream mode's trajectories cannot drift
+//      silently between releases.
+//
+// Like the core_scheduler_parity goldens, the pinned constants are IEEE-754
+// bit patterns from the reference x86-64/libstdc++ toolchain; the A/B
+// equalities (lazy == pregenerated, arena == AoS) must hold on every
+// platform. Re-pin after an intentional stream-layout change with
+//   FEDCO_REGEN_GOLDENS=1 ./scenario_stream_parity_test
+// and paste the printed table (see tests/README.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/arrival_stream.hpp"
+#include "core/config_io.hpp"
+#include "golden_fingerprint.hpp"
+#include "scenario/spec.hpp"
+#include "util/stream_rng.hpp"
+
+namespace fedco::core {
+namespace {
+
+bool regen_mode() {
+  const char* regen = std::getenv("FEDCO_REGEN_GOLDENS");
+  return regen != nullptr && regen[0] != '\0' && regen[0] != '0';
+}
+
+// ---------------------------------------------------------------------------
+// 1. Cursor level: lazy iteration == up-front materialization.
+// ---------------------------------------------------------------------------
+
+std::vector<apps::ScriptedArrivals::Event> drain_lazy(
+    const apps::ArrivalStreamParams& params, std::uint64_t key, sim::Slot from,
+    sim::Slot end) {
+  std::vector<apps::ScriptedArrivals::Event> events;
+  for (apps::ArrivalCursor cur = apps::stream_arrivals_begin(params, key, from, end);
+       cur.at != apps::ArrivalCursor::kNoArrival;
+       apps::stream_arrivals_next(params, cur, end)) {
+    events.push_back({cur.at, cur.app});
+  }
+  return events;
+}
+
+std::vector<apps::ArrivalStreamParams> cursor_param_grid() {
+  apps::ArrivalStreamParams flat;
+  flat.probability = 0.01;
+
+  apps::ArrivalStreamParams diurnal = flat;
+  diurnal.diurnal = true;
+  diurnal.swing = 0.8;
+
+  apps::ArrivalStreamParams shifted = diurnal;
+  shifted.peak_hour = 4.5;
+  shifted.slot_seconds = 30.0;
+
+  apps::ArrivalStreamParams sparse;
+  sparse.probability = 0.0005;
+  sparse.diurnal = true;
+  sparse.swing = 1.0;
+
+  return {flat, diurnal, shifted, sparse};
+}
+
+TEST(StreamCursor, LazyEqualsMaterialized) {
+  constexpr sim::Slot kEnd = 20000;
+  std::size_t param_index = 0;
+  for (const auto& params : cursor_param_grid()) {
+    for (const std::uint64_t user : {0ULL, 1ULL, 77777ULL}) {
+      const std::uint64_t key = util::stream_key(
+          42, user, static_cast<std::uint64_t>(apps::StreamConcern::kArrivals));
+      const auto script = apps::materialize_stream(params, key, 0, kEnd);
+      const auto lazy = drain_lazy(params, key, 0, kEnd);
+      ASSERT_EQ(script.size(), lazy.size())
+          << "params " << param_index << " user " << user;
+      for (std::size_t i = 0; i < script.size(); ++i) {
+        EXPECT_EQ(script[i].at, lazy[i].at);
+        EXPECT_EQ(script[i].app, lazy[i].app);
+      }
+    }
+    ++param_index;
+  }
+}
+
+TEST(StreamCursor, WindowedBeginMatchesFilteredFullStream) {
+  // A cursor opened at `from` must see exactly the full stream's events
+  // restricted to [from, end) — the usage pattern exists independently of
+  // the presence window, like the legacy generate-then-filter path.
+  constexpr sim::Slot kEnd = 20000;
+  const apps::ArrivalStreamParams params = cursor_param_grid()[1];
+  const std::uint64_t key = util::stream_key(
+      7, 3, static_cast<std::uint64_t>(apps::StreamConcern::kArrivals));
+  const auto full = apps::materialize_stream(params, key, 0, kEnd);
+  for (const sim::Slot from : {sim::Slot{1}, sim::Slot{997}, sim::Slot{15000}}) {
+    std::vector<apps::ScriptedArrivals::Event> expected;
+    for (const auto& e : full) {
+      if (e.at >= from) expected.push_back(e);
+    }
+    const auto windowed = drain_lazy(params, key, from, kEnd);
+    ASSERT_EQ(windowed.size(), expected.size()) << "from " << from;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(windowed[i].at, expected[i].at);
+      EXPECT_EQ(windowed[i].app, expected[i].app);
+    }
+  }
+}
+
+TEST(StreamCursor, MidStreamRecreationAgreesWithAdvancedCursor) {
+  constexpr sim::Slot kEnd = 20000;
+  const apps::ArrivalStreamParams params = cursor_param_grid()[2];
+  const std::uint64_t key = util::stream_key(
+      11, 5, static_cast<std::uint64_t>(apps::StreamConcern::kArrivals));
+  apps::ArrivalCursor advanced = apps::stream_arrivals_begin(params, key, 0, kEnd);
+  // Step past a handful of arrivals, then re-create a cursor at the slot the
+  // advanced one currently points to: the remainders must agree event for
+  // event.
+  for (int step = 0; step < 5 &&
+                     advanced.at != apps::ArrivalCursor::kNoArrival;
+       ++step) {
+    apps::stream_arrivals_next(params, advanced, kEnd);
+  }
+  ASSERT_NE(advanced.at, apps::ArrivalCursor::kNoArrival)
+      << "grid param too sparse for the test horizon";
+  const auto rest_from_fresh = drain_lazy(params, key, advanced.at, kEnd);
+  std::vector<apps::ScriptedArrivals::Event> rest_from_advanced;
+  for (; advanced.at != apps::ArrivalCursor::kNoArrival;
+       apps::stream_arrivals_next(params, advanced, kEnd)) {
+    rest_from_advanced.push_back({advanced.at, advanced.app});
+  }
+  ASSERT_EQ(rest_from_fresh.size(), rest_from_advanced.size());
+  for (std::size_t i = 0; i < rest_from_fresh.size(); ++i) {
+    EXPECT_EQ(rest_from_fresh[i].at, rest_from_advanced[i].at);
+    EXPECT_EQ(rest_from_fresh[i].app, rest_from_advanced[i].app);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Fleet level: SoA arena == AoS fleet.
+// ---------------------------------------------------------------------------
+
+scenario::ScenarioSpec full_feature_spec(std::size_t users) {
+  scenario::ScenarioSpec spec;
+  spec.name = "stream-parity";
+  spec.num_users = users;
+  spec.horizon_slots = 2400;
+  spec.device_mix = {{device::DeviceKind::kPixel2, 0.4},
+                     {device::DeviceKind::kNexus6P, 0.25},
+                     {device::DeviceKind::kNexus6, 0.2},
+                     {device::DeviceKind::kHikey970, 0.15}};
+  spec.arrival.distribution = scenario::ArrivalSpec::Distribution::kLogNormal;
+  spec.arrival.mean_probability = 0.004;
+  spec.arrival.sigma = 0.6;
+  spec.diurnal.enabled = true;
+  spec.diurnal.swing = 0.8;
+  spec.diurnal.timezone_spread_hours = 10.0;
+  spec.network.lte_fraction = 0.35;
+  spec.churn.churn_fraction = 0.25;
+  spec.churn.min_presence = 0.3;
+  spec.churn.max_presence = 0.8;
+  spec.stream_rng = true;
+  return spec;
+}
+
+TEST(FleetArenaParity, GenerateFleetEqualsArenaExpansion) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 20260807ULL}) {
+    const auto spec = full_feature_spec(500);
+    const auto aos = scenario::generate_fleet(spec, seed);
+    const auto arena = scenario::generate_fleet_arena(spec, seed);
+    ASSERT_EQ(arena.size(), aos.size());
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      EXPECT_EQ(arena.user(i), aos[i]) << "user " << i << " seed " << seed;
+    }
+    EXPECT_EQ(scenario::fleet_from(arena), aos);
+  }
+}
+
+TEST(FleetArenaParity, ArenaRoundTripsEveryFleet) {
+  const auto aos = scenario::generate_fleet(full_feature_spec(300), 9);
+  const auto packed = scenario::fleet_arena_from(aos);
+  EXPECT_EQ(scenario::fleet_from(packed), aos);
+  EXPECT_EQ(packed, scenario::generate_fleet_arena(full_feature_spec(300), 9));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Driver level: the golden battery.
+// ---------------------------------------------------------------------------
+
+constexpr SchedulerKind kAllSchedulers[] = {
+    SchedulerKind::kImmediate, SchedulerKind::kSyncSgd, SchedulerKind::kOffline,
+    SchedulerKind::kOnline};
+
+ExperimentConfig base_config(SchedulerKind kind) {
+  ExperimentConfig cfg;
+  cfg.scheduler = kind;
+  cfg.seed = 42;
+  cfg.record_interval = 60;
+  return cfg;
+}
+
+/// The four battery scenarios of the issue: churn, diurnal-shifted,
+/// LTE-heavy, and hand-built per-user overrides. The first three expand
+/// ScenarioSpecs with stream_rng = true; the last builds its fleet directly
+/// (covering per-user pins no spec can express).
+ExperimentConfig battery_config(const std::string& name, SchedulerKind kind) {
+  ExperimentConfig base = base_config(kind);
+  if (name == "stream-churn") {
+    scenario::ScenarioSpec spec;
+    spec.num_users = 60;
+    spec.horizon_slots = 2400;
+    spec.arrival.distribution = scenario::ArrivalSpec::Distribution::kLogNormal;
+    spec.arrival.mean_probability = 0.004;
+    spec.arrival.sigma = 0.6;
+    spec.churn.churn_fraction = 0.4;
+    spec.churn.min_presence = 0.25;
+    spec.churn.max_presence = 0.75;
+    spec.stream_rng = true;
+    return apply_scenario(spec, base);
+  }
+  if (name == "stream-diurnal") {
+    scenario::ScenarioSpec spec;
+    spec.num_users = 60;
+    spec.horizon_slots = 2400;
+    spec.arrival.distribution = scenario::ArrivalSpec::Distribution::kUniform;
+    spec.arrival.min_probability = 0.001;
+    spec.arrival.max_probability = 0.008;
+    spec.diurnal.enabled = true;
+    spec.diurnal.swing = 0.9;
+    spec.diurnal.timezone_spread_hours = 14.0;
+    spec.stream_rng = true;
+    return apply_scenario(spec, base);
+  }
+  if (name == "stream-lte") {
+    scenario::ScenarioSpec spec;
+    spec.num_users = 60;
+    spec.horizon_slots = 2400;
+    spec.device_mix = {{device::DeviceKind::kNexus6, 0.5},
+                       {device::DeviceKind::kHikey970, 0.5}};
+    spec.arrival.mean_probability = 0.005;
+    spec.network.lte_fraction = 0.7;
+    spec.stream_rng = true;
+    return apply_scenario(spec, base);
+  }
+  if (name == "stream-overrides") {
+    base.num_users = 40;
+    base.horizon_slots = 2400;
+    base.arrival_probability = 0.003;
+    base.arrival_streams = true;
+    base.per_user.resize(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+      auto& pu = base.per_user[i];
+      if (i % 3 == 0) pu.device = device::DeviceKind::kPixel2;
+      if (i % 4 == 0) pu.arrival_probability = 0.01;
+      if (i % 5 == 0) {
+        pu.diurnal = true;
+        pu.diurnal_swing = 0.6;
+        pu.diurnal_peak_hour = static_cast<double>(i % 24);
+      }
+      if (i % 7 == 0) pu.use_lte = true;
+      if (i % 6 == 0) {
+        pu.join_slot = static_cast<sim::Slot>(40 * i);
+        pu.leave_slot = static_cast<sim::Slot>(40 * i + 900);
+      }
+    }
+    return base;
+  }
+  throw std::logic_error{"unknown battery scenario"};
+}
+
+struct StreamGolden {
+  const char* scenario;
+  SchedulerKind kind;
+  std::uint64_t fingerprint;
+};
+
+// Captured from the initial stream-mode implementation (PR 6) with
+// FEDCO_REGEN_GOLDENS=1; every row is the fingerprint of BOTH the lazy and
+// the pregenerated run (the test asserts they agree before comparing).
+constexpr StreamGolden kStreamGoldens[] = {
+    {"stream-churn", SchedulerKind::kImmediate, 0x14B38C4C2CC976BDULL},
+    {"stream-churn", SchedulerKind::kSyncSgd, 0x97EE79FA3F7016A8ULL},
+    {"stream-churn", SchedulerKind::kOffline, 0xD30BEF1711CFECEEULL},
+    {"stream-churn", SchedulerKind::kOnline, 0xBF46427C5B8E3663ULL},
+    {"stream-diurnal", SchedulerKind::kImmediate, 0xAC5F024A4CB9F004ULL},
+    {"stream-diurnal", SchedulerKind::kSyncSgd, 0x1D8B0AD67F2D9821ULL},
+    {"stream-diurnal", SchedulerKind::kOffline, 0x11F7D8943079F962ULL},
+    {"stream-diurnal", SchedulerKind::kOnline, 0x30B7B990F13E2DFFULL},
+    {"stream-lte", SchedulerKind::kImmediate, 0x7CEA8DD98D6E94D7ULL},
+    {"stream-lte", SchedulerKind::kSyncSgd, 0x8559050F8EA55482ULL},
+    {"stream-lte", SchedulerKind::kOffline, 0x06F2732888983CC2ULL},
+    {"stream-lte", SchedulerKind::kOnline, 0xFEFB40D95464A7EDULL},
+    {"stream-overrides", SchedulerKind::kImmediate, 0x031E1659BA2B43F6ULL},
+    {"stream-overrides", SchedulerKind::kSyncSgd, 0x4D711A0CE625FF89ULL},
+    {"stream-overrides", SchedulerKind::kOffline, 0xD04F0902CE6524FAULL},
+    {"stream-overrides", SchedulerKind::kOnline, 0xB472497E014D0F39ULL},
+};
+
+TEST(StreamParity, LazyStreamsMatchPregeneratedScriptsAndGoldens) {
+  for (const StreamGolden& golden : kStreamGoldens) {
+    ExperimentConfig lazy = battery_config(golden.scenario, golden.kind);
+    ASSERT_TRUE(lazy.arrival_streams) << golden.scenario;
+    lazy.pregenerate_streams = false;
+    ExperimentConfig pregen = lazy;
+    pregen.pregenerate_streams = true;
+
+    const std::uint64_t lazy_fp = testing::fingerprint(run_experiment(lazy));
+    const std::uint64_t pregen_fp =
+        testing::fingerprint(run_experiment(pregen));
+    // The equivalence proof: on-demand consumption is bit-identical to
+    // materializing the same streams up front. Platform-independent.
+    EXPECT_EQ(lazy_fp, pregen_fp)
+        << golden.scenario << " / " << scheduler_name(golden.kind);
+
+    if (regen_mode()) {
+      std::printf("    {\"%s\", SchedulerKind::k%s, 0x%016llXULL},\n",
+                  golden.scenario,
+                  std::string{scheduler_name(golden.kind)} == "Sync-SGD"
+                      ? "SyncSgd"
+                      : scheduler_name(golden.kind),
+                  static_cast<unsigned long long>(lazy_fp));
+      continue;
+    }
+    EXPECT_EQ(lazy_fp, golden.fingerprint)
+        << golden.scenario << " / " << scheduler_name(golden.kind);
+  }
+}
+
+TEST(StreamParity, ArenaConfigMatchesAoSConfig) {
+  // The SoA fleet storage must be observationally invisible: a config
+  // carrying the arena runs bit-identically to the same config carrying the
+  // materialized vector<PerUserConfig>, in both legacy and stream RNG modes.
+  for (const bool stream : {false, true}) {
+    auto spec = full_feature_spec(80);
+    spec.stream_rng = stream;
+    for (const SchedulerKind kind : kAllSchedulers) {
+      const ExperimentConfig aos = apply_scenario(spec, base_config(kind));
+      const ExperimentConfig arena =
+          apply_scenario_arena(spec, base_config(kind));
+      ASSERT_TRUE(arena.fleet != nullptr);
+      ASSERT_TRUE(arena.per_user.empty());
+      EXPECT_EQ(testing::fingerprint(run_experiment(arena)),
+                testing::fingerprint(run_experiment(aos)))
+          << scheduler_name(kind) << (stream ? " stream" : " legacy");
+    }
+  }
+}
+
+TEST(StreamParity, StreamModeIsIndependentOfConstructionOrder) {
+  // Counter-based streams make each user's trajectory a pure function of
+  // (seed, user): shrinking the fleet must not change the users that
+  // remain... is false in general (schedulers couple users), but the
+  // *arrival scripts* must be stable. Check via pregeneration: user 5's
+  // materialized stream in a 10-user fleet equals user 5's in a 1000-user
+  // fleet.
+  apps::ArrivalStreamParams params;
+  params.probability = 0.004;
+  params.diurnal = true;
+  params.swing = 0.8;
+  const std::uint64_t key = util::stream_key(
+      42, 5, static_cast<std::uint64_t>(apps::StreamConcern::kArrivals));
+  // The key depends only on (seed, user, concern) — no fleet size anywhere —
+  // so the same key from two "different fleets" yields identical scripts.
+  const auto a = apps::materialize_stream(params, key, 0, 2400);
+  const auto b = apps::materialize_stream(params, key, 0, 2400);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].app, b[i].app);
+  }
+}
+
+}  // namespace
+}  // namespace fedco::core

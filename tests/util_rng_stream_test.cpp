@@ -1,0 +1,188 @@
+// Counter-based RNG (util/stream_rng.hpp) unit + property tests.
+//
+// StreamRng is the foundation of the 1M-user setup path: every arrival,
+// device pick and runtime draw in stream mode is a pure function of
+// (seed, user, concern, counter). These tests pin the four properties that
+// the stream-equivalence battery builds on:
+//   1. draws are independent of construction order and interleaving,
+//   2. distinct (user, concern) streams are distinct and uncorrelated,
+//   3. O(1) skip-ahead lands exactly where sequential draws would,
+//   4. outputs are platform-independent (fixed-value pins, including the
+//      published splitmix64 reference vector).
+#include "util/stream_rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedco::util {
+namespace {
+
+TEST(StreamU64, MatchesSplitmix64Sequence) {
+  // stream_u64(key, k) is defined as the (k+1)-th splitmix64 output from
+  // initial state `key` — verify against the stateful generator itself.
+  for (const std::uint64_t key : {0ULL, 42ULL, 0x5EEDC0DEULL, ~0ULL}) {
+    std::uint64_t state = key;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_EQ(stream_u64(key, k), splitmix64(state))
+          << "key=" << key << " counter=" << k;
+    }
+  }
+}
+
+TEST(StreamU64, CrossPlatformPins) {
+  // Fixed values so a miscompiled shift/multiply (or an accidental change
+  // to the mixing constants) fails loudly on every platform. The first pin
+  // is the published splitmix64 reference output for seed 0.
+  EXPECT_EQ(stream_u64(0, 0), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(stream_u64(0, 1), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(stream_u64(0x5EEDC0DEULL, 0), 0x7D199C3B678CF977ULL);
+  EXPECT_EQ(stream_u64(0x5EEDC0DEULL, 1000000), 0x459BF3DA752E9E39ULL);
+}
+
+TEST(StreamKey, CrossPlatformPins) {
+  EXPECT_EQ(stream_key(42, 0, 0), 0x6310BF04D8207F46ULL);
+  EXPECT_EQ(stream_key(42, 1, 0), 0x93BE8420BB55B94CULL);
+  EXPECT_EQ(stream_key(42, 0, 2), 0xDDA7119926B6C0A1ULL);
+  EXPECT_EQ(stream_key(1234, 999999, 1), 0xBA5235243585DC8CULL);
+}
+
+TEST(StreamKey, DistinctAcrossUsersConcernsAndSeeds) {
+  // Every (seed, user, concern) triple in a dense block must land on its
+  // own key: a collision would alias two users' usage patterns.
+  std::set<std::uint64_t> keys;
+  std::size_t count = 0;
+  for (const std::uint64_t seed : {1ULL, 42ULL, 1234ULL}) {
+    for (std::uint64_t user = 0; user < 200; ++user) {
+      for (std::uint64_t concern = 0; concern < 3; ++concern) {
+        keys.insert(stream_key(seed, user, concern));
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), count);
+}
+
+TEST(StreamRng, ConstructionOrderIndependence) {
+  // Draws from one stream are identical whether the stream is consumed
+  // alone, interleaved with other streams, or re-created later — the
+  // property per-user fork() chains fundamentally lack.
+  const std::uint64_t key_a = stream_key(7, 3, 0);
+  const std::uint64_t key_b = stream_key(7, 11, 0);
+
+  StreamRng alone{key_a};
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(alone());
+
+  StreamRng a{key_a};
+  StreamRng b{key_b};
+  for (int i = 0; i < 32; ++i) {
+    (void)b();  // interleave foreign draws
+    EXPECT_EQ(a(), expected[static_cast<std::size_t>(i)]) << "draw " << i;
+    (void)b();
+  }
+
+  // A cursor reconstructed mid-stream continues the same sequence.
+  StreamRng resumed{key_a, 16};
+  EXPECT_EQ(resumed(), expected[16]);
+}
+
+TEST(StreamRng, StreamIndependenceBetweenUserConcernPairs) {
+  // Neighbouring streams must not be shifted copies of each other: check
+  // that no 16-draw window of user 4's stream reproduces user 5's prefix,
+  // and that concern streams of one user differ likewise.
+  const auto prefix = [](std::uint64_t key, std::uint64_t from) {
+    StreamRng rng{key, from};
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 16; ++i) out.push_back(rng());
+    return out;
+  };
+  const auto base = prefix(stream_key(42, 5, 0), 0);
+  for (std::uint64_t shift = 0; shift < 64; ++shift) {
+    EXPECT_NE(prefix(stream_key(42, 4, 0), shift), base) << "shift " << shift;
+    EXPECT_NE(prefix(stream_key(42, 5, 1), shift), base) << "shift " << shift;
+  }
+}
+
+TEST(StreamRng, SkipAheadEqualsSequentialDraws) {
+  const std::uint64_t key = stream_key(99, 17, 2);
+  StreamRng sequential{key};
+  std::vector<std::uint64_t> draws;
+  for (int i = 0; i < 1000; ++i) draws.push_back(sequential());
+
+  for (const std::uint64_t n : {0ULL, 1ULL, 63ULL, 500ULL, 999ULL}) {
+    StreamRng skipped{key};
+    skipped.skip(n);
+    EXPECT_EQ(skipped.counter(), n);
+    EXPECT_EQ(skipped(), draws[n]) << "skip(" << n << ")";
+  }
+
+  StreamRng positioned{key};
+  positioned.set_counter(250);
+  EXPECT_EQ(positioned(), draws[250]);
+  EXPECT_EQ(positioned.counter(), 251);
+  EXPECT_EQ(positioned.key(), key);
+}
+
+TEST(StreamRng, HelperAlgorithmsMatchRngBitMappings) {
+  // uniform() must use Rng's exact mantissa mapping and uniform_int Rng's
+  // exact Lemire reduction, so a distribution draw is a function of the raw
+  // 64-bit outputs alone, not of which engine produced them.
+  const std::uint64_t key = stream_key(1, 2, 3);
+  StreamRng raw{key};
+  StreamRng helper{key};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t x = raw();
+    EXPECT_DOUBLE_EQ(helper.uniform(),
+                     static_cast<double>(x >> 11) * 0x1.0p-53);
+  }
+  // For n = 8 (the app-kind draw) Lemire's threshold is 0, so the result is
+  // always the top bits of one draw: uniform_int(8) == (x * 8) >> 64.
+  StreamRng raw8{key};
+  StreamRng helper8{key};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t x = raw8();
+    const auto expected = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(x) * 8u) >> 64);
+    EXPECT_EQ(helper8.uniform_int(8), expected);
+  }
+}
+
+TEST(StreamRng, UniformIntRangeAndInclusiveBounds) {
+  StreamRng rng{stream_key(5, 5, 0)};
+  for (int i = 0; i < 4096; ++i) {
+    EXPECT_LT(rng.uniform_int(std::uint64_t{7}), 7u);
+  }
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 4096; ++i) {
+    const std::int64_t v = rng.uniform_int(std::int64_t{-2}, std::int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StreamRng, UniformMomentsSanity) {
+  // Coarse statistical smoke: the mean of 1e5 uniforms from any stream sits
+  // near 1/2 (binding if the counter were accidentally reused or the mixer
+  // degraded to low entropy).
+  for (const std::uint64_t key :
+       {stream_key(42, 0, 0), stream_key(42, 123456, 2)}) {
+    StreamRng rng{key};
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace fedco::util

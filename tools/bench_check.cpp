@@ -8,10 +8,21 @@
 // planner metadata ("planner" mode or "knapsack_grid" — the offline
 // scheme's adaptive-grid tagging) differs between the documents: a row
 // solved on a different DP grid or planner mode measures different work,
-// so a slowdown there is a grid change, not a regression. CI runs this
-// against the committed smoke baseline on every push (ROADMAP "BENCH
-// trajectory"), so an accidental O(n) regression in the event-driven
-// driver fails loudly instead of rotting silently.
+// so a slowdown there is a grid change, not a regression. The same SKIP
+// logic applies to the fleet-level "rng" tag ("legacy" vs "stream", the
+// PR 6 counter-based arrival streams): different RNG layouts sample
+// different arrival sequences, so a timing delta there is a mode change,
+// not a regression. CI runs this against the committed smoke baseline on
+// every push (ROADMAP "BENCH trajectory"), so an accidental O(n)
+// regression in the event-driven driver fails loudly instead of rotting
+// silently.
+//
+// The gate also watches memory: each fleet row carries the process peak
+// RSS high-water mark after that fleet, and a candidate fleet whose
+// process_peak_rss_mib grows more than --max-rss-growth-pct above the
+// baseline's fails. This is what catches a footprint regression in the
+// 1M-user SoA arenas (an accidental per-user vector re-introduction
+// would triple the row's RSS long before it breaks a timing gate).
 //
 // Baselines are machine-specific: recapture them (bench_scale --smoke
 // --jobs 1) when the reference hardware changes, and compare only serial
@@ -19,6 +30,7 @@
 // contention.
 //
 //   bench_check --baseline PATH --candidate PATH [--max-regression-pct N]
+//               [--max-rss-growth-pct N]
 //
 // Exit code: 0 = within tolerance, 1 = regression, 2 = usage/parse error.
 #include <cstdio>
@@ -44,11 +56,35 @@ struct Row {
   /// different modes/grids are incomparable and SKIP instead of FAIL.
   std::string planner;          ///< "" when absent
   std::int64_t grid = -1;       ///< -1 when absent
+  /// Fleet-level RNG layout tag (since PR 6): "legacy" or "stream",
+  /// "" in pre-tag documents. Mismatched layouts SKIP.
+  std::string rng;
+};
+
+/// One fleet's memory footprint: the process peak RSS high-water mark
+/// recorded after that fleet ran (bench_scale runs the grid smallest
+/// first, so growth here is attributable to the fleet or its
+/// predecessors — either way a footprint regression).
+struct FleetStat {
+  std::uint64_t users = 0;
+  std::int64_t horizon = 0;
+  std::string rng;
+  double peak_rss_mib = 0.0;  ///< 0 when the platform lacks getrusage
+};
+
+struct Doc {
+  std::vector<Row> rows;
+  std::vector<FleetStat> fleets;
 };
 
 std::string row_name(const Row& row) {
   return std::to_string(row.users) + " users x " +
          std::to_string(row.horizon) + " slots / " + row.scheduler;
+}
+
+std::string fleet_name(const FleetStat& fleet) {
+  return std::to_string(fleet.users) + " users x " +
+         std::to_string(fleet.horizon) + " slots / peak RSS";
 }
 
 JsonValue load(const std::string& path) {
@@ -59,7 +95,7 @@ JsonValue load(const std::string& path) {
   return fedco::util::parse_json(text.str());
 }
 
-std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
+Doc rows_of(const JsonValue& doc, const std::string& path) {
   const JsonValue* fleets = doc.find("fleets");
   if (fleets == nullptr || !fleets->is_array()) {
     throw std::runtime_error{"bench_check: " + path + " has no fleets array"};
@@ -71,7 +107,7 @@ std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
                  "concurrent slots/sec include worker contention\n",
                  path.c_str());
   }
-  std::vector<Row> rows;
+  Doc out;
   for (const JsonValue& fleet : fleets->as_array()) {
     const JsonValue* users = fleet.find("num_users");
     const JsonValue* horizon = fleet.find("horizon_slots");
@@ -79,6 +115,16 @@ std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
     if (users == nullptr || horizon == nullptr || schedulers == nullptr) {
       throw std::runtime_error{"bench_check: malformed fleet row in " + path};
     }
+    FleetStat stat;
+    stat.users = static_cast<std::uint64_t>(users->as_number());
+    stat.horizon = static_cast<std::int64_t>(horizon->as_number());
+    if (const JsonValue* rng = fleet.find("rng")) {
+      stat.rng = rng->as_string();
+    }
+    if (const JsonValue* rss = fleet.find("process_peak_rss_mib")) {
+      stat.peak_rss_mib = rss->as_number();
+    }
+    out.fleets.push_back(stat);
     for (const JsonValue& sched : schedulers->as_array()) {
       const JsonValue* name = sched.find("scheduler");
       const JsonValue* slots = sched.find("slots_per_sec");
@@ -87,8 +133,9 @@ std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
                                  path};
       }
       Row row;
-      row.users = static_cast<std::uint64_t>(users->as_number());
-      row.horizon = static_cast<std::int64_t>(horizon->as_number());
+      row.users = stat.users;
+      row.horizon = stat.horizon;
+      row.rng = stat.rng;
       row.scheduler = name->as_string();
       row.slots_per_sec = slots->as_number();
       if (const JsonValue* planner = sched.find("planner")) {
@@ -97,10 +144,10 @@ std::vector<Row> rows_of(const JsonValue& doc, const std::string& path) {
       if (const JsonValue* grid = sched.find("knapsack_grid")) {
         row.grid = static_cast<std::int64_t>(grid->as_number());
       }
-      rows.push_back(std::move(row));
+      out.rows.push_back(std::move(row));
     }
   }
-  return rows;
+  return out;
 }
 
 const Row* match(const std::vector<Row>& rows, const Row& key) {
@@ -108,6 +155,16 @@ const Row* match(const std::vector<Row>& rows, const Row& key) {
     if (row.users == key.users && row.horizon == key.horizon &&
         row.scheduler == key.scheduler) {
       return &row;
+    }
+  }
+  return nullptr;
+}
+
+const FleetStat* match_fleet(const std::vector<FleetStat>& fleets,
+                             const FleetStat& key) {
+  for (const FleetStat& fleet : fleets) {
+    if (fleet.users == key.users && fleet.horizon == key.horizon) {
+      return &fleet;
     }
   }
   return nullptr;
@@ -122,17 +179,19 @@ int main(int argc, char** argv) {
     const std::string candidate_path = args.get("candidate");
     const double max_regression_pct =
         args.get_double("max-regression-pct", 20.0);
+    const double max_rss_growth_pct =
+        args.get_double("max-rss-growth-pct", 50.0);
     if (baseline_path.empty() || candidate_path.empty()) {
       std::fprintf(stderr,
                    "usage: bench_check --baseline PATH --candidate PATH "
-                   "[--max-regression-pct N]\n");
+                   "[--max-regression-pct N] [--max-rss-growth-pct N]\n");
       return 2;
     }
 
-    const std::vector<Row> baseline =
-        rows_of(load(baseline_path), baseline_path);
-    const std::vector<Row> candidate =
-        rows_of(load(candidate_path), candidate_path);
+    const Doc baseline_doc = rows_of(load(baseline_path), baseline_path);
+    const Doc candidate_doc = rows_of(load(candidate_path), candidate_path);
+    const std::vector<Row>& baseline = baseline_doc.rows;
+    const std::vector<Row>& candidate = candidate_doc.rows;
 
     std::size_t compared = 0;
     std::size_t regressions = 0;
@@ -141,6 +200,18 @@ int main(int argc, char** argv) {
       if (cand == nullptr) {
         std::printf("SKIP  %s: not in candidate (grid change?)\n",
                     row_name(base).c_str());
+        continue;
+      }
+      if (cand->rng != base.rng) {
+        // Legacy vs stream RNG layouts sample different arrival
+        // sequences: the row measures different simulated work, so a
+        // timing delta is a mode change, not a regression.
+        std::printf(
+            "SKIP  %s: rng layout changed (baseline %s -> candidate %s) — "
+            "mode change, not a regression\n",
+            row_name(base).c_str(),
+            base.rng.empty() ? "-" : base.rng.c_str(),
+            cand->rng.empty() ? "-" : cand->rng.c_str());
         continue;
       }
       if (cand->planner != base.planner || cand->grid != base.grid) {
@@ -175,6 +246,34 @@ int main(int argc, char** argv) {
                     row_name(cand).c_str());
       }
     }
+    // Memory gate: per-fleet peak-RSS growth. Rows without a measurement
+    // (platforms lacking getrusage report 0) and rng-layout changes SKIP
+    // like the timing rows do.
+    for (const FleetStat& base : baseline_doc.fleets) {
+      if (base.peak_rss_mib <= 0.0) continue;
+      const FleetStat* cand = match_fleet(candidate_doc.fleets, base);
+      if (cand == nullptr || cand->peak_rss_mib <= 0.0) {
+        std::printf("SKIP  %s: no candidate measurement\n",
+                    fleet_name(base).c_str());
+        continue;
+      }
+      if (cand->rng != base.rng) {
+        std::printf("SKIP  %s: rng layout changed (baseline %s -> candidate "
+                    "%s) — mode change, not a regression\n",
+                    fleet_name(base).c_str(),
+                    base.rng.empty() ? "-" : base.rng.c_str(),
+                    cand->rng.empty() ? "-" : cand->rng.c_str());
+        continue;
+      }
+      ++compared;
+      const double growth_pct =
+          (cand->peak_rss_mib / base.peak_rss_mib - 1.0) * 100.0;
+      const bool regressed = growth_pct > max_rss_growth_pct;
+      std::printf("%s  %s: baseline %.1f -> candidate %.1f MiB (%+.1f%%)\n",
+                  regressed ? "FAIL" : "OK  ", fleet_name(base).c_str(),
+                  base.peak_rss_mib, cand->peak_rss_mib, growth_pct);
+      if (regressed) ++regressions;
+    }
     if (compared == 0) {
       std::fprintf(stderr,
                    "bench_check: no comparable rows between %s and %s\n",
@@ -183,12 +282,14 @@ int main(int argc, char** argv) {
     }
     if (regressions > 0) {
       std::fprintf(stderr,
-                   "bench_check: %zu of %zu rows regressed more than %.0f%%\n",
-                   regressions, compared, max_regression_pct);
+                   "bench_check: %zu of %zu rows regressed beyond tolerance "
+                   "(timing -%.0f%%, RSS +%.0f%%)\n",
+                   regressions, compared, max_regression_pct,
+                   max_rss_growth_pct);
       return 1;
     }
-    std::printf("bench_check: %zu rows within %.0f%% of baseline\n", compared,
-                max_regression_pct);
+    std::printf("bench_check: %zu rows within tolerance of baseline\n",
+                compared);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "bench_check: %s\n", error.what());
