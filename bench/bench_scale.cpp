@@ -15,7 +15,7 @@
 //
 //   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
 //               [--schedulers LIST] [--sizes LIST] [--repeat N]
-//               [--legacy-planner]
+//               [--legacy-planner] [--folded-g]
 //
 // Ad-hoc studies (ROADMAP campaign sweeps) can override the grid:
 //   --schedulers online,offline     comma-separated scheme names
@@ -34,6 +34,15 @@
 // fixed-grid plan (the bit-identical PR 4 configuration). The parallel
 // plan's worker pool sizes from FEDCO_JOBS (else all cores), independent
 // of --jobs, which stays the campaign-level worker count.
+//
+// Online rows carry a "g_mode" tag for the same reason: by default each
+// fleet measures the Eq. (15/16) totals both ways — the per-slot fleet
+// sweep ("sweep") and the PR 7 folded closed-form accumulators ("folded",
+// config.folded_gap_accrual) — as two separate rows, and tools/bench_check
+// SKIPs rather than compares rows captured under different G(t) engines
+// (they differ by floating-point associativity, so decision streams can
+// legally diverge). --folded-g drops the sweep rows and measures online
+// fleets in folded mode only (ad-hoc studies).
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -183,6 +192,10 @@ struct SchedulerRow {
   /// bench_check can tell a grid change from a regression.
   const char* planner = nullptr;
   std::uint64_t knapsack_grid = 0;
+  /// Online rows only: the G(t) engine the row was measured under —
+  /// "sweep" (per-slot fleet sweep) or "folded" (closed-form
+  /// accumulators). bench_check SKIPs cross-engine comparisons.
+  const char* g_mode = nullptr;
 };
 
 struct FleetRow {
@@ -200,7 +213,8 @@ struct FleetRow {
 FleetRow run_fleet(const FleetSize& size,
                    const std::vector<core::SchedulerKind>& schedulers,
                    std::uint64_t seed, std::size_t jobs, std::size_t repeat,
-                   bool legacy_planner, bench::CampaignTotals& totals) {
+                   bool legacy_planner, bool folded_g,
+                   bench::CampaignTotals& totals) {
   core::ExperimentConfig base;
   base.seed = seed;
   // Scheduling-only (real_training stays off): the bench measures the
@@ -220,10 +234,25 @@ FleetRow run_fleet(const FleetSize& size,
                          : core::apply_scenario(spec, base);
 
   std::vector<core::ExperimentConfig> configs;
+  std::vector<const char*> g_modes;  // parallel to configs; null off-online
   for (const core::SchedulerKind kind : schedulers) {
     core::ExperimentConfig config = base;
     config.scheduler = kind;
-    configs.push_back(std::move(config));
+    if (kind == core::SchedulerKind::kOnline) {
+      // Measure the online row under both G(t) engines (sweep + folded)
+      // by default; --folded-g keeps only the folded measurement.
+      if (!folded_g) {
+        core::ExperimentConfig sweep = config;
+        configs.push_back(std::move(sweep));
+        g_modes.push_back("sweep");
+      }
+      config.folded_gap_accrual = true;
+      configs.push_back(std::move(config));
+      g_modes.push_back("folded");
+    } else {
+      configs.push_back(std::move(config));
+      g_modes.push_back(nullptr);
+    }
   }
   core::CampaignReport report = core::run_campaign(configs, jobs);
   totals.add(report);
@@ -260,6 +289,7 @@ FleetRow run_fleet(const FleetSize& size,
       sched.knapsack_grid = static_cast<std::uint64_t>(
           core::effective_grid(core::make_planner_config(configs[k])));
     }
+    sched.g_mode = g_modes[k];
     row.schedulers.push_back(sched);
   }
   return row;
@@ -272,7 +302,11 @@ void print_fleet(const FleetRow& row) {
   table.set_header({"scheduler", "wall (s)", "slots/s", "user-slots/s",
                     "updates", "energy (kJ)"});
   for (const SchedulerRow& sched : row.schedulers) {
-    table.add_row({sched.scheduler, util::TextTable::num(sched.seconds, 3),
+    const std::string name =
+        sched.g_mode == nullptr
+            ? std::string{sched.scheduler}
+            : std::string{sched.scheduler} + " (" + sched.g_mode + ")";
+    table.add_row({name, util::TextTable::num(sched.seconds, 3),
                    util::TextTable::num(sched.slots_per_sec, 0),
                    util::TextTable::num(sched.user_slots_per_sec, 0),
                    std::to_string(sched.updates),
@@ -316,6 +350,9 @@ void write_json(const std::string& path, bool smoke, std::size_t jobs,
         json.member("planner", sched.planner);
         json.member("knapsack_grid", sched.knapsack_grid);
       }
+      if (sched.g_mode != nullptr) {
+        json.member("g_mode", sched.g_mode);
+      }
       json.end_object();
     }
     json.end_array();
@@ -340,6 +377,7 @@ int main(int argc, char** argv) {
     const auto repeat =
         static_cast<std::size_t>(std::max<std::int64_t>(args.get_int("repeat", 1), 1));
     const bool legacy_planner = args.get_bool("legacy-planner", false);
+    const bool folded_g = args.get_bool("folded-g", false);
 
     // The smoke grid is small enough for CI's every-push run (time-capped
     // by the workflow) but each row is sized to take tens of milliseconds:
@@ -373,7 +411,7 @@ int main(int argc, char** argv) {
     std::vector<FleetRow> rows;
     for (const FleetSize& size : sizes) {
       rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat,
-                               legacy_planner, totals));
+                               legacy_planner, folded_g, totals));
       print_fleet(rows.back());
     }
     bench::log_campaign(totals);

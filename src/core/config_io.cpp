@@ -287,6 +287,7 @@ void write_config_members(util::JsonWriter& json,
   json.member("offline_parallel_plan", config.offline_parallel_plan);
   json.member("offline_adaptive_grid", config.offline_adaptive_grid);
   json.member("online_batch_decide", config.online_batch_decide);
+  json.member("folded_gap_accrual", config.folded_gap_accrual);
   json.member("eta", config.eta);
   json.member("beta", config.beta);
   json.member("real_training", config.real_training);
@@ -437,6 +438,8 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.offline_adaptive_grid = read_bool(value, key);
         } else if (key == "online_batch_decide") {
           config.online_batch_decide = read_bool(value, key);
+        } else if (key == "folded_gap_accrual") {
+          config.folded_gap_accrual = read_bool(value, key);
         } else if (key == "eta") {
           config.eta = read_double(value, key);
         } else if (key == "beta") {

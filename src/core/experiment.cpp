@@ -6,11 +6,11 @@
 #include <cmath>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 
 #include "apps/arrival.hpp"
 #include "apps/arrival_stream.hpp"
+#include "core/gap_accrual.hpp"
 #include "core/scheduler.hpp"
 #include "data/partition.hpp"
 #include "device/power_model.hpp"
@@ -53,6 +53,16 @@ enum class Phase { kReady, kTraining, kBarrier, kTransferring };
 /// absent users neither accrue nor contribute to G(t), training users
 /// contribute their (frozen) gap, everyone else accrues epsilon first.
 enum GapMode : unsigned char { kGapAbsent = 0, kGapTraining = 1, kGapAccrue = 2 };
+
+/// Per-user gap bookkeeping, packed into one flags byte: the Eq. 12 mode in
+/// the low bits plus the lazy-accrual purity bit (an impure base — a dropped
+/// upload left a non-zero gap accruing — replays slot by slot instead of
+/// reading the shared epsilon-chain table). Packing the purity bit here
+/// frees gap_chain_ from its historical -1 sentinel, so chains fit int32.
+enum GapFlags : unsigned char {
+  kGapModeMask = 0x03,
+  kGapImpure = 0x04,
+};
 
 /// One independent reader over a user's arrival sequence. The driver runs
 /// three per user (live session, replay session, scheduler oracle), each at
@@ -222,6 +232,12 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     if (cfg.horizon_slots <= 0) {
       throw std::invalid_argument{"run_experiment: empty horizon"};
     }
+    if (cfg.horizon_slots > std::numeric_limits<std::int32_t>::max()) {
+      // The per-user gap-chain lengths and folded-accrual anchors are int32
+      // columns (they are bounded by the horizon); a 2^31-slot horizon is
+      // 68 years of 1 s slots, far past any meaningful run.
+      throw std::invalid_argument{"run_experiment: horizon exceeds 2^31 slots"};
+    }
     if (cfg.record_interval <= 0) {
       throw std::invalid_argument{
           "run_experiment: record_interval must be positive"};
@@ -250,14 +266,20 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     }
     model_bytes_ = cfg.model_bytes;
     scheduler_ = make_scheduler(cfg_);
-    // Per-slot fleet sweeps only run for strategies that consume exact
-    // per-slot totals (the Lyapunov queue updates); everything else reads
-    // lazily-materialized state through the context accessors.
-    sweep_gaps_ = scheduler_->needs_slot_totals();
+    // Gap-accounting mode. Default: strategies consuming exact per-slot
+    // totals (the Lyapunov queue updates) pay the per-slot fleet sweep;
+    // everything else accrues lazily on the shared epsilon chain. Folded
+    // mode (config.folded_gap_accrual) replaces both with the closed-form
+    // accumulator engine: G(t) in O(1), per-user reads evaluated on demand.
+    needs_totals_ = scheduler_->needs_slot_totals();
+    folded_ = cfg_.folded_gap_accrual;
+    sweep_gaps_ = needs_totals_ && !folded_;
+    chain_mode_ = !needs_totals_ && !folded_;
     charges_overhead_ = scheduler_->charges_decision_overhead();
     // The battery gate is evaluated (and counted) per ready user per slot,
     // so when it can fire, ready users cannot be parked.
     gate_ready_hot_ = cfg_.track_battery && cfg_.min_soc_to_train > 0.0;
+    event_buckets_.resize(static_cast<std::size_t>(cfg_.horizon_slots));
     setup_training();
     setup_lag_index();
     setup_users();
@@ -308,27 +330,34 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   }
 
   [[nodiscard]] std::optional<device::AppKind> user_app(
-      std::size_t user) const override {
+      std::size_t user) override {
     // Materialize this user's live session through the current slot (the
     // eager driver ticked every session before any read at slot t). The
     // replay machine is untouched, so lazy accrual stays exact.
-    Driver* self = const_cast<Driver*>(this);
-    UserState& u = self->users_[user];
-    self->advance_live(u, cur_);
+    UserState& u = users_[user];
+    advance_live(u, cur_);
     return cur_ < u.live_sess.end ? std::optional{u.live_sess.app}
                                   : std::nullopt;
   }
 
-  [[nodiscard]] double user_gap(std::size_t user) const override {
+  [[nodiscard]] double user_gap(std::size_t user) override {
     // Gap state as of the end of slot t-1, exactly what the eager loop's
-    // decide/replan phase observed.
-    if (!sweep_gaps_) const_cast<Driver*>(this)->catch_up(user, cur_ - 1);
+    // decide/replan phase observed. Both lazy paths materialize into the
+    // gap column on read — which is why this accessor is non-const.
+    if (folded_) {
+      if ((gap_flags_[user] & kGapModeMask) == kGapAccrue) {
+        gap_[user] = fold_.eval(user, cur_ - 1);
+      }
+      return gap_[user];  // frozen/absent values are pinned in the column
+    }
+    if (!sweep_gaps_) catch_up(user, cur_ - 1);
     return gap_[user];
   }
 
   [[nodiscard]] const double* gap_values() const noexcept override {
-    // Exact only under the per-slot sweep (see the interface comment);
-    // the online scheme — the one batched consumer — runs in sweep mode.
+    // Exact only for per-slot-total strategies (see the interface comment):
+    // the sweep keeps every row fresh; folded mode refreshes the due rows
+    // from the closed form before each decide_batch (decide_ready).
     return gap_.data();
   }
 
@@ -342,6 +371,42 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
                                     device::AppKind app,
                                     sim::Slot t) const override {
     return expected_lag(users_[user], status, app, t);
+  }
+
+  void fill_decide_inputs(const std::uint32_t* users, std::size_t count,
+                          sim::Slot t, unsigned char* app_column,
+                          sim::Slot* end_slot) override {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (k + 8 < count) {
+        // The batch visits users at a stride the hardware prefetcher does
+        // not cover (ascending but sparse); hinting ahead hides the
+        // dominant cache-miss latency of this pass.
+        __builtin_prefetch(&decide_hot_[users[k + 8]]);
+      }
+      const std::uint32_t i = users[k];
+      DecideHot& h = decide_hot_[i];
+      if (t >= h.next_arrival) {
+        // Arrival due: run the real session machine (which re-syncs the
+        // mirror). Slots with no pending arrival — the vast majority —
+        // never touch the multi-line UserState.
+        advance_live(users_[i], t);  // exactly the user_app materialization
+      }
+      const std::size_t column = t < h.sess_end
+                                     ? static_cast<std::size_t>(h.app)
+                                     : device::kAppKinds;
+      app_column[k] = static_cast<unsigned char>(column);
+      end_slot[k] = t + lag_slots_[h.dev_kind][column];
+      if (folded_) {
+        // Due users are ready and present, hence accruing: refresh their
+        // rows from the closed form so gap_values() honours its flat-array
+        // contract for the batched Eq. (21) decide.
+        gap_[i] = fold_.eval(i, t - 1);
+      }
+    }
+  }
+
+  [[nodiscard]] double lag_count_at(sim::Slot end_slot) const override {
+    return cached_lag_count(end_slot, cur_);
   }
 
   [[nodiscard]] std::optional<apps::ScriptedArrivals::Event>
@@ -399,26 +464,26 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   };
 
   struct Event {
-    sim::Slot slot;
     std::uint32_t user;
     EventType type;
   };
 
   /// Same-slot events replay the eager driver's per-user iteration order:
   /// user-major, then join -> phase end -> leave (the order the old loop
-  /// checked them for each user) with wakes last.
-  struct EventAfter {
+  /// checked them for each user) with wakes last. Applied within one
+  /// calendar bucket — the slot is the bucket index.
+  struct EventBefore {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.slot != b.slot) return a.slot > b.slot;
-      if (a.user != b.user) return a.user > b.user;
-      return static_cast<unsigned char>(a.type) >
+      if (a.user != b.user) return a.user < b.user;
+      return static_cast<unsigned char>(a.type) <
              static_cast<unsigned char>(b.type);
     }
   };
 
   void push_event(sim::Slot slot, std::size_t user, EventType type) {
     if (slot >= cfg_.horizon_slots) return;  // the eager loop never got there
-    events_.push(Event{slot, static_cast<std::uint32_t>(user), type});
+    event_buckets_[static_cast<std::size_t>(slot)].push_back(
+        Event{static_cast<std::uint32_t>(user), type});
   }
 
   // ------------------------------------------------------------- setup
@@ -464,9 +529,16 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
 
   void setup_users() {
     users_.resize(cfg_.num_users);
+    decide_hot_.assign(cfg_.num_users, DecideHot{});
     gap_.assign(cfg_.num_users, 0.0);
-    gap_mode_.assign(cfg_.num_users, kGapAccrue);
-    gap_chain_.assign(cfg_.num_users, 0);
+    // Everyone starts absent/pure; the set_mode(i, 0) below performs the
+    // real slot-0 classification (and, in folded mode, the initial
+    // accumulator attach). Chain columns exist only on the lazy path, the
+    // fold columns only in folded mode — the other mode's bookkeeping is
+    // never allocated (the 1M-row footprint lever, docs/performance.md §8).
+    gap_flags_.assign(cfg_.num_users, kGapAbsent);
+    if (chain_mode_) gap_chain_.assign(cfg_.num_users, 0);
+    if (folded_) fold_.init(cfg_.num_users, cfg_.epsilon);
     data::Partition partition;
     if (cfg_.real_training) {
       util::Rng part_rng = master_rng_.fork();
@@ -551,6 +623,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       feed_init(u.replay_sess.feed, u);
       feed_init(u.oracle, u);
       u.live_next_arrival = u.live_sess.feed.at;
+      sync_decide_hot(i);
       u.phase = Phase::kReady;
       u.in_backlog = u.join == 0;
       set_mode(i, 0);
@@ -666,12 +739,19 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     decide_scratch_.clear();
     left_ready_.clear();
 
-    // 1. Events due this slot, popped in the eager loop's per-user order.
-    while (!events_.empty() && events_.top().slot == t) {
-      const Event e = events_.top();
-      events_.pop();
-      dispatch(e, t);
-    }
+    // 1. Events due this slot, drained in the eager loop's per-user order.
+    //    The bucket is sorted once, L1-resident, instead of sifting a
+    //    fleet-sized binary heap per event. Handlers never push for the
+    //    current slot (every phase lasts >= 1 slot; wakes are strictly
+    //    future), so an index loop over the sorted prefix is exhaustive —
+    //    asserted below. The bucket's storage is released after its one and
+    //    only drain.
+    std::vector<Event>& bucket = event_buckets_[static_cast<std::size_t>(t)];
+    const std::size_t due_events = bucket.size();
+    std::sort(bucket.begin(), bucket.end(), EventBefore{});
+    for (std::size_t k = 0; k < due_events; ++k) dispatch(bucket[k], t);
+    assert(bucket.size() == due_events);
+    std::vector<Event>().swap(bucket);
 
     // 2. Strategy slot hook: the sync barrier aggregates here (O(1) via the
     //    barrier/active counters), the offline oracle replans its window.
@@ -685,10 +765,14 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     // 4. Gap accumulation (Eq. 12 idle branch) and queue updates. Only
     //    strategies consuming exact per-slot totals pay the fleet sweep;
     //    otherwise gaps accrue lazily and G(t) is materialized at record
-    //    slots. (Energy accrues lazily in both modes — see catch_up.)
+    //    slots. Folded mode answers G(t) from the closed-form accumulators
+    //    in O(1) on either path. (Energy accrues lazily in every mode —
+    //    see catch_up.)
     double sum_gaps = 0.0;
     const bool record = t % cfg_.record_interval == 0;
-    if (sweep_gaps_) {
+    if (folded_) {
+      if (needs_totals_ || record) sum_gaps = fold_.sum(t);
+    } else if (sweep_gaps_) {
       sum_gaps = sweep_gap_slot();
     } else if (record) {
       sum_gaps = materialize_gap_sum(t);
@@ -706,6 +790,11 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       result_.traces.record("G", now_s, sum_gaps);
       if (cfg_.record_per_user_gaps) {
         for (std::size_t i = 0; i < users_.size(); ++i) {
+          // Folded accruing gaps are evaluated on demand; end-of-slot-t
+          // values, matching what the sweep (or materialize) left behind.
+          if (folded_ && (gap_flags_[i] & kGapModeMask) == kGapAccrue) {
+            gap_[i] = fold_.eval(i, t);
+          }
           result_.traces.record("gap_user" + std::to_string(i), now_s,
                                 gap_[i]);
         }
@@ -906,9 +995,54 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
 
   void set_mode(std::size_t i, sim::Slot t) {
     const UserState& u = users_[i];
-    gap_mode_[i] = u.phase == Phase::kTraining
-                       ? kGapTraining
-                       : (present(u, t) ? kGapAccrue : kGapAbsent);
+    const unsigned char mode =
+        u.phase == Phase::kTraining
+            ? kGapTraining
+            : (present(u, t) ? kGapAccrue : kGapAbsent);
+    if (folded_) fold_retag(i, t, mode);
+    gap_flags_[i] =
+        static_cast<unsigned char>((gap_flags_[i] & ~kGapModeMask) | mode);
+  }
+
+  /// Folded mode: move user i between Eq. 12 accumulator classes at slot t
+  /// — the only place the G(t) accumulators are touched, which is what
+  /// makes the folded slot O(transitions). The caller has already written
+  /// the transition's gap value into gap_[i] (the frozen gradient gap
+  /// before a training freeze, 0.0 after an applied update); accrue
+  /// attachments start their closed form from it.
+  void fold_retag(std::size_t i, sim::Slot t, unsigned char mode) {
+    const unsigned char old =
+        static_cast<unsigned char>(gap_flags_[i] & kGapModeMask);
+    if (old == mode) return;
+    if (old == kGapAccrue) {
+      if (mode == kGapAbsent) {
+        // Pin the departing user's final value: absent rows are read
+        // straight from the column (user_gap, per-user traces).
+        gap_[i] = fold_.eval(i, t - 1);
+      }
+      fold_.detach_accrue(i);
+    } else if (old == kGapTraining) {
+      fold_.detach_frozen(i);
+    }
+    if (mode == kGapAccrue) {
+      fold_.attach_accrue(i, gap_[i], t);
+    } else if (mode == kGapTraining) {
+      fold_.attach_frozen(i, gap_[i]);
+    }
+  }
+
+  /// Reset a user's lazy-chain bookkeeping after its gap column was
+  /// rewritten: pure (a zero reset rejoins the shared epsilon chain) or
+  /// impure (a non-zero base must replay slot by slot). No-op outside
+  /// chain mode — the sweep and folded paths keep no chains.
+  void reset_chain(std::size_t i, bool pure) {
+    if (!chain_mode_) return;
+    if (pure) {
+      gap_chain_[i] = 0;
+      gap_flags_[i] = static_cast<unsigned char>(gap_flags_[i] & ~kGapImpure);
+    } else {
+      gap_flags_[i] = static_cast<unsigned char>(gap_flags_[i] | kGapImpure);
+    }
   }
 
   /// Reconcile the user's membership in active_present_ (present users not
@@ -936,6 +1070,17 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     if (t < u.live_next_arrival) return;
     advance_session(u.live_sess, u, t);
     u.live_next_arrival = u.live_sess.feed.at;
+    sync_decide_hot(static_cast<std::size_t>(&u - users_.data()));
+  }
+
+  /// Re-copy user i's live-session snapshot into the decide-hot mirror.
+  void sync_decide_hot(std::size_t i) {
+    const UserState& u = users_[i];
+    DecideHot& h = decide_hot_[i];
+    h.next_arrival = u.live_next_arrival;
+    h.sess_end = u.live_sess.end;
+    h.app = static_cast<unsigned char>(u.live_sess.app);
+    h.dev_kind = static_cast<unsigned char>(u.dev_kind);
   }
 
   /// Advance one of the user's foreground-session machines through slot
@@ -964,23 +1109,26 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   void catch_up(std::size_t index, sim::Slot upto) {
     UserState& u = users_[index];
     if (u.synced >= upto) return;
-    const unsigned char mode = gap_mode_[index];
+    const unsigned char flags = gap_flags_[index];
+    const unsigned char mode =
+        static_cast<unsigned char>(flags & kGapModeMask);
     if (mode == kGapAbsent) {
       u.synced = upto;  // absent users burn nothing and never tick
       return;
     }
-    if (!sweep_gaps_ && mode == kGapAccrue) {
+    if (chain_mode_ && mode == kGapAccrue) {
       const sim::Slot slots = upto - u.synced;
-      if (gap_chain_[index] >= 0) {
+      if ((flags & kGapImpure) == 0) {
         // The gap is a pure epsilon chain from 0.0 (the common case: every
         // update settles the gap to zero) — the continuation of that chain
         // is user-independent, so it is read from the shared prefix table
-        // instead of being re-added slot by slot. Bit-identical: the table
-        // is built by the same sequential additions.
-        gap_chain_[index] += slots;
-        gap_[index] = eps_chain(gap_chain_[index]);
+        // instead of being re-added slot by slot. Bit-identical below the
+        // table's tail threshold: the table is built by the same
+        // sequential additions.
+        gap_chain_[index] += static_cast<std::int32_t>(slots);
+        gap_[index] = eps_chain_.value(gap_chain_[index]);
       } else {
-        // Impure base (a dropped upload left a closed-form gap accruing):
+        // Impure base (a dropped upload left a non-zero gap accruing):
         // replay the additions verbatim.
         double gap = gap_[index];
         for (sim::Slot s = 0; s < slots; ++s) gap += cfg_.epsilon;
@@ -1036,16 +1184,6 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     u.synced = upto;
   }
 
-  /// eps_chain(k) == the value of k sequential `gap += epsilon` additions
-  /// starting from 0.0 — the shared accrual chain every zero-reset gap
-  /// follows. Grown on demand, built by exactly those additions.
-  double eps_chain(sim::Slot k) {
-    while (static_cast<sim::Slot>(eps_chain_.size()) <= k) {
-      eps_chain_.push_back(eps_chain_.back() + cfg_.epsilon);
-    }
-    return eps_chain_[static_cast<std::size_t>(k)];
-  }
-
   /// The per-slot gap sweep (strategies consuming exact slot totals): the
   /// eager loop's Eq. 12 accrual + G(t) summation in user-index order.
   double sweep_gap_slot() {
@@ -1053,7 +1191,8 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     const double epsilon = cfg_.epsilon;
     const std::size_t n = users_.size();
     for (std::size_t i = 0; i < n; ++i) {
-      const unsigned char mode = gap_mode_[i];
+      const unsigned char mode =
+          static_cast<unsigned char>(gap_flags_[i] & kGapModeMask);
       if (mode == kGapAbsent) continue;
       if (mode == kGapAccrue) gap_[i] += epsilon;
       sum += gap_[i];
@@ -1066,7 +1205,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   double materialize_gap_sum(sim::Slot t) {
     double sum = 0.0;
     for (std::size_t i = 0; i < users_.size(); ++i) {
-      if (gap_mode_[i] == kGapAbsent) continue;
+      if ((gap_flags_[i] & kGapModeMask) == kGapAbsent) continue;
       catch_up(i, t);
       sum += gap_[i];
     }
@@ -1090,11 +1229,15 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
                   [status == device::AppStatus::kApp
                        ? static_cast<std::size_t>(app)
                        : device::kAppKinds];
-    const sim::Slot end = t + slots;
-    // Within one slot the fleet asks for only a handful of distinct end
-    // slots (device kinds x co-run contexts), so the Fenwick prefix count
-    // is memoized until the next index mutation. The memo returns the
-    // stored integer — bit-identical by construction.
+    return cached_lag_count(t + slots, t);
+  }
+
+  /// Memoized Fenwick prefix count behind expected_lag/lag_count_at: within
+  /// one slot the fleet asks for only a handful of distinct end slots
+  /// (device kinds x co-run contexts), so counts are cached until the next
+  /// index mutation. The memo returns the stored integer — bit-identical by
+  /// construction.
+  [[nodiscard]] double cached_lag_count(sim::Slot end, sim::Slot t) const {
     if (lag_cache_slot_ != t || lag_cache_version_ != lag_index_version_) {
       lag_cache_slot_ = t;
       lag_cache_version_ = lag_index_version_;
@@ -1150,6 +1293,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       const sim::Slot needed = clock_.slots_for_seconds(duration);
       if (needed > u.live_sess.end - t) u.live_sess.end = t + needed;
       u.replay_sess.end = u.live_sess.end;
+      decide_hot_[index].sess_end = u.live_sess.end;
       ++result_.corun_sessions;
     } else {
       ++result_.separate_sessions;
@@ -1157,7 +1301,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     gap_[index] = fl::gradient_gap(
         cfg_.eta, cfg_.beta, expected_lag(u, status, u.train_app, t),
         momentum_norm());
-    gap_chain_[index] = gap_[index] == 0.0 ? 0 : -1;
+    reset_chain(index, gap_[index] == 0.0);
     u.phase = Phase::kTraining;
     u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(duration), 1);
     if (cfg_.real_training) {
@@ -1242,7 +1386,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       record_update(index, now_s, lag, gap);
     }
     gap_[index] = 0.0;
-    gap_chain_[index] = 0;
+    reset_chain(index, true);
     scheduler_->on_update_applied(index, t);
     begin_transfer(index, t);
   }
@@ -1250,7 +1394,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   void park_at_barrier(std::size_t index, sim::Slot t) {
     UserState& u = users_[index];
     gap_[index] = 0.0;
-    gap_chain_[index] = 0;
+    reset_chain(index, true);
     scheduler_->on_update_applied(index, t);
     u.phase = Phase::kBarrier;
     ++barrier_count_;
@@ -1264,7 +1408,12 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     lag_sum_ += static_cast<double>(lag);
     gap_sum_ += gap;
     result_.lag_gap_samples.push_back({now_s, lag, gap, user});
-    result_.traces.record("server_gap", now_s, gap);
+    // Recorded once per applied update — hot on big fleets, so the series
+    // lookup is resolved once (map nodes are stable across insertions).
+    if (server_gap_series_ == nullptr) {
+      server_gap_series_ = &result_.traces.series("server_gap");
+    }
+    server_gap_series_->add(now_s, gap);
   }
 
   void begin_transfer(std::size_t index, sim::Slot t) {
@@ -1349,15 +1498,37 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   std::size_t model_bytes_ = 2'500'000;
 
   std::vector<UserState> users_;
+  /// Packed mirror of the four UserState fields the batched decide prefill
+  /// reads for every due user on every evaluation slot. UserState spans
+  /// several cache lines; this 24-byte column turns the common no-arrival
+  /// read into a single-line touch. Kept coherent at the three places the
+  /// source fields move: setup_users, advance_live, and the co-run session
+  /// extension in start_training.
+  struct DecideHot {
+    sim::Slot next_arrival = std::numeric_limits<sim::Slot>::max();
+    sim::Slot sess_end = 0;
+    unsigned char app = 0;
+    unsigned char dev_kind = 0;
+  };
+  std::vector<DecideHot> decide_hot_;
   /// Per-user gap values g_i (Eq. 12) and their per-slot classification —
   /// flat arrays so the sweep walks them cache-linearly.
   std::vector<double> gap_;
-  std::vector<unsigned char> gap_mode_;
-  /// gap_[i] == eps_chain(gap_chain_[i]) when >= 0 (pure chain from a zero
-  /// reset); -1 = impure base, accrual replays slot by slot. Only
-  /// meaningful on the lazy path (!sweep_gaps_).
-  std::vector<sim::Slot> gap_chain_;
-  std::vector<double> eps_chain_{0.0};
+  /// Packed GapFlags byte per user: the Eq. 12 mode in the low bits, the
+  /// lazy purity bit above them.
+  std::vector<unsigned char> gap_flags_;
+  /// Chain mode only (left unallocated otherwise): gap_[i] ==
+  /// eps_chain_.value(gap_chain_[i]) while kGapImpure is clear (pure chain
+  /// from a zero reset); impure bases replay slot by slot and ignore this
+  /// column. int32: chain lengths are bounded by the horizon, which the
+  /// ctor guards below 2^31.
+  std::vector<std::int32_t> gap_chain_;
+  /// Shared prefix table of the pure epsilon chain (chain-mode reads;
+  /// bounded — see EpsChainTable).
+  EpsChainTable eps_chain_{cfg_.epsilon};
+  /// Folded-accrual engine: closed-form per-user gaps and the O(1) G(t)
+  /// accumulators (folded mode only; empty otherwise).
+  FoldedGapAccrual fold_;
   std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
   /// Fleet-shared arrival-script storage: every script-mode user's events
   /// live here as the slice [script_begin, script_end) — one allocation for
@@ -1368,7 +1539,9 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   /// points into this (sized once before the user loop, never reallocated).
   std::vector<apps::ArrivalStreamParams> stream_params_;
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  /// Calendar event queue: one bucket per slot (push_event drops slots past
+  /// the horizon, so the index is always in range). See the step() drain.
+  std::vector<std::vector<Event>> event_buckets_;
   std::vector<std::uint32_t> hot_ready_;       ///< ready users consulted every slot
   std::vector<std::uint32_t> next_hot_;        ///< scratch for the rebuild
   std::vector<std::uint32_t> decide_scratch_;  ///< became ready/woke this slot
@@ -1376,6 +1549,11 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   std::vector<std::uint32_t> left_ready_;      ///< ready users that left this slot
   std::size_t barrier_count_ = 0;    ///< users parked at the sync barrier
   std::size_t active_present_ = 0;   ///< present users not at the barrier
+  // Gap-accounting mode flags, resolved once in the ctor (see the comment
+  // there): exactly one of sweep_gaps_ / chain_mode_ / folded_ is active.
+  bool needs_totals_ = false;  ///< scheduler consumes exact per-slot G(t)
+  bool folded_ = false;        ///< cfg.folded_gap_accrual
+  bool chain_mode_ = false;    ///< lazy epsilon-chain accrual
   bool sweep_gaps_ = true;
   bool charges_overhead_ = false;
   bool gate_ready_hot_ = false;
@@ -1392,6 +1570,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   util::RunningStats queue_q_stats_;
   util::RunningStats queue_h_stats_;
   ExperimentResult result_;
+  util::TimeSeries* server_gap_series_ = nullptr;  ///< see record_update
 };
 
 }  // namespace

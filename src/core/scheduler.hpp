@@ -75,16 +75,22 @@ class SchedulerContext {
   [[nodiscard]] virtual std::size_t active_present_count() const noexcept = 0;
   [[nodiscard]] virtual const device::DeviceProfile& user_device(
       std::size_t user) const = 0;
-  /// Foreground app currently on screen, if any.
+  /// Foreground app currently on screen, if any. Non-const: the driver
+  /// materializes the user's lazy session machine through the current slot
+  /// on access.
   [[nodiscard]] virtual std::optional<device::AppKind> user_app(
-      std::size_t user) const = 0;
-  /// Accumulated gradient gap g_i (Eq. 12) of the user.
-  [[nodiscard]] virtual double user_gap(std::size_t user) const = 0;
+      std::size_t user) = 0;
+  /// Accumulated gradient gap g_i (Eq. 12) of the user, as of the end of
+  /// the previous slot. Non-const: reading a lazily-accrued (or folded
+  /// closed-form) gap materializes it into the driver's gap column.
+  [[nodiscard]] virtual double user_gap(std::size_t user) = 0;
   /// Flat per-user gap array behind user_gap() — the SoA view batched
   /// decide passes read instead of one virtual call per user. Only exact
-  /// for strategies running the per-slot gap sweep (needs_slot_totals()
-  /// true): lazy-accrual gaps materialize on access, so lazy-mode
-  /// strategies must keep using user_gap().
+  /// for strategies consuming per-slot totals (needs_slot_totals() true):
+  /// the driver keeps their rows fresh, via the per-slot sweep or — in
+  /// folded-accrual mode — by refreshing the due users' rows from the
+  /// closed form before each decide_batch. Lazy-accrual gaps materialize
+  /// on access, so lazy-mode strategies must keep using user_gap().
   [[nodiscard]] virtual const double* gap_values() const noexcept = 0;
   /// Server-side momentum norm ||v_t|| (real or synthetic model).
   [[nodiscard]] virtual double momentum_norm() const = 0;
@@ -99,6 +105,27 @@ class SchedulerContext {
                                             device::AppStatus status,
                                             device::AppKind app,
                                             sim::Slot t) const = 0;
+
+  /// Batched decide-input prefill for a due batch at slot `t` (ascending
+  /// user order — the decide_batch hot path). For each users[k] the driver
+  /// materializes the live session through t (exactly user_app) and writes
+  /// the co-run column — the app kind, or device::kAppKinds for no app —
+  /// into app_column[k], and the end slot of a training session started now
+  /// in that context (t + the user's Table II duration in slots, the
+  /// expected_lag query point) into end_slot[k]. Gap rows behind
+  /// gap_values() are refreshed as by user_gap(). One tight pass over
+  /// driver state instead of two virtual consults per user.
+  virtual void fill_decide_inputs(const std::uint32_t* users,
+                                  std::size_t count, sim::Slot t,
+                                  unsigned char* app_column,
+                                  sim::Slot* end_slot) = 0;
+
+  /// The expected_lag answer for a prefilled end slot: the memoized count
+  /// of in-flight training sessions ending at or before `end_slot`. Must be
+  /// read per user AFTER earlier users' schedule() outcomes were applied —
+  /// the same intra-slot coupling expected_lag documents (a schedule
+  /// invalidates the memo).
+  [[nodiscard]] virtual double lag_count_at(sim::Slot end_slot) const = 0;
 
   /// Offline-oracle service: the user's first scripted app arrival in
   /// [from, until), advancing the oracle cursor past stale entries.
@@ -209,7 +236,10 @@ class Scheduler {
   /// per-slot O(n) gap sweep; strategies that ignore the argument (no
   /// Lyapunov queues) return false, and the driver then accrues gaps
   /// lazily, materializing G(t) only at trace-record slots. When false,
-  /// on_slot_end may receive 0 for sum_gaps between record slots.
+  /// on_slot_end may receive 0 for sum_gaps between record slots. Under
+  /// config.folded_gap_accrual the sweep is replaced by the O(1)
+  /// folded-accrual accumulators (core/gap_accrual.hpp) and G(t) stays
+  /// exact per slot up to floating-point associativity.
   [[nodiscard]] virtual bool needs_slot_totals() const noexcept {
     return true;
   }

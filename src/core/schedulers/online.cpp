@@ -48,17 +48,27 @@ void OnlineLyapunovScheduler::decide_batch(const std::uint32_t* users,
   const double q = online_.queues().q();
   const double h = online_.queues().h();
   const double momentum = momentum_norm_;
-  const double* gaps = ctx.gap_values();  // exact: this scheme sweeps per slot
+  // Fresh for every due user: the per-slot sweep keeps all rows exact, and
+  // folded mode refreshes the due rows from the closed form during the
+  // prefill below.
+  const double* gaps = ctx.gap_values();
+  // One driver pass fills the per-user session column and lag query point;
+  // the decision loop then runs over flat arrays, with the single
+  // remaining per-user consult being the lag count (which must observe
+  // earlier schedules in this very batch — the intra-slot coupling).
+  app_col_.resize(count);
+  end_slot_.resize(count);
+  ctx.fill_decide_inputs(users, count, t, app_col_.data(), end_slot_.data());
   for (std::size_t k = 0; k < count; ++k) {
+    if (k + 8 < count) {
+      // Sparse ascending user indices defeat the hardware prefetcher on
+      // these two per-user columns; hint the next iterations' lines.
+      __builtin_prefetch(&gaps[users[k + 8]]);
+      __builtin_prefetch(&user_power_[users[k + 8]]);
+    }
     const std::uint32_t user = users[k];
-    const auto app = ctx.user_app(user);
-    const std::size_t column =
-        app ? static_cast<std::size_t>(*app) : device::kAppKinds;
-    const device::AppStatus status =
-        app ? device::AppStatus::kApp : device::AppStatus::kNoApp;
-    const double lag = ctx.expected_lag(
-        user, status, app.value_or(device::AppKind::kMap), t);
-    const PowerPair& power = user_power_[user][column];
+    const PowerPair& power = user_power_[user][app_col_[k]];
+    const double lag = ctx.lag_count_at(end_slot_[k]);
     if (online_.decide_batched(power.schedule, power.idle, gaps[user], lag,
                                momentum, q, h) == device::Decision::kSchedule) {
       sink.schedule(user);

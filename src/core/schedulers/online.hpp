@@ -84,7 +84,9 @@ class OnlineLyapunovScheduler final : public Scheduler {
   }
 
   /// The Eq. (15)/(16) queue updates consume exact per-slot A(t), b(t),
-  /// G(t) — the driver must run its per-slot gap sweep.
+  /// G(t) — the driver must run its per-slot gap sweep (or, under
+  /// config.folded_gap_accrual, answer G(t) from the O(1) closed-form
+  /// accumulators; exact up to floating-point associativity).
   [[nodiscard]] bool needs_slot_totals() const noexcept override {
     return true;
   }
@@ -126,6 +128,9 @@ class OnlineLyapunovScheduler final : public Scheduler {
       power_{};
   /// Per-user row of power_ (see on_experiment_begin).
   std::vector<const PowerPair*> user_power_;
+  /// decide_batch scratch, filled by ctx.fill_decide_inputs each batch.
+  std::vector<unsigned char> app_col_;
+  std::vector<sim::Slot> end_slot_;
 };
 
 }  // namespace fedco::core

@@ -12,7 +12,12 @@
 // logic applies to the fleet-level "rng" tag ("legacy" vs "stream", the
 // PR 6 counter-based arrival streams): different RNG layouts sample
 // different arrival sequences, so a timing delta there is a mode change,
-// not a regression. CI runs this against the committed smoke baseline on
+// not a regression. Online rows additionally carry a "g_mode" tag ("sweep"
+// vs "folded", the PR 7 closed-form G(t) accumulators): matching prefers
+// the exact (users, horizon, scheduler, g_mode) row, and pairs whose tags
+// differ SKIP — the engines diverge by floating-point associativity, so
+// cross-engine timings measure different decision streams. CI runs this
+// against the committed smoke baseline on
 // every push (ROADMAP "BENCH trajectory"), so an accidental O(n)
 // regression in the event-driven driver fails loudly instead of rotting
 // silently.
@@ -59,6 +64,11 @@ struct Row {
   /// Fleet-level RNG layout tag (since PR 6): "legacy" or "stream",
   /// "" in pre-tag documents. Mismatched layouts SKIP.
   std::string rng;
+  /// Online rows' G(t) engine tag (since PR 7): "sweep" or "folded",
+  /// "" on non-online rows and pre-tag documents. The engines differ by
+  /// floating-point associativity, so decision streams (and hence work)
+  /// can legally diverge — mismatched engines SKIP.
+  std::string g_mode;
 };
 
 /// One fleet's memory footprint: the process peak RSS high-water mark
@@ -79,7 +89,8 @@ struct Doc {
 
 std::string row_name(const Row& row) {
   return std::to_string(row.users) + " users x " +
-         std::to_string(row.horizon) + " slots / " + row.scheduler;
+         std::to_string(row.horizon) + " slots / " + row.scheduler +
+         (row.g_mode.empty() ? "" : " (" + row.g_mode + ")");
 }
 
 std::string fleet_name(const FleetStat& fleet) {
@@ -144,6 +155,9 @@ Doc rows_of(const JsonValue& doc, const std::string& path) {
       if (const JsonValue* grid = sched.find("knapsack_grid")) {
         row.grid = static_cast<std::int64_t>(grid->as_number());
       }
+      if (const JsonValue* g_mode = sched.find("g_mode")) {
+        row.g_mode = g_mode->as_string();
+      }
       out.rows.push_back(std::move(row));
     }
   }
@@ -151,6 +165,16 @@ Doc rows_of(const JsonValue& doc, const std::string& path) {
 }
 
 const Row* match(const std::vector<Row>& rows, const Row& key) {
+  // Exact match first — since PR 7 a fleet can carry one online row per
+  // G(t) engine, so (users, horizon, scheduler, g_mode) identifies the
+  // row. The tag-blind fallback pairs pre-tag documents with tagged ones;
+  // the caller's g_mode check then reports those pairs as SKIP.
+  for (const Row& row : rows) {
+    if (row.users == key.users && row.horizon == key.horizon &&
+        row.scheduler == key.scheduler && row.g_mode == key.g_mode) {
+      return &row;
+    }
+  }
   for (const Row& row : rows) {
     if (row.users == key.users && row.horizon == key.horizon &&
         row.scheduler == key.scheduler) {
@@ -226,6 +250,19 @@ int main(int argc, char** argv) {
             static_cast<long long>(base.grid),
             cand->planner.empty() ? "-" : cand->planner.c_str(),
             static_cast<long long>(cand->grid));
+        continue;
+      }
+      if (cand->g_mode != base.g_mode) {
+        // Sweep vs folded G(t) engines differ by floating-point
+        // associativity, so their decision streams (and hence per-slot
+        // work) can legally diverge: a timing delta is a mode change,
+        // not a regression.
+        std::printf(
+            "SKIP  %s: G(t) engine changed (baseline %s -> candidate %s) — "
+            "mode change, not a regression\n",
+            row_name(base).c_str(),
+            base.g_mode.empty() ? "-" : base.g_mode.c_str(),
+            cand->g_mode.empty() ? "-" : cand->g_mode.c_str());
         continue;
       }
       ++compared;
