@@ -15,7 +15,7 @@
 //
 //   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
 //               [--schedulers LIST] [--sizes LIST] [--repeat N]
-//               [--legacy-planner] [--folded-g]
+//               [--legacy-planner] [--folded-g] [--events BOOL]
 //
 // Ad-hoc studies (ROADMAP campaign sweeps) can override the grid:
 //   --schedulers online,offline     comma-separated scheme names
@@ -43,8 +43,17 @@
 // (they differ by floating-point associativity, so decision streams can
 // legally diverge). --folded-g drops the sweep rows and measures online
 // fleets in folded mode only (ad-hoc studies).
+//
+// --events (default true) additionally re-measures every scheduler row
+// with the PR 8 JSONL event emitter attached at stride 1 (every slot) and
+// reports it as a separate row tagged "events": true — the emitter's
+// overhead budget (<= 10% slots/s at 100k users, see
+// docs/observability.md) is tracked in these rows. The stream is written
+// to a temp file next to --out and deleted after each measurement.
+// tools/bench_check never compares across the tag.
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -58,7 +67,9 @@
 #include "bench_common.hpp"
 #include "core/config_io.hpp"
 #include "core/offline_planner.hpp"
+#include "obs/jsonl_writer.hpp"
 #include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -196,6 +207,10 @@ struct SchedulerRow {
   /// "sweep" (per-slot fleet sweep) or "folded" (closed-form
   /// accumulators). bench_check SKIPs cross-engine comparisons.
   const char* g_mode = nullptr;
+  /// True on rows re-measured with the JSONL event emitter attached
+  /// (stride 1). Emitted in the JSON only when true, so pre-tag baselines
+  /// stay comparable; bench_check never compares across the tag.
+  bool events = false;
 };
 
 struct FleetRow {
@@ -214,6 +229,7 @@ FleetRow run_fleet(const FleetSize& size,
                    const std::vector<core::SchedulerKind>& schedulers,
                    std::uint64_t seed, std::size_t jobs, std::size_t repeat,
                    bool legacy_planner, bool folded_g,
+                   const std::string& events_tmp_path,
                    bench::CampaignTotals& totals) {
   core::ExperimentConfig base;
   base.seed = seed;
@@ -292,6 +308,41 @@ FleetRow run_fleet(const FleetSize& size,
     sched.g_mode = g_modes[k];
     row.schedulers.push_back(sched);
   }
+
+  // The events-on re-measurement: the same configs, one at a time through
+  // run_experiment with a stride-1 JsonlEventWriter attached, best-of
+  // --repeat. Campaign workers cannot carry hooks (and sharing one sink
+  // across concurrent runs would serialize them anyway), so these rows are
+  // always serial direct runs — comparable to a --jobs 1 campaign, which
+  // is how regression baselines are captured.
+  if (!events_tmp_path.empty()) {
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+      double best_seconds = 0.0;
+      for (std::size_t rep = 0; rep < repeat; ++rep) {
+        obs::JsonlEventWriter writer{events_tmp_path};
+        core::RunHooks hooks;
+        hooks.events = &writer;
+        util::Stopwatch watch;
+        const core::ExperimentResult result =
+            core::run_experiment(configs[k], hooks);
+        const double seconds = watch.elapsed_s();
+        (void)result;
+        if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      }
+      std::remove(events_tmp_path.c_str());
+      SchedulerRow sched = row.schedulers[k];  // copy the tags (planner,
+                                               // grid, g_mode), re-time
+      sched.seconds = best_seconds;
+      sched.slots_per_sec = best_seconds > 0.0
+                                ? static_cast<double>(size.horizon) /
+                                      best_seconds
+                                : 0.0;
+      sched.user_slots_per_sec =
+          sched.slots_per_sec * static_cast<double>(size.users);
+      sched.events = true;
+      row.schedulers.push_back(sched);
+    }
+  }
   return row;
 }
 
@@ -302,10 +353,11 @@ void print_fleet(const FleetRow& row) {
   table.set_header({"scheduler", "wall (s)", "slots/s", "user-slots/s",
                     "updates", "energy (kJ)"});
   for (const SchedulerRow& sched : row.schedulers) {
-    const std::string name =
+    std::string name =
         sched.g_mode == nullptr
             ? std::string{sched.scheduler}
             : std::string{sched.scheduler} + " (" + sched.g_mode + ")";
+    if (sched.events) name += " +events";
     table.add_row({name, util::TextTable::num(sched.seconds, 3),
                    util::TextTable::num(sched.slots_per_sec, 0),
                    util::TextTable::num(sched.user_slots_per_sec, 0),
@@ -353,6 +405,9 @@ void write_json(const std::string& path, bool smoke, std::size_t jobs,
       if (sched.g_mode != nullptr) {
         json.member("g_mode", sched.g_mode);
       }
+      if (sched.events) {
+        json.member("events", true);
+      }
       json.end_object();
     }
     json.end_array();
@@ -378,6 +433,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(std::max<std::int64_t>(args.get_int("repeat", 1), 1));
     const bool legacy_planner = args.get_bool("legacy-planner", false);
     const bool folded_g = args.get_bool("folded-g", false);
+    const bool events = args.get_bool("events", true);
+    const std::string events_tmp_path =
+        events ? out_path + ".events.tmp.jsonl" : std::string{};
 
     // The smoke grid is small enough for CI's every-push run (time-capped
     // by the workflow) but each row is sized to take tens of milliseconds:
@@ -411,7 +469,8 @@ int main(int argc, char** argv) {
     std::vector<FleetRow> rows;
     for (const FleetSize& size : sizes) {
       rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat,
-                               legacy_planner, folded_g, totals));
+                               legacy_planner, folded_g, events_tmp_path,
+                               totals));
       print_fleet(rows.back());
     }
     bench::log_campaign(totals);

@@ -11,12 +11,14 @@
 //   fedco_sim --help
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/campaign.hpp"
 #include "core/config_io.hpp"
 #include "core/experiment.hpp"
 #include "core/result_io.hpp"
+#include "obs/jsonl_writer.hpp"
 #include "scenario/scenario_io.hpp"
 #include "util/args.hpp"
 #include "util/export.hpp"
@@ -102,7 +104,21 @@ Environment:
   --save-result F      archive the complete single run as JSON: full config
                        (with the expanded per-user scenario) plus
                        undecimated traces and per-update lag/gap samples,
-                       re-runnable via --config F
+                       re-runnable via --config F; with --replications R > 1
+                       one archive per replication (F-r<k>.json)
+  --save-summary F     write the run-summary artifact (percentile digests,
+                       decision/park/churn counts, wall-time phase
+                       breakdown) without traces; with --replications R > 1
+                       one document per replication (F-r<k>.json)
+
+Observability:
+  --events F           stream per-slot JSONL events (decisions, updates,
+                       parks/wakes, joins/leaves, barrier stalls, replans)
+                       to F; single run only. The emitter reads values the
+                       driver already computed, so results are bit-identical
+                       with events on or off (see docs/observability.md)
+  --events-sample N    emit events only on slots where t % N == 0
+                       (default 1 = every slot); requires --events
 
 Unknown options are reported to stderr and exit non-zero.
 )";
@@ -221,7 +237,8 @@ core::ExperimentConfig effective_config(const util::ArgParser& args) {
     // O(1) allocations per override concern, the 1M-user path. Both forms
     // run bit-identically (user i's overrides are equal).
     const bool archives = args.has("save-config") ||
-                          args.has("save-result") || args.has("json");
+                          args.has("save-result") ||
+                          args.has("save-summary") || args.has("json");
     cfg = archives ? core::apply_scenario(spec, cfg)
                    : core::apply_scenario_arena(spec, cfg);
   }
@@ -282,9 +299,23 @@ std::string replication_path(const std::string& path, std::size_t k) {
                  : path + suffix;
 }
 
+/// The summary-artifact serialisation: percentile digests, counts and the
+/// wall-time phase breakdown, no traces — small enough to commit as a CI
+/// baseline and diff with tools/metrics_diff.
+core::ResultJsonOptions summary_options() {
+  core::ResultJsonOptions options;
+  options.include_traces = false;
+  options.include_lag_gap_samples = false;
+  options.include_summary = true;
+  options.include_timing = true;
+  return options;
+}
+
 int run_replications(const core::ExperimentConfig& base, std::size_t
                      replications, std::size_t jobs,
-                     const std::string& json_path) {
+                     const std::string& json_path,
+                     const std::string& save_result_path,
+                     const std::string& save_summary_path) {
   const std::vector<core::ExperimentConfig> configs =
       core::replicate(base, replications);
   const core::CampaignReport report = core::run_campaign(configs, jobs);
@@ -326,6 +357,29 @@ int run_replications(const core::ExperimentConfig& base, std::size_t
               << " .. " << replication_path(json_path, replications - 1)
               << '\n';
   }
+  if (!save_result_path.empty()) {
+    core::ResultJsonOptions archive;
+    archive.include_traces = true;
+    archive.trace_decimation = 1;
+    archive.include_lag_gap_samples = true;
+    for (std::size_t k = 0; k < report.results.size(); ++k) {
+      core::write_result_json(replication_path(save_result_path, k),
+                              configs[k], report.results[k], archive);
+    }
+    std::cout << "full results archived to "
+              << replication_path(save_result_path, 0) << " .. "
+              << replication_path(save_result_path, replications - 1) << '\n';
+  }
+  if (!save_summary_path.empty()) {
+    for (std::size_t k = 0; k < report.results.size(); ++k) {
+      core::write_result_json(replication_path(save_summary_path, k),
+                              configs[k], report.results[k],
+                              summary_options());
+    }
+    std::cout << "run summaries written to "
+              << replication_path(save_summary_path, 0) << " .. "
+              << replication_path(save_summary_path, replications - 1) << '\n';
+  }
   return 0;
 }
 
@@ -334,18 +388,27 @@ int run(const util::ArgParser& args) {
   const std::string save_config_path = args.get("save-config");
   const std::string json_path = args.get("json");
   const std::string save_result_path = args.get("save-result");
+  const std::string save_summary_path = args.get("save-summary");
+  const std::string events_path = args.get("events");
   const std::string csv_dir = args.get("csv-dir");
   const std::int64_t replications_raw = args.get_int("replications", 1);
+  const std::int64_t events_sample = args.get_int("events-sample", 1);
   const std::int64_t jobs_raw = args.get_int("jobs", 0);
   if (replications_raw < 1) {
     throw std::invalid_argument{"--replications must be >= 1"};
   }
-  if (!save_result_path.empty() && replications_raw > 1) {
-    // Silently dropping an archive the user asked for would be worse than
-    // the CLI's unknown-flag strictness; campaigns archive via --json.
+  if (events_path.empty() && args.has("events-sample")) {
+    throw std::invalid_argument{"--events-sample requires --events"};
+  }
+  if (!events_path.empty() && events_sample < 1) {
+    throw std::invalid_argument{"--events-sample must be >= 1"};
+  }
+  if (!events_path.empty() && replications_raw > 1) {
+    // Interleaving R replications into one stream would be unreadable and
+    // silently streaming only the first would be worse; one run, one file.
     throw std::invalid_argument{
-        "--save-result archives a single run; with --replications use "
-        "--json (one document per replication)"};
+        "--events streams a single run; drop --replications or run the "
+        "replication of interest with its own seed"};
   }
   if (jobs_raw < 0) {
     throw std::invalid_argument{"--jobs must be >= 0 (0 = auto)"};
@@ -372,10 +435,26 @@ int run(const util::ArgParser& args) {
   }
 
   if (replications > 1) {
-    return run_replications(cfg, replications, jobs, json_path);
+    return run_replications(cfg, replications, jobs, json_path,
+                            save_result_path, save_summary_path);
   }
 
-  const core::ExperimentResult r = core::run_experiment(cfg);
+  // The event stream is opt-in plumbing, not behaviour: hooks only observe
+  // values the driver already computed, so the result is bit-identical
+  // with or without them (obs_event_test pins this for every scheduler).
+  std::unique_ptr<obs::JsonlEventWriter> events;
+  core::RunHooks hooks;
+  if (!events_path.empty()) {
+    events = std::make_unique<obs::JsonlEventWriter>(events_path);
+    hooks.events = events.get();
+    hooks.events_sample = events_sample;
+  }
+  const core::ExperimentResult r = core::run_experiment(cfg, hooks);
+  if (events != nullptr) {
+    events->flush();
+    std::cout << events->events_written() << " events streamed to "
+              << events_path << '\n';
+  }
   print_result_table(cfg, r, std::string{"fedco_sim — "} +
                                  core::scheduler_name(cfg.scheduler));
 
@@ -394,6 +473,11 @@ int run(const util::ArgParser& args) {
     archive.include_lag_gap_samples = true;
     core::write_result_json(save_result_path, cfg, r, archive);
     std::cout << "full result archived to " << save_result_path << '\n';
+  }
+
+  if (!save_summary_path.empty()) {
+    core::write_result_json(save_summary_path, cfg, r, summary_options());
+    std::cout << "run summary written to " << save_summary_path << '\n';
   }
 
   if (!csv_dir.empty()) {

@@ -20,8 +20,10 @@
 #include "net/link.hpp"
 #include "nn/serialize.hpp"
 #include "nn/zoo.hpp"
+#include "obs/events.hpp"
 #include "util/stats.hpp"
 #include "util/stream_rng.hpp"
+#include "util/timer.hpp"
 
 namespace fedco::core {
 
@@ -222,12 +224,17 @@ nn::Network make_model(ModelKind kind, const data::SynthCifarConfig& data_cfg,
 /// suites pin this). See docs/performance.md for the full model.
 class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
  public:
-  explicit Driver(const ExperimentConfig& cfg)
+  Driver(const ExperimentConfig& cfg, const RunHooks& hooks)
       : cfg_(cfg),
         clock_(cfg.slot_seconds),
         master_rng_(cfg.seed),
         wifi_link_(net::wifi_link()),
-        lte_link_(net::lte_link()) {
+        lte_link_(net::lte_link()),
+        events_(hooks.events),
+        events_every_(hooks.events_sample) {
+    if (events_every_ < 1) {
+      throw std::invalid_argument{"run_experiment: events_sample must be >= 1"};
+    }
     if (cfg.num_users == 0) throw std::invalid_argument{"run_experiment: 0 users"};
     if (cfg.horizon_slots <= 0) {
       throw std::invalid_argument{"run_experiment: empty horizon"};
@@ -280,6 +287,8 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     // so when it can fire, ready users cannot be parked.
     gate_ready_hot_ = cfg_.track_battery && cfg_.min_soc_to_train > 0.0;
     event_buckets_.resize(static_cast<std::size_t>(cfg_.horizon_slots));
+    queue_q_samples_.reserve(static_cast<std::size_t>(cfg_.horizon_slots));
+    queue_h_samples_.reserve(static_cast<std::size_t>(cfg_.horizon_slots));
     setup_training();
     setup_lag_index();
     setup_users();
@@ -450,6 +459,15 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         set_mode(i, t);
       }
       sync_active(i, t);
+    }
+  }
+
+  void note_replan(sim::Slot t, std::size_t items,
+                   std::size_t scheduled) override {
+    ++result_.summary.replans;
+    if (slot_sampled_) {
+      events_->emit(obs::Event::replan(t, static_cast<std::int64_t>(items),
+                                       static_cast<std::int64_t>(scheduled)));
     }
   }
 
@@ -732,12 +750,17 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
 
   void step(sim::Slot t) {
     cur_ = t;
+    // Event emission this slot? One branch when events are off; emission
+    // sites read only values the driver computed anyway, which is what
+    // keeps events-on runs fingerprint-identical to events-off.
+    slot_sampled_ = events_ != nullptr && t % events_every_ == 0;
     slot_arrivals_ = pending_arrivals_;
     pending_arrivals_ = 0.0;
     slot_served_ = 0.0;
     slot_departed_ = 0.0;
     decide_scratch_.clear();
     left_ready_.clear();
+    watch_.start();
 
     // 1. Events due this slot, drained in the eager loop's per-user order.
     //    The bucket is sorted once, L1-resident, instead of sifting a
@@ -757,10 +780,23 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     //    barrier/active counters), the offline oracle replans its window.
     scheduler_->on_slot_begin(t, *this);
 
+    // Users still parked at the barrier after the aggregation hook are
+    // waiting on stragglers — a barrier stall slot.
+    if (barrier_count_ > 0) {
+      ++result_.summary.barrier_stall_slots;
+      if (slot_sampled_) {
+        events_->emit(obs::Event::stall(
+            t, static_cast<std::int64_t>(barrier_count_),
+            static_cast<std::int64_t>(active_present_)));
+      }
+    }
+    result_.summary.timing.events_s += watch_.lap_s();
+
     // 3. Scheduling decisions for ready, present users that are due one:
     //    the hot set (consulted every slot) merged with users that became
     //    ready, joined, or reached their parking horizon this slot.
     decide_ready(t);
+    result_.summary.timing.decide_s += watch_.lap_s();
 
     // 4. Gap accumulation (Eq. 12 idle branch) and queue updates. Only
     //    strategies consuming exact per-slot totals pay the fleet sweep;
@@ -781,6 +817,10 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
                             sum_gaps);
     queue_q_stats_.add(scheduler_->queue_q());
     queue_h_stats_.add(scheduler_->queue_h());
+    // Full per-slot series (not just the running mean) so finalize can
+    // digest Q/H into the summary percentiles.
+    queue_q_samples_.push_back(scheduler_->queue_q());
+    queue_h_samples_.push_back(scheduler_->queue_h());
 
     // 5. Traces.
     if (record) {
@@ -809,6 +849,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         next_eval_s_ += cfg_.eval_interval_s;
       }
     }
+    result_.summary.timing.record_s += watch_.lap_s();
   }
 
   void dispatch(const Event& e, sim::Slot t) {
@@ -824,6 +865,8 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
           sync_active(e.user, t);  // a ready user entered its window
           set_mode(e.user, t);
           decide_scratch_.push_back(e.user);
+          ++result_.summary.joins;
+          if (slot_sampled_) events_->emit(obs::Event::join(t, e.user));
         }
         break;
       case EventType::kPhaseEnd:
@@ -852,10 +895,14 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         // counted as active.
         sync_active(e.user, t);
         set_mode(e.user, t);
+        ++result_.summary.leaves;
+        if (slot_sampled_) events_->emit(obs::Event::leave(t, e.user));
         break;
       }
       case EventType::kWake:
         decide_scratch_.push_back(e.user);  // guards applied in decide_ready
+        ++result_.summary.wakes;
+        if (slot_sampled_) events_->emit(obs::Event::wake(t, e.user));
         break;
     }
   }
@@ -962,6 +1009,10 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     start_training(i, cur_);
     slot_served_ += 1.0;
     u.in_backlog = false;
+    ++result_.summary.decisions_scheduled;
+    if (slot_sampled_) {
+      events_->emit(obs::Event::decision(cur_, i, u.training_corun));
+    }
   }
 
   void idle(std::uint32_t i) override {
@@ -969,8 +1020,11 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   }
 
   void idle_until(std::uint32_t i, sim::Slot until) override {
+    ++result_.summary.decisions_idle;
     if (!gate_ready_hot_ && until > cur_ + 1) {
       push_event(until, i, EventType::kWake);  // parked
+      ++result_.summary.parks;
+      if (slot_sampled_) events_->emit(obs::Event::park(cur_, i, until));
     } else {
       next_hot_.push_back(i);
     }
@@ -1408,6 +1462,14 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     lag_sum_ += static_cast<double>(lag);
     gap_sum_ += gap;
     result_.lag_gap_samples.push_back({now_s, lag, gap, user});
+    if (slot_sampled_) {
+      // user == users_.size() is the sync-round sentinel: the aggregated
+      // round's receipt, not one user's — streamed as u = -1.
+      events_->emit(obs::Event::update(
+          cur_,
+          user == users_.size() ? -1 : static_cast<std::int64_t>(user),
+          static_cast<std::int64_t>(lag), gap));
+    }
     // Recorded once per applied update — hot on big fleets, so the series
     // lookup is resolved once (map nodes are stable across insertions).
     if (server_gap_series_ == nullptr) {
@@ -1442,11 +1504,14 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   // ------------------------------------------------------------- finalize
 
   ExperimentResult finalize() {
+    watch_.start();
     // Materialize every outstanding lazy span through the last slot the
     // eager loop would have accrued.
     for (std::size_t i = 0; i < users_.size(); ++i) {
       catch_up(i, cfg_.horizon_slots - 1);
     }
+    std::vector<double> user_energy;
+    user_energy.reserve(users_.size());
     for (const UserState& u : users_) {
       result_.total_energy_j += u.meter.total_j();
       result_.training_j += u.meter.training_j();
@@ -1454,12 +1519,30 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       result_.app_j += u.meter.app_j();
       result_.idle_j += u.meter.idle_j();
       result_.overhead_j += u.meter.overhead_j();
+      user_energy.push_back(u.meter.total_j());
       if (cfg_.track_battery) {
         result_.battery_cycles_total += u.battery.equivalent_cycles();
         result_.battery_recharges += u.battery.recharge_count();
       }
     }
     result_.total_energy_j += result_.network_j;
+    // Summary percentile digests (docs/observability.md): per-slot queue
+    // observables, per-applied-update lag/gap, per-user energy.
+    result_.summary.queue_q = util::percentiles(queue_q_samples_);
+    result_.summary.queue_h = util::percentiles(queue_h_samples_);
+    {
+      std::vector<double> lags;
+      std::vector<double> gaps;
+      lags.reserve(result_.lag_gap_samples.size());
+      gaps.reserve(result_.lag_gap_samples.size());
+      for (const LagGapSample& s : result_.lag_gap_samples) {
+        lags.push_back(static_cast<double>(s.lag));
+        gaps.push_back(s.gap);
+      }
+      result_.summary.lag = util::percentiles(lags);
+      result_.summary.gap = util::percentiles(gaps);
+    }
+    result_.summary.user_energy_j = util::percentiles(user_energy);
     result_.avg_queue_q = queue_q_stats_.mean();
     result_.avg_queue_h = queue_h_stats_.mean();
     result_.final_queue_q = scheduler_->queue_q();
@@ -1471,6 +1554,8 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     if (cfg_.real_training) {
       evaluate(static_cast<double>(cfg_.horizon_slots) * cfg_.slot_seconds);
     }
+    if (events_ != nullptr) events_->flush();
+    result_.summary.timing.finalize_s = watch_.lap_s();
     return std::move(result_);
   }
 
@@ -1569,6 +1654,19 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   double gap_sum_ = 0.0;
   util::RunningStats queue_q_stats_;
   util::RunningStats queue_h_stats_;
+  /// Full per-slot Q/H series for the summary percentiles (reserved to the
+  /// horizon in the ctor; 16 bytes per slot).
+  std::vector<double> queue_q_samples_;
+  std::vector<double> queue_h_samples_;
+  /// Observability hooks (RunHooks): the attached sink (null = off) and
+  /// the slot-sampling stride; slot_sampled_ is the per-slot gate every
+  /// emission site checks.
+  obs::EventSink* events_ = nullptr;
+  sim::Slot events_every_ = 1;
+  bool slot_sampled_ = false;
+  /// Phase lap timer behind summary.timing (steady_clock; excluded from
+  /// fingerprints and --save-result archives).
+  util::Stopwatch watch_;
   ExperimentResult result_;
   util::TimeSeries* server_gap_series_ = nullptr;  ///< see record_update
 };
@@ -1576,8 +1674,19 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  Driver driver{config};
-  return driver.run();
+  return run_experiment(config, RunHooks{});
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const RunHooks& hooks) {
+  util::Stopwatch total;
+  util::Stopwatch phase;
+  Driver driver{config, hooks};
+  const double setup_s = phase.lap_s();
+  ExperimentResult result = driver.run();
+  result.summary.timing.setup_s = setup_s;
+  result.summary.timing.total_s = total.elapsed_s();
+  return result;
 }
 
 }  // namespace fedco::core

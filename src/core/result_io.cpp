@@ -61,6 +61,44 @@ std::string result_to_json(const ExperimentConfig& config,
   json.member("throttled_sessions", result.throttled_sessions);
   json.end_object();
 
+  if (options.include_summary) {
+    const RunSummary& s = result.summary;
+    json.key("summary").begin_object();
+    const auto pct = [&json](const char* name, const util::Percentiles& p) {
+      json.key(name).begin_object();
+      json.member("p50", p.p50);
+      json.member("p90", p.p90);
+      json.member("p99", p.p99);
+      json.end_object();
+    };
+    pct("queue_q", s.queue_q);
+    pct("queue_h", s.queue_h);
+    pct("lag", s.lag);
+    pct("gap", s.gap);
+    pct("user_energy_j", s.user_energy_j);
+    json.key("counts").begin_object();
+    json.member("decisions_scheduled", s.decisions_scheduled);
+    json.member("decisions_idle", s.decisions_idle);
+    json.member("parks", s.parks);
+    json.member("wakes", s.wakes);
+    json.member("joins", s.joins);
+    json.member("leaves", s.leaves);
+    json.member("barrier_stall_slots", s.barrier_stall_slots);
+    json.member("replans", s.replans);
+    json.end_object();
+    if (options.include_timing) {
+      json.key("timing").begin_object();
+      json.member("setup_s", s.timing.setup_s);
+      json.member("events_s", s.timing.events_s);
+      json.member("decide_s", s.timing.decide_s);
+      json.member("record_s", s.timing.record_s);
+      json.member("finalize_s", s.timing.finalize_s);
+      json.member("total_s", s.timing.total_s);
+      json.end_object();
+    }
+    json.end_object();
+  }
+
   if (options.include_traces) {
     const std::size_t k = options.trace_decimation == 0
                               ? 1

@@ -14,6 +14,13 @@ struct ResultJsonOptions {
   /// Keep every k-th trace sample (>=1).
   std::size_t trace_decimation = 10;
   bool include_lag_gap_samples = false;
+  /// The run-summary percentile/count digest (deterministic, so it is safe
+  /// inside --save-result archives and their byte-identical replays).
+  bool include_summary = true;
+  /// Wall-clock phase breakdown inside the summary block. Off by default:
+  /// timings differ run to run, which would break the --save-result ->
+  /// --config replay byte-compare; --save-summary turns it on.
+  bool include_timing = false;
 };
 
 /// Serialise config identification + scalar metrics (+ optional traces).

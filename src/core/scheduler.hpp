@@ -136,6 +136,20 @@ class SchedulerContext {
   /// into the model transfer phase. Only meaningful when all users are at
   /// the barrier.
   virtual void aggregate_round(sim::Slot t) = 0;
+
+  /// Observability tap for scheme-side events: the offline scheme reports
+  /// each plan-window recompute here (`items` users entered the window
+  /// knapsack, `scheduled` received a non-defer plan). The driver counts
+  /// it into the run summary and forwards it to an attached event stream;
+  /// write-only instrumentation — the default ignores it, and strategies
+  /// must never branch on any effect of calling it (the events-on ≡
+  /// events-off contract).
+  virtual void note_replan(sim::Slot t, std::size_t items,
+                           std::size_t scheduled) {
+    (void)t;
+    (void)items;
+    (void)scheduled;
+  }
 };
 
 /// One scheduling strategy. Strategies own their scheme state (window

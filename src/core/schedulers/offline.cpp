@@ -38,9 +38,12 @@ void OfflineScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
     inputs.push_back(in);
   }
   const OfflineWindowPlan plan = planner_.plan(t, inputs);
+  std::size_t scheduled = 0;
   for (std::size_t k = 0; k < ready.size(); ++k) {
     plans_[ready[k]] = plan.plans[k];
+    if (plan.plans[k].action != OfflineAction::kDefer) ++scheduled;
   }
+  ctx.note_replan(t, ready.size(), scheduled);
 }
 
 void OfflineScheduler::on_user_ready(std::size_t user, sim::Slot t,

@@ -1,0 +1,86 @@
+// Typed run events and the sink interface the driver emits them through.
+//
+// The obs layer sits between util and core: it knows nothing about
+// schedulers, users, or configs — an Event is a flat POD the driver fills
+// from values it has already computed on the hot path. That keeps the
+// contract that makes events safe to leave on: emission never reads RNG
+// state, never mutates driver state, and never reorders work, so an
+// events-on run is bit-identical (golden-fingerprint equal) to the same
+// run with events off. tests/obs_event_test.cpp pins this for all four
+// schedulers.
+#pragma once
+
+#include <cstdint>
+
+namespace fedco::obs {
+
+/// What happened. Values are stable (they appear in the JSONL "e" field
+/// by name, not by number, but tests index by them).
+enum class EventKind : unsigned char {
+  kDecision = 0,  ///< scheduler started a training session for a user
+  kUpdate = 1,    ///< an update was applied at the server (or a sync round)
+  kPark = 2,      ///< driver parked a ready user until a known future slot
+  kWake = 3,      ///< a parked user re-entered the decision set
+  kJoin = 4,      ///< presence: user joined the fleet
+  kLeave = 5,     ///< presence: user left the fleet
+  kStall = 6,     ///< sync barrier held ready users this slot
+  kReplan = 7,    ///< offline planner recomputed a plan window
+};
+
+/// One run event. Field meaning depends on kind (see the factory helpers);
+/// unused fields stay zero. `user` is -1 when the event is fleet-level
+/// (stall, replan, sync-round update).
+struct Event {
+  EventKind kind = EventKind::kDecision;
+  std::int64_t slot = 0;
+  std::int64_t user = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  double x = 0.0;
+
+  static Event decision(std::int64_t slot, std::int64_t user, bool corun) {
+    return {EventKind::kDecision, slot, user, corun ? 1 : 0, 0, 0.0};
+  }
+  /// `user` is -1 for a synchronous aggregation round.
+  static Event update(std::int64_t slot, std::int64_t user, std::int64_t lag,
+                      double gap) {
+    return {EventKind::kUpdate, slot, user, lag, 0, gap};
+  }
+  static Event park(std::int64_t slot, std::int64_t user, std::int64_t until) {
+    return {EventKind::kPark, slot, user, until, 0, 0.0};
+  }
+  static Event wake(std::int64_t slot, std::int64_t user) {
+    return {EventKind::kWake, slot, user, 0, 0, 0.0};
+  }
+  static Event join(std::int64_t slot, std::int64_t user) {
+    return {EventKind::kJoin, slot, user, 0, 0, 0.0};
+  }
+  static Event leave(std::int64_t slot, std::int64_t user) {
+    return {EventKind::kLeave, slot, user, 0, 0, 0.0};
+  }
+  static Event stall(std::int64_t slot, std::int64_t waiting,
+                     std::int64_t active) {
+    return {EventKind::kStall, slot, -1, waiting, active, 0.0};
+  }
+  static Event replan(std::int64_t slot, std::int64_t items,
+                      std::int64_t scheduled) {
+    return {EventKind::kReplan, slot, -1, items, scheduled, 0.0};
+  }
+};
+
+/// Where events go. Implementations must tolerate emission from the
+/// driver hot path: emit() is called up to a few times per slot per
+/// scheduled user, so it should amortize I/O (see JsonlEventWriter).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void emit(const Event& event) = 0;
+
+  /// Force buffered output down to the backing store. Destructors must
+  /// flush too (including during exception unwind), so a crashed run
+  /// still leaves its event prefix on disk.
+  virtual void flush() {}
+};
+
+}  // namespace fedco::obs

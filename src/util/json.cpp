@@ -108,20 +108,24 @@ JsonWriter& JsonWriter::key(const std::string& name) {
   return *this;
 }
 
-JsonWriter& JsonWriter::value(double number) {
-  before_value();
+void append_shortest_double(std::string& out, double number) {
   if (!std::isfinite(number)) {
-    out_ += "null";
-    return *this;
+    out += "null";
+    return;
   }
   // Shortest representation that parses back to exactly `number`, so JSON
   // round-trips (core/config_io) reproduce bit-identical configs.
   char buf[32];
   const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, number);
   if (ec != std::errc{}) {
-    throw std::logic_error{"JsonWriter: number formatting failed"};
+    throw std::logic_error{"append_shortest_double: formatting failed"};
   }
-  out_.append(buf, end);
+  out.append(buf, end);
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  append_shortest_double(out_, number);
   return *this;
 }
 

@@ -15,6 +15,12 @@
 
 namespace fedco::util {
 
+/// Appends `number` to `out` in the shortest form that parses back to
+/// exactly `number` (std::to_chars round-trip); non-finite values become
+/// `null`. Shared by JsonWriter and the obs JSONL emitter so every double
+/// the repo writes survives a write -> parse cycle bit-identically.
+void append_shortest_double(std::string& out, double number);
+
 class JsonWriter {
  public:
   JsonWriter& begin_object();

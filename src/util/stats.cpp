@@ -79,6 +79,25 @@ double percentile(std::span<const double> values, double q) {
   return sorted[lower] + frac * (sorted[lower + 1] - sorted[lower]);
 }
 
+Percentiles percentiles(std::span<const double> values) {
+  Percentiles out;
+  if (values.empty()) return out;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&sorted](double q) {
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lower = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lower);
+    if (lower + 1 >= sorted.size()) return sorted.back();
+    return sorted[lower] + frac * (sorted[lower + 1] - sorted[lower]);
+  };
+  out.p50 = at(50.0);
+  out.p90 = at(90.0);
+  out.p99 = at(99.0);
+  return out;
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) noexcept {
   const std::size_t n = std::min(xs.size(), ys.size());
   if (n < 2) return 0.0;

@@ -15,6 +15,11 @@
 #      with a tagged candidate SKIPs (mode change, not a regression), and
 #      when both documents tag their rows the matcher pairs them per
 #      engine — a folded regression FAILs while the sweep row stays OK.
+#   8. Rows measured with the JSONL event emitter attached carry an
+#      "events": true tag (PR 8): when both documents tag their rows the
+#      matcher pairs per tag (an events-on regression FAILs while the
+#      events-off row stays OK), and a baseline events-on row whose
+#      candidate lost the tag SKIPs — emitter on/off is a mode change.
 # Invoked as: cmake -DBENCH_CHECK=<binary> -P bench_check_test.cmake
 
 if(NOT DEFINED BENCH_CHECK)
@@ -237,6 +242,60 @@ if(NOT pair_out MATCHES "FAIL.*folded")
 endif()
 if(NOT pair_out MATCHES "OK.*sweep")
   message(FATAL_ERROR "identical sweep row was not compared OK:\n${pair_out}")
+endif()
+
+# 8a. Both documents carry events-off and events-on rows: the matcher
+#     pairs per tag, so a regressed events-on row FAILs while the
+#     identical events-off row stays OK.
+file(WRITE ${work_dir}/ev_base.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Immediate\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Immediate\",\"seconds\":0.6,\"slots_per_sec\":950.0,\"user_slots_per_sec\":95000.0,\"updates\":5,\"energy_kj\":1.0,\"events\":true}\
+]}]}\n")
+file(WRITE ${work_dir}/ev_regressed.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Immediate\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0},\
+{\"scheduler\":\"Immediate\",\"seconds\":6.0,\"slots_per_sec\":95.0,\"user_slots_per_sec\":9500.0,\"updates\":5,\"energy_kj\":1.0,\"events\":true}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/ev_base.json
+          --candidate ${work_dir}/ev_regressed.json
+  OUTPUT_VARIABLE ev_out ERROR_VARIABLE ev_err RESULT_VARIABLE ev_rc
+)
+if(NOT ev_rc EQUAL 1)
+  message(FATAL_ERROR "regressed events-on row exited ${ev_rc} (want 1):\n${ev_out}${ev_err}")
+endif()
+if(NOT ev_out MATCHES "FAIL.*\\+events")
+  message(FATAL_ERROR "regressed events-on row printed no FAIL:\n${ev_out}")
+endif()
+if(NOT ev_out MATCHES "OK  +100 users x 600 slots / Immediate: ")
+  message(FATAL_ERROR "identical events-off row was not compared OK:\n${ev_out}")
+endif()
+
+# 8b. The candidate re-measured without the emitter: the baseline
+#     events-on row pairs tag-blind with the events-off candidate and
+#     SKIPs — emitter on/off is a mode change, not a regression. The
+#     events-off pair keeps the comparison non-empty -> exit 0.
+file(WRITE ${work_dir}/ev_untagged.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Immediate\",\"seconds\":0.5,\"slots_per_sec\":1000.0,\"user_slots_per_sec\":100000.0,\"updates\":5,\"energy_kj\":1.0}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/ev_base.json
+          --candidate ${work_dir}/ev_untagged.json
+  OUTPUT_VARIABLE evskip_out ERROR_VARIABLE evskip_err RESULT_VARIABLE evskip_rc
+)
+if(NOT evskip_rc EQUAL 0)
+  message(FATAL_ERROR "events-tag-lost candidate exited ${evskip_rc} (want 0):\n${evskip_out}${evskip_err}")
+endif()
+if(NOT evskip_out MATCHES "SKIP.*event emitter changed")
+  message(FATAL_ERROR "events-tag mismatch was not SKIPped:\n${evskip_out}")
+endif()
+if(evskip_out MATCHES "FAIL")
+  message(FATAL_ERROR "events-tag mismatch FAILed instead of SKIPping:\n${evskip_out}")
 endif()
 
 message(STATUS "bench_check behaviour test passed")

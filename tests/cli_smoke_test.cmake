@@ -8,6 +8,11 @@
 #   5. The shipped example scenario specs (churn, heterogeneous fleet) run
 #      green via --scenario; the --save-result archive of a scenario run
 #      reloads through --config to the byte-identical result document.
+#   6. Observability: --events streams a parseable JSONL file and leaves
+#      the result document byte-identical to the events-off run;
+#      --save-summary writes a summary artifact; an unopenable events path
+#      exits non-zero; --save-result with --replications archives one
+#      document per replication.
 # Invoked as: cmake -DFEDCO_SIM=<binary> -DFEDCO_SCENARIOS=<dir>
 #             -P cli_smoke_test.cmake
 
@@ -141,5 +146,65 @@ file(READ ${work_dir}/scenario_replay.json replay_doc)
 if(NOT archive_doc STREQUAL replay_doc)
   message(FATAL_ERROR "--config replay of a scenario archive did not reproduce the run")
 endif()
+
+# --- 6. observability -------------------------------------------------------
+# The event stream must not perturb the run: the --json documents of an
+# events-on and an events-off invocation are byte-identical.
+set(obs_flags --scheduler immediate --horizon 200 --users 6 --arrival-p 0.02
+    --seed 3)
+execute_process(
+  COMMAND ${FEDCO_SIM} ${obs_flags} --json ${work_dir}/obs_off.json
+  RESULT_VARIABLE obs_off_rc OUTPUT_QUIET ERROR_QUIET
+)
+execute_process(
+  COMMAND ${FEDCO_SIM} ${obs_flags} --json ${work_dir}/obs_on.json
+          --events ${work_dir}/events.jsonl --events-sample 2
+          --save-summary ${work_dir}/summary.json
+  RESULT_VARIABLE obs_on_rc OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT obs_off_rc EQUAL 0 OR NOT obs_on_rc EQUAL 0)
+  message(FATAL_ERROR "observability runs exited with ${obs_off_rc}/${obs_on_rc}")
+endif()
+file(READ ${work_dir}/obs_off.json obs_off_doc)
+file(READ ${work_dir}/obs_on.json obs_on_doc)
+if(NOT obs_off_doc STREQUAL obs_on_doc)
+  message(FATAL_ERROR "--events perturbed the result document")
+endif()
+file(READ ${work_dir}/events.jsonl events_doc)
+if(NOT events_doc MATCHES "\"e\":\"decision\"")
+  message(FATAL_ERROR "event stream contains no decision events:\n${events_doc}")
+endif()
+file(READ ${work_dir}/summary.json summary_doc)
+if(NOT summary_doc MATCHES "\"counts\"" OR NOT summary_doc MATCHES "\"timing\"")
+  message(FATAL_ERROR "summary artifact is missing counts/timing:\n${summary_doc}")
+endif()
+
+# An unopenable events path is a hard error, not a silently dropped stream.
+execute_process(
+  COMMAND ${FEDCO_SIM} ${obs_flags}
+          --events ${work_dir}/no-such-dir/events.jsonl
+  RESULT_VARIABLE bad_events_rc ERROR_VARIABLE bad_events_err OUTPUT_QUIET
+)
+if(bad_events_rc EQUAL 0)
+  message(FATAL_ERROR "fedco_sim accepted an unopenable --events path")
+endif()
+if(NOT bad_events_err MATCHES "events")
+  message(FATAL_ERROR "unopenable --events error did not name the stream:\n${bad_events_err}")
+endif()
+
+# Campaigns archive one document per replication (out-r<k>.json).
+execute_process(
+  COMMAND ${FEDCO_SIM} ${obs_flags} --replications 2
+          --save-result ${work_dir}/campaign.json
+  RESULT_VARIABLE camp_rc OUTPUT_QUIET ERROR_QUIET
+)
+if(NOT camp_rc EQUAL 0)
+  message(FATAL_ERROR "--save-result with --replications exited ${camp_rc}")
+endif()
+foreach(k 0 1)
+  if(NOT EXISTS ${work_dir}/campaign-r${k}.json)
+    message(FATAL_ERROR "campaign archive campaign-r${k}.json was not written")
+  endif()
+endforeach()
 
 message(STATUS "cli_smoke_test OK")

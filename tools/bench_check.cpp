@@ -14,10 +14,13 @@
 // different arrival sequences, so a timing delta there is a mode change,
 // not a regression. Online rows additionally carry a "g_mode" tag ("sweep"
 // vs "folded", the PR 7 closed-form G(t) accumulators): matching prefers
-// the exact (users, horizon, scheduler, g_mode) row, and pairs whose tags
-// differ SKIP — the engines diverge by floating-point associativity, so
-// cross-engine timings measure different decision streams. CI runs this
-// against the committed smoke baseline on
+// the exact (users, horizon, scheduler, g_mode, events) row, and pairs
+// whose tags differ SKIP — the engines diverge by floating-point
+// associativity, so cross-engine timings measure different decision
+// streams. Rows measured with the JSONL event emitter attached (PR 8,
+// "events": true) likewise only compare against other events-on rows:
+// the emitter's serialization + I/O is deliberate work, not a scheduler
+// regression. CI runs this against the committed smoke baseline on
 // every push (ROADMAP "BENCH trajectory"), so an accidental O(n)
 // regression in the event-driven driver fails loudly instead of rotting
 // silently.
@@ -69,6 +72,11 @@ struct Row {
   /// floating-point associativity, so decision streams (and hence work)
   /// can legally diverge — mismatched engines SKIP.
   std::string g_mode;
+  /// True on rows measured with the JSONL event emitter attached (PR 8
+  /// observability). Events-on rows pay serialization + I/O per slot, so
+  /// they only compare against other events-on rows; absent = false keeps
+  /// pre-tag baselines comparable.
+  bool events = false;
 };
 
 /// One fleet's memory footprint: the process peak RSS high-water mark
@@ -90,7 +98,8 @@ struct Doc {
 std::string row_name(const Row& row) {
   return std::to_string(row.users) + " users x " +
          std::to_string(row.horizon) + " slots / " + row.scheduler +
-         (row.g_mode.empty() ? "" : " (" + row.g_mode + ")");
+         (row.g_mode.empty() ? "" : " (" + row.g_mode + ")") +
+         (row.events ? " +events" : "");
 }
 
 std::string fleet_name(const FleetStat& fleet) {
@@ -158,6 +167,9 @@ Doc rows_of(const JsonValue& doc, const std::string& path) {
       if (const JsonValue* g_mode = sched.find("g_mode")) {
         row.g_mode = g_mode->as_string();
       }
+      if (const JsonValue* events = sched.find("events")) {
+        row.events = events->as_bool();
+      }
       out.rows.push_back(std::move(row));
     }
   }
@@ -171,7 +183,8 @@ const Row* match(const std::vector<Row>& rows, const Row& key) {
   // the caller's g_mode check then reports those pairs as SKIP.
   for (const Row& row : rows) {
     if (row.users == key.users && row.horizon == key.horizon &&
-        row.scheduler == key.scheduler && row.g_mode == key.g_mode) {
+        row.scheduler == key.scheduler && row.g_mode == key.g_mode &&
+        row.events == key.events) {
       return &row;
     }
   }
@@ -263,6 +276,17 @@ int main(int argc, char** argv) {
             row_name(base).c_str(),
             base.g_mode.empty() ? "-" : base.g_mode.c_str(),
             cand->g_mode.empty() ? "-" : cand->g_mode.c_str());
+        continue;
+      }
+      if (cand->events != base.events) {
+        // An events-on row pays per-slot serialization + I/O the
+        // events-off row does not; comparing across the tag measures the
+        // emitter, not the scheduler.
+        std::printf(
+            "SKIP  %s: event emitter changed (baseline %s -> candidate %s) "
+            "— mode change, not a regression\n",
+            row_name(base).c_str(), base.events ? "on" : "off",
+            cand->events ? "on" : "off");
         continue;
       }
       ++compared;
