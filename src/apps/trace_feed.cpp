@@ -1,0 +1,49 @@
+#include "apps/trace_feed.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace fedco::apps {
+
+TraceFleet load_arrival_trace_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error{
+        "load_arrival_trace_dir: not a readable directory: " + dir};
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator{dir, ec}) {
+    if (entry.path().extension() == ".csv") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw std::runtime_error{"load_arrival_trace_dir: cannot list " + dir +
+                             ": " + ec.message()};
+  }
+  if (files.empty()) {
+    throw std::runtime_error{"load_arrival_trace_dir: no .csv traces in " +
+                             dir};
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<ScriptedArrivals::Event>> per_file;
+  per_file.reserve(files.size());
+  for (const std::string& file : files) {
+    try {
+      per_file.push_back(load_arrival_trace_csv(file));
+    } catch (const std::invalid_argument& error) {
+      // Re-annotate malformed-row errors with the file they came from
+      // (load_arrival_trace_csv only knows the line number).
+      throw std::invalid_argument{std::string{error.what()} + " in " + file};
+    }
+    std::sort(per_file.back().begin(), per_file.back().end(),
+              [](const ScriptedArrivals::Event& a,
+                 const ScriptedArrivals::Event& b) { return a.at < b.at; });
+  }
+  return TraceFleet{std::move(files), std::move(per_file)};
+}
+
+}  // namespace fedco::apps

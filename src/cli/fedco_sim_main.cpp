@@ -17,6 +17,7 @@
 #include "core/campaign.hpp"
 #include "core/config_io.hpp"
 #include "core/experiment.hpp"
+#include "apps/trace_feed.hpp"
 #include "core/result_io.hpp"
 #include "obs/jsonl_writer.hpp"
 #include "scenario/scenario_io.hpp"
@@ -39,7 +40,11 @@ Scenario:
                        flag below overrides the loaded value
   --scenario F         load a declarative ScenarioSpec JSON (device mix,
                        arrival-rate distribution, timezones, LTE share,
-                       churn, stream_rng; see examples/scenarios/) and
+                       churn, stream_rng, and fault injection — scheduled
+                       regional outages, netem-style link-degradation
+                       profiles, commute presence cycles, trace-driven
+                       fleets; see examples/scenarios/ and
+                       docs/scenarios.md) and
                        expand it into a per-user fleet. The spec owns
                        users/horizon/arrivals (including any
                        --arrival-trace) and the network tier, overriding
@@ -84,6 +89,9 @@ Workload:
   --arrival-p X        app arrival probability per slot      (default 0.001)
   --diurnal            modulate arrivals over a 24 h cycle
   --arrival-trace F    replay a "slot,app" CSV usage log instead
+  --arrival-trace-dir D  replay a directory of per-user "slot,app" CSV
+                       logs (sorted by name; user i replays file i mod
+                       file-count). Takes precedence over --arrival-trace
   --device D           pin fleet: nexus6|nexus6p|hikey970|pixel2 (default mixed)
   --seed N             RNG seed                              (default 1)
 
@@ -150,6 +158,9 @@ core::ExperimentConfig effective_config(const util::ArgParser& args) {
   if (args.has("diurnal")) cfg.diurnal = args.get_bool("diurnal", cfg.diurnal);
   if (args.has("arrival-trace")) {
     cfg.arrival_trace_path = args.get("arrival-trace");
+  }
+  if (args.has("arrival-trace-dir")) {
+    cfg.arrival_trace_dir = args.get("arrival-trace-dir");
   }
   if (args.has("device")) {
     cfg.fixed_device = core::parse_device_token(args.get("device"));
@@ -426,6 +437,18 @@ int run(const util::ArgParser& args) {
     }
     std::cerr << "(try --help)\n";
     return 2;
+  }
+
+  // Trace-driven fleets fail fast with a path-bearing message before the
+  // driver starts: a missing directory, an empty one, or a malformed CSV
+  // row is an input error (exit 2, like a misspelled option), not a crash.
+  if (!cfg.arrival_trace_dir.empty()) {
+    try {
+      (void)apps::load_arrival_trace_dir(cfg.arrival_trace_dir);
+    } catch (const std::exception& error) {
+      std::cerr << "fedco_sim: " << error.what() << '\n';
+      return 2;
+    }
   }
 
   if (!save_config_path.empty()) {

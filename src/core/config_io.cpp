@@ -142,6 +142,31 @@ void read_per_user_entry(const util::JsonValue& object, const std::string& where
           out.join_slot = read_int(value, key);
         } else if (key == "leave_slot") {
           out.leave_slot = read_int(value, key);
+        } else if (key == "extra_windows") {
+          if (!value.is_array()) {
+            throw std::invalid_argument{"config_io: '" + where +
+                                        ".extra_windows' must be an array"};
+          }
+          out.extra_windows.clear();
+          for (const util::JsonValue& entry : value.as_array()) {
+            scenario::PresenceWindow w;
+            for_each_member(entry, where + ".extra_windows[]",
+                            [&](const std::string& wkey,
+                                const util::JsonValue& wvalue) {
+                              if (wkey == "join") {
+                                w.join = read_int(wvalue, wkey);
+                              } else if (wkey == "leave") {
+                                w.leave = read_int(wvalue, wkey);
+                              } else {
+                                return false;
+                              }
+                              return true;
+                            });
+            out.extra_windows.push_back(w);
+          }
+        } else if (key == "link_degradations") {
+          out.link_degradations =
+              static_cast<std::uint32_t>(read_uint(value, key));
         } else {
           return false;
         }
@@ -274,6 +299,9 @@ void write_config_members(util::JsonWriter& json,
   json.member("diurnal", config.diurnal);
   json.member("diurnal_swing", config.diurnal_swing);
   json.member("arrival_trace_path", config.arrival_trace_path);
+  if (!config.arrival_trace_dir.empty()) {
+    json.member("arrival_trace_dir", config.arrival_trace_dir);
+  }
   json.member("arrival_streams", config.arrival_streams);
   json.member("pregenerate_streams", config.pregenerate_streams);
   json.member("fixed_device", device_token(config.fixed_device));
@@ -344,6 +372,16 @@ void write_config_members(util::JsonWriter& json,
   json.member("record_interval",
               static_cast<std::int64_t>(config.record_interval));
   json.member("record_per_user_gaps", config.record_per_user_gaps);
+  if (!config.outages.empty()) {
+    json.key("outages").begin_array();
+    for (const ExperimentConfig::OutageWindow& o : config.outages) {
+      json.begin_object();
+      json.member("start", static_cast<std::int64_t>(o.start));
+      json.member("end", static_cast<std::int64_t>(o.end));
+      json.end_object();
+    }
+    json.end_array();
+  }
   // Per-user scenario overrides: entries only state what they change
   // (absent keys reload as the inherit-the-config defaults), so a mostly
   // homogeneous 10k-user fleet stays compact.
@@ -368,6 +406,20 @@ void write_config_members(util::JsonWriter& json,
       }
       if (pu.leave_slot != scenario::kNeverLeaves) {
         json.member("leave_slot", static_cast<std::int64_t>(pu.leave_slot));
+      }
+      if (!pu.extra_windows.empty()) {
+        json.key("extra_windows").begin_array();
+        for (const scenario::PresenceWindow& w : pu.extra_windows) {
+          json.begin_object();
+          json.member("join", static_cast<std::int64_t>(w.join));
+          json.member("leave", static_cast<std::int64_t>(w.leave));
+          json.end_object();
+        }
+        json.end_array();
+      }
+      if (pu.link_degradations != 0) {
+        json.member("link_degradations",
+                    static_cast<std::uint64_t>(pu.link_degradations));
       }
       json.end_object();
     }
@@ -414,6 +466,8 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.diurnal_swing = read_double(value, key);
         } else if (key == "arrival_trace_path") {
           config.arrival_trace_path = read_string(value, key);
+        } else if (key == "arrival_trace_dir") {
+          config.arrival_trace_dir = read_string(value, key);
         } else if (key == "arrival_streams") {
           config.arrival_streams = read_bool(value, key);
         } else if (key == "pregenerate_streams") {
@@ -494,6 +548,28 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.record_per_user_gaps = read_bool(value, key);
         } else if (key == "per_user") {
           read_per_user(value, config.per_user);
+        } else if (key == "outages") {
+          if (!value.is_array()) {
+            throw std::invalid_argument{
+                "config_io: 'outages' must be an array"};
+          }
+          config.outages.clear();
+          for (const util::JsonValue& entry : value.as_array()) {
+            ExperimentConfig::OutageWindow o;
+            for_each_member(entry, "outages[]",
+                            [&](const std::string& okey,
+                                const util::JsonValue& ovalue) {
+                              if (okey == "start") {
+                                o.start = read_int(ovalue, okey);
+                              } else if (okey == "end") {
+                                o.end = read_int(ovalue, okey);
+                              } else {
+                                return false;
+                              }
+                              return true;
+                            });
+            config.outages.push_back(o);
+          }
         } else {
           return false;
         }
@@ -532,6 +608,14 @@ void apply_scenario_fields(const scenario::ScenarioSpec& spec,
   // config (or --arrival-trace) would silently replace the spec's
   // per-user arrival processes for every user.
   base.arrival_trace_path.clear();
+  // Fault subsystem: a trace-driven fleet replaces the base config's
+  // arrival sources outright; outage windows ride along as the driver's
+  // observational markers (presence already encodes the absence).
+  base.arrival_trace_dir = spec.faults.trace_dir;
+  base.outages.clear();
+  for (const scenario::OutageSpec& o : spec.faults.outages) {
+    base.outages.push_back({o.start_slot, o.end_slot});
+  }
   base.diurnal = spec.diurnal.enabled;
   base.diurnal_swing = spec.diurnal.swing;
   base.arrival_streams = spec.stream_rng;

@@ -10,6 +10,7 @@
 
 #include "apps/arrival.hpp"
 #include "apps/arrival_stream.hpp"
+#include "apps/trace_feed.hpp"
 #include "core/gap_accrual.hpp"
 #include "core/scheduler.hpp"
 #include "data/partition.hpp"
@@ -21,6 +22,7 @@
 #include "nn/serialize.hpp"
 #include "nn/zoo.hpp"
 #include "obs/events.hpp"
+#include "scenario/netem_profiles.hpp"
 #include "util/stats.hpp"
 #include "util/stream_rng.hpp"
 #include "util/timer.hpp"
@@ -153,6 +155,18 @@ struct UserState {
   sim::Slot arrivals_end = 0;  ///< stream mode: min(horizon, leave)
   std::size_t script_begin = 0;
   std::size_t script_end = 0;
+  /// Multi-window presence (commute patterns, outage recovery): the
+  /// remaining windows after [join, leave), as the half-open slice
+  /// [next_window, windows_end) of the driver's extra_windows_ pool.
+  /// When the active window's leave fires, the next window is loaded into
+  /// join/leave and its events armed (see advance_window).
+  std::uint32_t next_window = 0;
+  std::uint32_t windows_end = 0;
+  /// Stream-mode oracle window cursor + its current window's arrival end.
+  /// Independent of next_window: the scheduler's look-ahead may run ahead
+  /// of presence, and the oracle never rewinds (see oracle_advance_window).
+  std::uint32_t oracle_win = 0;
+  sim::Slot oracle_end = 0;
   Feed oracle;  ///< next_arrival_between's reader (scheduler look-ahead)
 };
 
@@ -289,6 +303,15 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     event_buckets_.resize(static_cast<std::size_t>(cfg_.horizon_slots));
     queue_q_samples_.reserve(static_cast<std::size_t>(cfg_.horizon_slots));
     queue_h_samples_.reserve(static_cast<std::size_t>(cfg_.horizon_slots));
+    // Outage markers are observational only (the presence windows already
+    // encode the absence); sorted by start so step() can walk them with a
+    // single cursor.
+    outages_ = cfg_.outages;
+    std::sort(outages_.begin(), outages_.end(),
+              [](const ExperimentConfig::OutageWindow& a,
+                 const ExperimentConfig::OutageWindow& b) {
+                return a.start < b.start;
+              });
     setup_training();
     setup_lag_index();
     setup_users();
@@ -422,11 +445,44 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   next_arrival_between(std::size_t user, sim::Slot from,
                        sim::Slot until) override {
     UserState& u = users_[user];
-    while (u.oracle.at < from) feed_next(u.oracle, u);
+    if (u.stream_params != nullptr) {
+      // Lazy stream mode: the oracle walks presence windows itself (see
+      // oracle_advance_window) — the pregenerated arena concatenates every
+      // window, so the script branch below crosses boundaries for free,
+      // and the lazy oracle must match it look-ahead for look-ahead.
+      if (u.oracle.at == Feed::kNoArrival) oracle_advance_window(u);
+      while (u.oracle.at < from) {
+        apps::stream_arrivals_next(*u.stream_params, u.oracle.stream,
+                                   u.oracle_end);
+        u.oracle.at = u.oracle.stream.at;
+        u.oracle.app = u.oracle.stream.app;
+        if (u.oracle.at == Feed::kNoArrival) oracle_advance_window(u);
+      }
+    } else {
+      while (u.oracle.at < from) feed_next(u.oracle, u);
+    }
     if (u.oracle.at < until) {
       return apps::ScriptedArrivals::Event{u.oracle.at, u.oracle.app};
     }
     return std::nullopt;
+  }
+
+  /// Stream-mode oracle look-ahead across presence windows. The oracle's
+  /// window cursor is deliberately independent of the presence cursor
+  /// (next_window): a scheduler may peek into windows the user has not
+  /// entered yet, and — like its script-mode counterpart — the oracle only
+  /// ever moves forward, so presence advances must not reposition it.
+  void oracle_advance_window(UserState& u) {
+    while (u.oracle.at == Feed::kNoArrival && u.oracle_win < u.windows_end) {
+      const scenario::PresenceWindow w = extra_windows_[u.oracle_win++];
+      const sim::Slot end = std::min(cfg_.horizon_slots, w.leave);
+      if (w.join >= end) continue;
+      u.oracle.stream = apps::stream_arrivals_begin(*u.stream_params,
+                                                    u.arrival_key, w.join, end);
+      u.oracle.at = u.oracle.stream.at;
+      u.oracle.app = u.oracle.stream.app;
+      u.oracle_end = end;
+    }
   }
 
   void aggregate_round(sim::Slot t) override {
@@ -573,8 +629,9 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     // construction order. Lazy unless pregenerate_streams materializes the
     // streams into the script arena (bit-identical by construction — the
     // parity battery's A/B switch). A replayed trace is already a script.
-    const bool stream_mode =
-        cfg_.arrival_streams && cfg_.arrival_trace_path.empty();
+    const bool stream_mode = cfg_.arrival_streams &&
+                             cfg_.arrival_trace_path.empty() &&
+                             cfg_.arrival_trace_dir.empty();
     const bool lazy_streams = stream_mode && !cfg_.pregenerate_streams;
     if (lazy_streams) stream_params_.resize(cfg_.num_users);
     for (std::size_t i = 0; i < cfg_.num_users; ++i) {
@@ -611,6 +668,30 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       u.link = pu.use_lte.value_or(cfg_.use_lte) ? &lte_link_ : &wifi_link_;
       u.join = pu.join_slot;
       u.leave = pu.leave_slot;
+      if (!pu.extra_windows.empty()) {
+        // Multi-window presence: windows must be strictly ascending and
+        // non-empty, each join strictly after the previous leave (touching
+        // windows must be merged by the producer — a join landing on the
+        // leave slot would push into the event bucket being drained).
+        sim::Slot prev_leave = pu.leave_slot;
+        for (const scenario::PresenceWindow& w : pu.extra_windows) {
+          if (w.join <= prev_leave || w.leave <= w.join) {
+            throw std::invalid_argument{
+                "run_experiment: per_user extra presence windows must be "
+                "ascending, disjoint, and non-empty"};
+          }
+          prev_leave = w.leave;
+        }
+        u.next_window = static_cast<std::uint32_t>(extra_windows_.size());
+        extra_windows_.insert(extra_windows_.end(), pu.extra_windows.begin(),
+                              pu.extra_windows.end());
+        u.windows_end = static_cast<std::uint32_t>(extra_windows_.size());
+      }
+      if (pu.link_degradations != 0) {
+        if (degrade_mask_.empty()) degrade_mask_.assign(cfg_.num_users, 0);
+        degrade_mask_[i] = pu.link_degradations;
+        degrade_union_ |= pu.link_degradations;
+      }
       u.battery = device::Battery{cfg_.battery};
       u.thermal = device::ThermalModel{cfg_.thermal};
       if (stream_mode) {
@@ -632,6 +713,21 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
               params, u.arrival_key, u.join, u.arrivals_end);
           script_arena_.insert(script_arena_.end(), events.begin(),
                                events.end());
+          // Multi-window users: materialize every later window too — the
+          // arena slice holds all windows' events in slot order, so the
+          // script feeds cross window boundaries without re-positioning
+          // (the lazy path re-inits its cursors at each window advance;
+          // stream cursors are from-independent, so both paths see the
+          // same events).
+          for (std::uint32_t w = u.next_window; w < u.windows_end; ++w) {
+            const scenario::PresenceWindow win = extra_windows_[w];
+            const sim::Slot end = std::min(cfg_.horizon_slots, win.leave);
+            if (win.join >= end) continue;
+            const auto more = apps::materialize_stream(params, u.arrival_key,
+                                                       win.join, end);
+            script_arena_.insert(script_arena_.end(), more.begin(),
+                                 more.end());
+          }
           u.script_end = script_arena_.size();
         }
       } else {
@@ -640,6 +736,8 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
       feed_init(u.live_sess.feed, u);
       feed_init(u.replay_sess.feed, u);
       feed_init(u.oracle, u);
+      u.oracle_win = u.next_window;
+      u.oracle_end = u.arrivals_end;
       u.live_next_arrival = u.live_sess.feed.at;
       sync_decide_hot(i);
       u.phase = Phase::kReady;
@@ -680,14 +778,33 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   /// draw fires on every arrival; only in-window events are stored.
   void generate_script(UserState& u, const scenario::PerUserConfig& pu) {
     u.script_begin = script_arena_.size();
-    if (!cfg_.arrival_trace_path.empty()) {
+    // Storage filter: only events inside one of the user's presence
+    // windows reach the arena (the RNG walk below still runs full-horizon
+    // — identical draw consumption across presence shapes).
+    const auto in_any_window = [&pu](sim::Slot t) {
+      if (t >= pu.join_slot && t < pu.leave_slot) return true;
+      for (const scenario::PresenceWindow& w : pu.extra_windows) {
+        if (t >= w.join && t < w.leave) return true;
+      }
+      return false;
+    };
+    if (!cfg_.arrival_trace_dir.empty()) {
+      // Trace-driven fleet: each user replays its own CSV from the trace
+      // directory (loaded once, shared across users).
+      if (trace_fleet_.empty()) {
+        trace_fleet_ = apps::load_arrival_trace_dir(cfg_.arrival_trace_dir);
+      }
+      const auto index = static_cast<std::size_t>(&u - users_.data());
+      for (const apps::ScriptedArrivals::Event& e :
+           trace_fleet_.events_for_user(index)) {
+        if (in_any_window(e.at)) script_arena_.push_back(e);
+      }
+    } else if (!cfg_.arrival_trace_path.empty()) {
       if (trace_events_.empty()) {
         trace_events_ = apps::load_arrival_trace_csv(cfg_.arrival_trace_path);
       }
       for (const apps::ScriptedArrivals::Event& e : trace_events_) {
-        if (e.at >= pu.join_slot && e.at < pu.leave_slot) {
-          script_arena_.push_back(e);
-        }
+        if (in_any_window(e.at)) script_arena_.push_back(e);
       }
     } else {
       const double p =
@@ -700,9 +817,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         const double prob = diurnal_on ? diurnal.probability_at(t) : p;
         if (u.rng.bernoulli(prob)) {
           const device::AppKind app = apps::random_app(u.rng);
-          if (t >= pu.join_slot && t < pu.leave_slot) {
-            script_arena_.push_back({t, app});
-          }
+          if (in_any_window(t)) script_arena_.push_back({t, app});
         }
       }
     }
@@ -754,6 +869,33 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     // sites read only values the driver computed anyway, which is what
     // keeps events-on runs fingerprint-identical to events-off.
     slot_sampled_ = events_ != nullptr && t % events_every_ == 0;
+    // Fault markers: outage-window openings and netem phase edges are
+    // event-stream annotations only — presence windows and the per-transfer
+    // link effect already encode the behaviour, so results are identical
+    // with events on or off.
+    while (next_outage_ < outages_.size() && outages_[next_outage_].start <= t) {
+      if (slot_sampled_ && outages_[next_outage_].start == t) {
+        events_->emit(obs::Event::outage(
+            t, static_cast<std::int64_t>(next_outage_),
+            outages_[next_outage_].end));
+      }
+      ++next_outage_;
+    }
+    if (degrade_union_ != 0 && events_ != nullptr) {
+      const double hour =
+          std::fmod(static_cast<double>(t) * cfg_.slot_seconds, 86400.0) /
+          3600.0;
+      const std::uint32_t bits =
+          scenario::netem_active_bits(degrade_union_, hour);
+      if (bits != link_bits_) {
+        if (slot_sampled_) {
+          events_->emit(obs::Event::link_phase(
+              t, static_cast<std::int64_t>(bits),
+              static_cast<std::int64_t>(link_bits_)));
+        }
+        link_bits_ = bits;
+      }
+    }
     slot_arrivals_ = pending_arrivals_;
     pending_arrivals_ = 0.0;
     slot_served_ = 0.0;
@@ -860,11 +1002,17 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         // only pushed for join > 0).
         if (u.join == t && u.leave > t) {
           catch_up(e.user, t - 1);
-          slot_arrivals_ += 1.0;
-          u.in_backlog = true;
+          // Ready users enter A(t) now; a user re-joining with a training
+          // session or transfer still in flight is counted by
+          // transfer_done's in-window branch instead (one arrival per
+          // served request — never both).
+          if (u.phase == Phase::kReady) {
+            slot_arrivals_ += 1.0;
+            u.in_backlog = true;
+          }
           sync_active(e.user, t);  // a ready user entered its window
           set_mode(e.user, t);
-          decide_scratch_.push_back(e.user);
+          if (u.phase == Phase::kReady) decide_scratch_.push_back(e.user);
           ++result_.summary.joins;
           if (slot_sampled_) events_->emit(obs::Event::join(t, e.user));
         }
@@ -897,6 +1045,7 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         set_mode(e.user, t);
         ++result_.summary.leaves;
         if (slot_sampled_) events_->emit(obs::Event::leave(t, e.user));
+        advance_window(e.user, t);
         break;
       }
       case EventType::kWake:
@@ -904,6 +1053,41 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         ++result_.summary.wakes;
         if (slot_sampled_) events_->emit(obs::Event::wake(t, e.user));
         break;
+    }
+  }
+
+  /// Multi-window presence: after a window's leave event, load the user's
+  /// next commute/recovery window and arm its join/leave events. Lazy
+  /// stream feeds are re-positioned from the new window's start (stream
+  /// cursors agree regardless of their starting slot, so this is
+  /// bit-identical to one continuous pass); script feeds keep scanning the
+  /// shared arena, which already holds every window's events in slot order.
+  void advance_window(std::size_t index, sim::Slot t) {
+    UserState& u = users_[index];
+    if (u.next_window == u.windows_end || u.leave != t) return;
+    // Drain the retiring window's remaining arrivals (all strictly before
+    // the leave slot) through the live machine before repositioning its
+    // feed: the lazy re-init below skips past them, so consuming them now
+    // keeps the session state identical between the lazy and pregenerated
+    // stream paths (the replay machine was drained by the leave event's
+    // catch_up).
+    advance_live(u, t);
+    const scenario::PresenceWindow w = extra_windows_[u.next_window++];
+    u.join = w.join;
+    u.leave = w.leave;
+    if (u.stream_params != nullptr) {
+      u.arrivals_end = std::min(cfg_.horizon_slots, u.leave);
+      feed_init(u.live_sess.feed, u);
+      feed_init(u.replay_sess.feed, u);
+      // The oracle is NOT re-initialized here: its look-ahead may already
+      // be past this window, and the script-mode oracle (whose arena spans
+      // every window) never rewinds either.
+      u.live_next_arrival = u.live_sess.feed.at;
+      sync_decide_hot(index);
+    }
+    push_event(u.join, index, EventType::kJoin);
+    if (u.leave < cfg_.horizon_slots) {
+      push_event(u.leave, index, EventType::kLeave);
     }
   }
 
@@ -1481,11 +1665,34 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   void begin_transfer(std::size_t index, sim::Slot t) {
     UserState& u = users_[index];
     // Upload the local model, then download the fresh global copy, over
-    // the user's own network tier.
-    const net::TransferResult up = u.link->transfer(model_bytes_, u.rng);
-    const net::TransferResult down = u.link->transfer(model_bytes_, u.rng);
-    result_.network_j += up.energy_j + down.energy_j;
-    const double seconds = up.duration_s + down.duration_s;
+    // the user's own network tier — degraded by the user's active netem
+    // phases when a fault profile covers this hour of day.
+    const auto transfer_pair = [&](const net::Link& link) {
+      const net::TransferResult up = link.transfer(model_bytes_, u.rng);
+      const net::TransferResult down = link.transfer(model_bytes_, u.rng);
+      result_.network_j += up.energy_j + down.energy_j;
+      return up.duration_s + down.duration_s;
+    };
+    double seconds;
+    const std::uint32_t mask =
+        degrade_mask_.empty() ? 0u : degrade_mask_[index];
+    const scenario::NetemEffect eff =
+        mask == 0 ? scenario::NetemEffect{}
+                  : scenario::netem_effect(
+                        mask, std::fmod(static_cast<double>(t) *
+                                            cfg_.slot_seconds,
+                                        86400.0) /
+                                  3600.0);
+    if (eff.active) {
+      net::LinkConfig lc = u.link->config();
+      lc.loss_probability =
+          std::clamp(lc.loss_probability * eff.loss_mult, 0.0, 1.0);
+      lc.latency_ms *= eff.latency_mult;
+      lc.bandwidth_mbps *= eff.bandwidth_mult;
+      seconds = transfer_pair(net::Link{lc});
+    } else {
+      seconds = transfer_pair(*u.link);
+    }
     u.phase = Phase::kTransferring;
     u.phase_end = t + std::max<sim::Slot>(clock_.slots_for_seconds(seconds), 1);
     push_event(u.phase_end, index, EventType::kPhaseEnd);
@@ -1615,6 +1822,20 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
   /// accumulators (folded mode only; empty otherwise).
   FoldedGapAccrual fold_;
   std::vector<apps::ScriptedArrivals::Event> trace_events_;  ///< CSV replay
+  /// Trace-driven fleet (cfg.arrival_trace_dir): loaded once on first use.
+  apps::TraceFleet trace_fleet_;
+  /// Flat pool of every user's later presence windows (commute cycles,
+  /// outage recovery); UserState addresses its slice by index.
+  std::vector<scenario::PresenceWindow> extra_windows_;
+  /// Per-user netem-profile bitmasks (scenario degradations). Left empty
+  /// when no user is degraded, so the fault-free begin_transfer path costs
+  /// one empty() check.
+  std::vector<std::uint32_t> degrade_mask_;
+  std::uint32_t degrade_union_ = 0;  ///< OR of every user's mask
+  std::uint32_t link_bits_ = 0;      ///< last emitted active-phase bits
+  /// Outage markers sorted by start (observability only; see step()).
+  std::vector<ExperimentConfig::OutageWindow> outages_;
+  std::size_t next_outage_ = 0;
   /// Fleet-shared arrival-script storage: every script-mode user's events
   /// live here as the slice [script_begin, script_end) — one allocation for
   /// the whole fleet instead of one vector per user. Indices (not

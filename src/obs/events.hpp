@@ -23,8 +23,10 @@ enum class EventKind : unsigned char {
   kWake = 3,      ///< a parked user re-entered the decision set
   kJoin = 4,      ///< presence: user joined the fleet
   kLeave = 5,     ///< presence: user left the fleet
-  kStall = 6,     ///< sync barrier held ready users this slot
-  kReplan = 7,    ///< offline planner recomputed a plan window
+  kStall = 6,      ///< sync barrier held ready users this slot
+  kReplan = 7,     ///< offline planner recomputed a plan window
+  kOutage = 8,     ///< a scheduled regional outage window opened
+  kLinkPhase = 9,  ///< the set of active link-degradation phases changed
 };
 
 /// One run event. Field meaning depends on kind (see the factory helpers);
@@ -65,6 +67,15 @@ struct Event {
   static Event replan(std::int64_t slot, std::int64_t items,
                       std::int64_t scheduled) {
     return {EventKind::kReplan, slot, -1, items, scheduled, 0.0};
+  }
+  /// `id` is the outage's ordinal in the config; `until` its end slot.
+  static Event outage(std::int64_t slot, std::int64_t id, std::int64_t until) {
+    return {EventKind::kOutage, slot, -1, id, until, 0.0};
+  }
+  /// `profiles`/`prev` are bitmasks over the netem profile registry.
+  static Event link_phase(std::int64_t slot, std::int64_t profiles,
+                          std::int64_t prev) {
+    return {EventKind::kLinkPhase, slot, -1, profiles, prev, 0.0};
   }
 };
 

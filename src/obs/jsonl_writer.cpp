@@ -98,6 +98,18 @@ void JsonlEventWriter::emit(const Event& event) {
       FEDCO_OBS_LIT(",\"scheduled\":");
       num(event.b);
       break;
+    case EventKind::kOutage:
+      FEDCO_OBS_LIT(",\"e\":\"outage\",\"id\":");
+      num(event.a);
+      FEDCO_OBS_LIT(",\"until\":");
+      num(event.b);
+      break;
+    case EventKind::kLinkPhase:
+      FEDCO_OBS_LIT(",\"e\":\"link_phase\",\"profiles\":");
+      num(event.a);
+      FEDCO_OBS_LIT(",\"prev\":");
+      num(event.b);
+      break;
   }
 #undef FEDCO_OBS_LIT
   buf_.append(line, static_cast<std::size_t>(p - line));

@@ -66,6 +66,21 @@ void FleetArena::set_presence(std::size_t i, sim::Slot join, sim::Slot leave) {
   leave_slot_[i] = leave;
 }
 
+void FleetArena::set_extra_windows(std::size_t i,
+                                   const std::vector<PresenceWindow>& windows) {
+  if (windows.empty()) return;
+  materialize(extra_begin_, num_users_, std::uint32_t{0});
+  materialize(extra_count_, num_users_, std::uint32_t{0});
+  extra_begin_[i] = static_cast<std::uint32_t>(extra_pool_.size());
+  extra_count_[i] = static_cast<std::uint32_t>(windows.size());
+  extra_pool_.insert(extra_pool_.end(), windows.begin(), windows.end());
+}
+
+void FleetArena::set_link_degradations(std::size_t i, std::uint32_t mask) {
+  materialize(link_degradations_, num_users_, std::uint32_t{0});
+  link_degradations_[i] = mask;
+}
+
 PerUserConfig FleetArena::user(std::size_t i) const {
   PerUserConfig pu;
   if (!device_.empty() && device_set_[i] != 0) pu.device = device_[i];
@@ -80,6 +95,12 @@ PerUserConfig FleetArena::user(std::size_t i) const {
   if (!use_lte_.empty() && use_lte_set_[i] != 0) pu.use_lte = use_lte_[i] != 0;
   if (!join_slot_.empty()) pu.join_slot = join_slot_[i];
   if (!leave_slot_.empty()) pu.leave_slot = leave_slot_[i];
+  if (!extra_count_.empty() && extra_count_[i] != 0) {
+    pu.extra_windows.assign(
+        extra_pool_.begin() + extra_begin_[i],
+        extra_pool_.begin() + extra_begin_[i] + extra_count_[i]);
+  }
+  if (!link_degradations_.empty()) pu.link_degradations = link_degradations_[i];
   return pu;
 }
 
@@ -98,6 +119,10 @@ std::size_t FleetArena::column_count() const noexcept {
   live += use_lte_set_.empty() ? 0 : 1;
   live += join_slot_.empty() ? 0 : 1;
   live += leave_slot_.empty() ? 0 : 1;
+  live += extra_begin_.empty() ? 0 : 1;
+  live += extra_count_.empty() ? 0 : 1;
+  live += extra_pool_.empty() ? 0 : 1;
+  live += link_degradations_.empty() ? 0 : 1;
   return live;
 }
 
@@ -117,6 +142,12 @@ FleetArena fleet_arena_from(const std::vector<PerUserConfig>& fleet) {
     if (pu.use_lte) arena.set_use_lte(i, *pu.use_lte);
     if (pu.join_slot != 0 || pu.leave_slot != kNeverLeaves) {
       arena.set_presence(i, pu.join_slot, pu.leave_slot);
+    }
+    if (!pu.extra_windows.empty()) {
+      arena.set_extra_windows(i, pu.extra_windows);
+    }
+    if (pu.link_degradations != 0) {
+      arena.set_link_degradations(i, pu.link_degradations);
     }
   }
   return arena;

@@ -26,6 +26,18 @@ namespace fedco::scenario {
 /// Sentinel leave slot: the user never churns out.
 inline constexpr sim::Slot kNeverLeaves = std::numeric_limits<sim::Slot>::max();
 
+/// One presence window [join, leave). Users with commute patterns or
+/// outage-split presence carry their first window in
+/// PerUserConfig::join_slot/leave_slot and the rest, in ascending order, in
+/// PerUserConfig::extra_windows.
+struct PresenceWindow {
+  sim::Slot join = 0;
+  sim::Slot leave = kNeverLeaves;
+
+  friend bool operator==(const PresenceWindow&, const PresenceWindow&) =
+      default;
+};
+
 /// One user's deviation from the homogeneous ExperimentConfig. Unset
 /// optionals inherit the config value; the default-constructed struct is the
 /// identity override (changes nothing, consumes no extra RNG).
@@ -53,6 +65,16 @@ struct PerUserConfig {
   sim::Slot join_slot = 0;
   sim::Slot leave_slot = kNeverLeaves;
 
+  /// Further presence windows after the first (commute patterns, outage
+  /// splits). Must be ascending and disjoint: each window's join strictly
+  /// after the previous window's leave. Empty for single-window users.
+  std::vector<PresenceWindow> extra_windows;
+
+  /// Bitmask over the netem profile registry (netem_profiles.hpp): bit i
+  /// set means profile i shapes this user's link while one of its
+  /// hour-of-day phases is active. 0 = pristine link.
+  std::uint32_t link_degradations = 0;
+
   friend bool operator==(const PerUserConfig&, const PerUserConfig&) = default;
 
   /// Identity override (inherits everything)?
@@ -73,7 +95,7 @@ struct PerUserConfig {
 ///
 /// A std::vector<PerUserConfig> of 1M users costs ~100 MB of AoS optionals
 /// and churns the allocator per user; the arena stores the same information
-/// in at most 13 flat allocations (column_count() reports how many are
+/// in at most 17 flat allocations (column_count() reports how many are
 /// live), independent of fleet size. user(i) reconstitutes the exact
 /// PerUserConfig an AoS fleet would hold — fleet_from(fleet_arena_from(f))
 /// round-trips every fleet (the arena parity tests pin this).
@@ -94,13 +116,19 @@ class FleetArena {
   void set_diurnal_peak_hour(std::size_t i, double hour);
   void set_use_lte(std::size_t i, bool lte);
   void set_presence(std::size_t i, sim::Slot join, sim::Slot leave);
+  /// Appends `windows` to the shared window pool and points user i at the
+  /// slice. Call at most once per user (fleet builds assign each user's
+  /// windows in one shot).
+  void set_extra_windows(std::size_t i,
+                         const std::vector<PresenceWindow>& windows);
+  void set_link_degradations(std::size_t i, std::uint32_t mask);
 
   /// The AoS view of user i (what the equivalent vector<PerUserConfig>
   /// would hold at index i).
   [[nodiscard]] PerUserConfig user(std::size_t i) const;
 
   /// Number of live (allocated) columns — the arena's total allocation
-  /// count. Bounded by a constant (13) regardless of fleet size; the
+  /// count. Bounded by a constant (17) regardless of fleet size; the
   /// memory-budget property test pins this.
   [[nodiscard]] std::size_t column_count() const noexcept;
 
@@ -126,6 +154,12 @@ class FleetArena {
   std::vector<std::uint8_t> use_lte_set_;
   std::vector<sim::Slot> join_slot_;   // empty = all 0
   std::vector<sim::Slot> leave_slot_;  // empty = all kNeverLeaves
+  // Multi-cycle presence: per-user [begin, begin+count) slices of one
+  // shared window pool — still O(1) allocations however many users cycle.
+  std::vector<std::uint32_t> extra_begin_;
+  std::vector<std::uint32_t> extra_count_;  // empty = no extra windows
+  std::vector<PresenceWindow> extra_pool_;
+  std::vector<std::uint32_t> link_degradations_;  // empty = all 0
 };
 
 /// Pack an AoS fleet into the arena form (test/interop helper).

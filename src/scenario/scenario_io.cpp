@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -34,6 +35,10 @@ const std::string& read_string(const util::JsonValue& value,
 
 std::uint64_t read_uint(const util::JsonValue& value, const std::string& key) {
   return util::json_read_uint(value, key, kLoader);
+}
+
+std::int64_t read_int(const util::JsonValue& value, const std::string& key) {
+  return util::json_read_int(value, key, kLoader);
 }
 
 template <typename Apply>
@@ -108,6 +113,97 @@ void read_churn(const util::JsonValue& object, ChurnSpec& out) {
                     }
                     return true;
                   });
+}
+
+void read_outage(const util::JsonValue& object, OutageSpec& out) {
+  for_each_member(object, "faults.outages[]",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "region") {
+                      out.region = read_string(value, key);
+                    } else if (key == "start_slot") {
+                      out.start_slot =
+                          static_cast<sim::Slot>(read_int(value, key));
+                    } else if (key == "end_slot") {
+                      out.end_slot =
+                          static_cast<sim::Slot>(read_int(value, key));
+                    } else if (key == "fraction") {
+                      out.fraction = read_double(value, key);
+                    } else if (key == "band_begin_hour") {
+                      out.band_begin_hour = read_double(value, key);
+                    } else if (key == "band_end_hour") {
+                      out.band_end_hour = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_degradation(const util::JsonValue& object, DegradationSpec& out) {
+  for_each_member(object, "faults.degradations[]",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "profile") {
+                      out.profile = read_string(value, key);
+                    } else if (key == "fraction") {
+                      out.fraction = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_commute(const util::JsonValue& object, CommuteSpec& out) {
+  for_each_member(object, "faults.commute",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "fraction") {
+                      out.fraction = read_double(value, key);
+                    } else if (key == "period_slots") {
+                      out.period_slots =
+                          static_cast<sim::Slot>(read_int(value, key));
+                    } else if (key == "on_slots") {
+                      out.on_slots =
+                          static_cast<sim::Slot>(read_int(value, key));
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
+void read_faults(const util::JsonValue& object, FaultSpec& out) {
+  for_each_member(
+      object, "faults",
+      [&](const std::string& key, const util::JsonValue& value) {
+        if (key == "outages") {
+          if (!value.is_array()) {
+            throw std::invalid_argument{
+                "scenario: 'faults.outages' must be an array"};
+          }
+          for (const util::JsonValue& element : value.as_array()) {
+            OutageSpec outage;
+            read_outage(element, outage);
+            out.outages.push_back(std::move(outage));
+          }
+        } else if (key == "degradations") {
+          if (!value.is_array()) {
+            throw std::invalid_argument{
+                "scenario: 'faults.degradations' must be an array"};
+          }
+          for (const util::JsonValue& element : value.as_array()) {
+            DegradationSpec degradation;
+            read_degradation(element, degradation);
+            out.degradations.push_back(std::move(degradation));
+          }
+        } else if (key == "commute") {
+          read_commute(value, out.commute);
+        } else if (key == "trace_dir") {
+          out.trace_dir = read_string(value, key);
+        } else {
+          return false;
+        }
+        return true;
+      });
 }
 
 void read_device_mix(const util::JsonValue& object,
@@ -212,6 +308,49 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   json.member("min_presence", spec.churn.min_presence);
   json.member("max_presence", spec.churn.max_presence);
   json.end_object();
+  if (!spec.faults.empty()) {
+    json.key("faults").begin_object();
+    if (!spec.faults.outages.empty()) {
+      json.key("outages").begin_array();
+      for (const OutageSpec& outage : spec.faults.outages) {
+        json.begin_object();
+        json.member("region", outage.region);
+        json.member("start_slot", static_cast<std::int64_t>(outage.start_slot));
+        json.member("end_slot", static_cast<std::int64_t>(outage.end_slot));
+        if (outage.has_band()) {
+          json.member("band_begin_hour", outage.band_begin_hour);
+          json.member("band_end_hour", outage.band_end_hour);
+        } else {
+          json.member("fraction", outage.fraction);
+        }
+        json.end_object();
+      }
+      json.end_array();
+    }
+    if (!spec.faults.degradations.empty()) {
+      json.key("degradations").begin_array();
+      for (const DegradationSpec& degradation : spec.faults.degradations) {
+        json.begin_object();
+        json.member("profile", degradation.profile);
+        json.member("fraction", degradation.fraction);
+        json.end_object();
+      }
+      json.end_array();
+    }
+    if (spec.faults.commute.enabled()) {
+      json.key("commute").begin_object();
+      json.member("fraction", spec.faults.commute.fraction);
+      json.member("period_slots",
+                  static_cast<std::int64_t>(spec.faults.commute.period_slots));
+      json.member("on_slots",
+                  static_cast<std::int64_t>(spec.faults.commute.on_slots));
+      json.end_object();
+    }
+    if (!spec.faults.trace_dir.empty()) {
+      json.member("trace_dir", spec.faults.trace_dir);
+    }
+    json.end_object();
+  }
   json.member("stream_rng", spec.stream_rng);
   json.end_object();
   return json.str();
@@ -242,6 +381,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
           read_network(value, spec.network);
         } else if (key == "churn") {
           read_churn(value, spec.churn);
+        } else if (key == "faults") {
+          read_faults(value, spec.faults);
         } else if (key == "stream_rng") {
           spec.stream_rng = read_bool(value, key);
         } else {
@@ -260,7 +401,17 @@ ScenarioSpec load_scenario_json(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return spec_from_json(buffer.str());
+  ScenarioSpec spec = spec_from_json(buffer.str());
+  // A relative trace_dir is relative to the spec file, not the process
+  // cwd — example specs ship their traces beside them.
+  if (!spec.faults.trace_dir.empty()) {
+    const std::filesystem::path trace{spec.faults.trace_dir};
+    if (trace.is_relative()) {
+      spec.faults.trace_dir =
+          (std::filesystem::path{path}.parent_path() / trace).string();
+    }
+  }
+  return spec;
 }
 
 void save_scenario_json(const std::string& path, const ScenarioSpec& spec) {

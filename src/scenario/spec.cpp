@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "scenario/netem_profiles.hpp"
+
 namespace fedco::scenario {
 
 namespace {
@@ -51,6 +53,13 @@ std::vector<device::DeviceKind> apportion_devices(
 [[nodiscard]] double wrap_hour(double hour) noexcept {
   hour = std::fmod(hour, 24.0);
   return hour < 0.0 ? hour + 24.0 : hour;
+}
+
+/// Hour-of-day band membership, [begin, end) wrapping past midnight when
+/// begin > end (same convention as NetemPhase::active_at).
+[[nodiscard]] bool in_hour_band(double hour, double begin, double end) noexcept {
+  if (begin <= end) return hour >= begin && hour < end;
+  return hour >= begin || hour < end;
 }
 
 }  // namespace
@@ -105,6 +114,52 @@ void validate(const ScenarioSpec& spec) {
                 c.max_presence <= 1.0,
             "churn presence needs 0 < min_presence <= max_presence <= 1");
   }
+
+  const FaultSpec& f = spec.faults;
+  for (const OutageSpec& o : f.outages) {
+    require(!o.region.empty(), "outage region must be non-empty");
+    require(o.start_slot >= 0 && o.end_slot >= 0,
+            "outage slots must be non-negative");
+    require(o.start_slot < o.end_slot,
+            "outage window is empty (needs start_slot < end_slot)");
+    if (o.has_band()) {
+      require(o.band_begin_hour >= 0.0 && o.band_begin_hour < 24.0 &&
+                  o.band_end_hour >= 0.0 && o.band_end_hour < 24.0,
+              "outage band hours must be in [0, 24)");
+    } else {
+      require(o.fraction > 0.0 && o.fraction <= 1.0,
+              "outage needs fraction in (0, 1] or a band_begin_hour/"
+              "band_end_hour pair");
+    }
+  }
+  for (std::size_t i = 0; i < f.outages.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (f.outages[i].region != f.outages[j].region) continue;
+      require(f.outages[i].start_slot >= f.outages[j].end_slot ||
+                  f.outages[j].start_slot >= f.outages[i].end_slot,
+              "outage windows for the same region overlap");
+    }
+  }
+
+  for (const DegradationSpec& dg : f.degradations) {
+    if (find_netem_profile(dg.profile) == nullptr) {
+      throw std::invalid_argument{"scenario: unknown degradation profile '" +
+                                  dg.profile + "'"};
+    }
+    require(dg.fraction > 0.0 && dg.fraction <= 1.0,
+            "degradation fraction must be in (0, 1]");
+  }
+
+  require(f.commute.fraction >= 0.0 && f.commute.fraction <= 1.0,
+          "commute.fraction must be in [0, 1]");
+  if (f.commute.enabled()) {
+    require(f.commute.period_slots > 0 && f.commute.on_slots > 0 &&
+                f.commute.on_slots < f.commute.period_slots,
+            "commute needs 0 < on_slots < period_slots");
+  }
+
+  require(f.trace_dir.empty() || !spec.stream_rng,
+          "faults.trace_dir is incompatible with stream_rng");
 }
 
 std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
@@ -126,6 +181,12 @@ FleetArena generate_fleet_arena(const ScenarioSpec& spec,
   util::Rng tz_rng = root.fork();
   util::Rng net_rng = root.fork();
   util::Rng churn_rng = root.fork();
+  // Fault-concern streams. Forked after the five legacy streams (root is
+  // never drawn from directly), so fault-free specs expand bit-identically
+  // to pre-fault fleets — the fault goldens pin this.
+  util::Rng commute_rng = root.fork();
+  util::Rng outage_rng = root.fork();
+  util::Rng degrade_rng = root.fork();
 
   if (!spec.device_mix.empty()) {
     std::vector<device::DeviceKind> assignment =
@@ -204,6 +265,140 @@ FleetArena generate_fleet_arena(const ScenarioSpec& spec,
       const sim::Slot join =
           latest_join > 0 ? churn_rng.uniform_int(0, latest_join) : 0;
       fleet.set_presence(order[k], join, join + length);
+    }
+  }
+
+  const FaultSpec& faults = spec.faults;
+
+  // Commute membership and per-user cycle phase offsets.
+  std::vector<sim::Slot> commute_offset;  // -1 = not a commuter
+  if (faults.commute.enabled()) {
+    commute_offset.assign(n, sim::Slot{-1});
+    const auto commuters = static_cast<std::size_t>(std::llround(
+        faults.commute.fraction * static_cast<double>(n)));
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    commute_rng.shuffle(order);
+    for (std::size_t k = 0; k < std::min(commuters, n); ++k) {
+      commute_offset[order[k]] =
+          commute_rng.uniform_int(0, faults.commute.period_slots - 1);
+    }
+  }
+
+  // Outage group membership: band outages select by the user's diurnal
+  // peak hour (the timezone proxy tz_rng spread across the fleet);
+  // fraction outages draw a seeded shuffle per outage.
+  std::vector<std::uint8_t> outage_member;  // [outage * n + user]
+  if (!faults.outages.empty()) {
+    outage_member.assign(n * faults.outages.size(), 0);
+    for (std::size_t o = 0; o < faults.outages.size(); ++o) {
+      const OutageSpec& out = faults.outages[o];
+      if (out.has_band()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (in_hour_band(fleet.user(i).diurnal_peak_hour,
+                           out.band_begin_hour, out.band_end_hour)) {
+            outage_member[o * n + i] = 1;
+          }
+        }
+      } else {
+        const auto count = static_cast<std::size_t>(std::llround(
+            out.fraction * static_cast<double>(n)));
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        outage_rng.shuffle(order);
+        for (std::size_t k = 0; k < std::min(count, n); ++k) {
+          outage_member[o * n + order[k]] = 1;
+        }
+      }
+    }
+  }
+
+  // Resolve each affected user's presence-window list: churn window ->
+  // intersect with commute cycles -> subtract outage windows -> merge
+  // touching windows. The first window lands in join_slot/leave_slot, the
+  // rest in the shared extra-window pool.
+  if (faults.commute.enabled() || !faults.outages.empty()) {
+    std::vector<PresenceWindow> windows;
+    std::vector<PresenceWindow> next;
+    for (std::size_t i = 0; i < n; ++i) {
+      const PerUserConfig base = fleet.user(i);
+      windows.clear();
+      if (!commute_offset.empty() && commute_offset[i] >= 0) {
+        for (sim::Slot start = commute_offset[i]; start < spec.horizon_slots;
+             start += faults.commute.period_slots) {
+          const sim::Slot join = std::max(start, base.join_slot);
+          const sim::Slot leave =
+              std::min(start + faults.commute.on_slots, base.leave_slot);
+          if (join < leave) windows.push_back({join, leave});
+        }
+      } else {
+        windows.push_back({base.join_slot, base.leave_slot});
+      }
+      for (std::size_t o = 0; o < faults.outages.size(); ++o) {
+        if (outage_member[o * n + i] == 0) continue;
+        const OutageSpec& out = faults.outages[o];
+        next.clear();
+        for (const PresenceWindow& w : windows) {
+          if (out.end_slot <= w.join || out.start_slot >= w.leave) {
+            next.push_back(w);
+            continue;
+          }
+          if (w.join < out.start_slot) next.push_back({w.join, out.start_slot});
+          if (out.end_slot < w.leave) next.push_back({out.end_slot, w.leave});
+        }
+        windows.swap(next);
+      }
+      // Merge touching windows (leave == next join is an identity split)
+      // and drop windows starting at/after the horizon: unreachable, and
+      // dropping them guarantees every stored window's kJoin/kLeave events
+      // land inside the driver's calendar.
+      next.clear();
+      for (const PresenceWindow& w : windows) {
+        if (w.join >= spec.horizon_slots) continue;
+        if (!next.empty() && w.join <= next.back().leave) {
+          next.back().leave = std::max(next.back().leave, w.leave);
+        } else {
+          next.push_back(w);
+        }
+      }
+      windows.swap(next);
+      if (windows.empty()) {
+        // Outages swallowed the whole presence: a join at the horizon keeps
+        // the window non-empty for the driver while covering no slot.
+        fleet.set_presence(i, spec.horizon_slots, kNeverLeaves);
+      } else {
+        if (windows[0].join != 0 || windows[0].leave != kNeverLeaves) {
+          fleet.set_presence(i, windows[0].join, windows[0].leave);
+        }
+        if (windows.size() > 1) {
+          fleet.set_extra_windows(
+              i, {windows.begin() + 1, windows.end()});
+        }
+      }
+    }
+  }
+
+  // Link-degradation profile attachment: one seeded shuffle per profile
+  // entry; a fraction of 1 skips the draw (every user gets the bit).
+  if (!faults.degradations.empty()) {
+    std::vector<std::uint32_t> mask(n, 0);
+    for (const DegradationSpec& dg : faults.degradations) {
+      const int bit = netem_profile_index(dg.profile);  // validated above
+      if (dg.fraction >= 1.0) {
+        for (std::size_t i = 0; i < n; ++i) mask[i] |= 1u << bit;
+      } else {
+        const auto count = static_cast<std::size_t>(std::llround(
+            dg.fraction * static_cast<double>(n)));
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        degrade_rng.shuffle(order);
+        for (std::size_t k = 0; k < std::min(count, n); ++k) {
+          mask[order[k]] |= 1u << bit;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i] != 0) fleet.set_link_degradations(i, mask[i]);
     }
   }
 

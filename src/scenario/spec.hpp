@@ -87,6 +87,69 @@ struct ChurnSpec {
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };
 
+/// One scheduled regional outage: the selected user group goes absent for
+/// [start_slot, end_slot) and returns together. The group is either an
+/// explicit fraction of the fleet (seeded-deterministic pick) or a
+/// timezone band — every user whose diurnal peak hour falls in
+/// [band_begin_hour, band_end_hour), wrapping past midnight when
+/// begin > end (pair with diurnal.timezone_spread_hours to spread the
+/// fleet across bands).
+struct OutageSpec {
+  std::string region;  ///< label carried into docs/events; must be non-empty
+  sim::Slot start_slot = 0;
+  sim::Slot end_slot = 0;
+  double fraction = 0.0;
+  double band_begin_hour = -1.0;
+  double band_end_hour = -1.0;
+
+  [[nodiscard]] bool has_band() const noexcept { return band_begin_hour >= 0.0; }
+
+  friend bool operator==(const OutageSpec&, const OutageSpec&) = default;
+};
+
+/// Attach a named netem degradation profile (netem_profiles.hpp) to a
+/// seeded-deterministic fraction of the fleet.
+struct DegradationSpec {
+  std::string profile;
+  double fraction = 1.0;
+
+  friend bool operator==(const DegradationSpec&, const DegradationSpec&) =
+      default;
+};
+
+/// Commute-pattern presence: the selected fraction of users repeats
+/// join/leave cycles — present for on_slots out of every period_slots,
+/// phase-shifted per user by a uniformly drawn offset in [0, period).
+struct CommuteSpec {
+  double fraction = 0.0;
+  sim::Slot period_slots = 0;
+  sim::Slot on_slots = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return fraction > 0.0; }
+
+  friend bool operator==(const CommuteSpec&, const CommuteSpec&) = default;
+};
+
+/// The fault subsystem: correlated outages, link-degradation profiles,
+/// commute churn, and trace-driven fleets. A default-constructed FaultSpec
+/// is inert — fault-free specs expand bit-identically to pre-fault fleets
+/// (the fault goldens pin this).
+struct FaultSpec {
+  std::vector<OutageSpec> outages;
+  std::vector<DegradationSpec> degradations;
+  CommuteSpec commute{};
+  /// Directory of per-user "slot,app" CSV usage logs; user i replays file
+  /// i mod file-count (sorted by name). Incompatible with stream_rng.
+  std::string trace_dir;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return outages.empty() && degradations.empty() && !commute.enabled() &&
+           trace_dir.empty();
+  }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name = "default";
   std::size_t num_users = 25;
@@ -98,6 +161,7 @@ struct ScenarioSpec {
   DiurnalSpec diurnal{};
   NetworkSpec network{};
   ChurnSpec churn{};
+  FaultSpec faults{};
   /// Run the experiment with counter-based arrival streams (O(events)
   /// setup) instead of the legacy pre-generated full-horizon scripts.
   /// Changes the RNG layout, so results differ from legacy mode; the

@@ -5,14 +5,18 @@
 #      byte-identical config and reproduces the byte-identical result
 #      document of the flag-built run.
 #   4. An unrecognised option (a probable typo) must exit non-zero.
-#   5. The shipped example scenario specs (churn, heterogeneous fleet) run
-#      green via --scenario; the --save-result archive of a scenario run
-#      reloads through --config to the byte-identical result document.
+#   5. The shipped example scenario specs (incl. the fault-injection
+#      examples: regional_outage, congested_evenings, commute,
+#      trace_replay) run green via --scenario; the --save-result archive
+#      of a scenario run reloads through --config to the byte-identical
+#      result document.
 #   6. Observability: --events streams a parseable JSONL file and leaves
 #      the result document byte-identical to the events-off run;
 #      --save-summary writes a summary artifact; an unopenable events path
 #      exits non-zero; --save-result with --replications archives one
 #      document per replication.
+#   7. Trace-driven fleets: a missing or malformed --arrival-trace-dir is
+#      rejected up front with exit 2 and a path-bearing message.
 # Invoked as: cmake -DFEDCO_SIM=<binary> -DFEDCO_SCENARIOS=<dir>
 #             -P cli_smoke_test.cmake
 
@@ -111,7 +115,8 @@ if(typo_mentioned EQUAL -1)
 endif()
 
 # --- 5. example scenarios ---------------------------------------------------
-foreach(spec churn heterogeneous_fleet global_diurnal homogeneous_paper)
+foreach(spec churn heterogeneous_fleet global_diurnal homogeneous_paper
+        regional_outage congested_evenings commute trace_replay)
   execute_process(
     COMMAND ${FEDCO_SIM} --scenario ${FEDCO_SCENARIOS}/${spec}.json
             --scheduler online
@@ -206,5 +211,41 @@ foreach(k 0 1)
     message(FATAL_ERROR "campaign archive campaign-r${k}.json was not written")
   endif()
 endforeach()
+
+# --- 7. trace-dir failures --------------------------------------------------
+# A missing trace directory fails fast (before the fleet is built) with
+# exit 2 and an error naming the offending path.
+execute_process(
+  COMMAND ${FEDCO_SIM} --scheduler online --horizon 60 --users 4
+          --arrival-trace-dir ${work_dir}/no-such-traces
+  RESULT_VARIABLE no_dir_rc ERROR_VARIABLE no_dir_err OUTPUT_QUIET
+)
+if(NOT no_dir_rc EQUAL 2)
+  message(FATAL_ERROR
+    "missing --arrival-trace-dir exited ${no_dir_rc} (want 2):\n${no_dir_err}")
+endif()
+if(NOT no_dir_err MATCHES "no-such-traces")
+  message(FATAL_ERROR
+    "missing trace-dir error did not name the path:\n${no_dir_err}")
+endif()
+
+# A malformed trace CSV inside the directory is just as fatal, and the
+# message pinpoints file and line.
+set(bad_trace_dir ${work_dir}/bad_traces)
+file(MAKE_DIRECTORY ${bad_trace_dir})
+file(WRITE ${bad_trace_dir}/bad.csv "slot,app\n-5,Map\n")
+execute_process(
+  COMMAND ${FEDCO_SIM} --scheduler online --horizon 60 --users 4
+          --arrival-trace-dir ${bad_trace_dir}
+  RESULT_VARIABLE bad_csv_rc ERROR_VARIABLE bad_csv_err OUTPUT_QUIET
+)
+if(NOT bad_csv_rc EQUAL 2)
+  message(FATAL_ERROR
+    "malformed trace CSV exited ${bad_csv_rc} (want 2):\n${bad_csv_err}")
+endif()
+if(NOT bad_csv_err MATCHES "bad.csv")
+  message(FATAL_ERROR
+    "malformed trace-CSV error did not name the file:\n${bad_csv_err}")
+endif()
 
 message(STATUS "cli_smoke_test OK")

@@ -33,6 +33,28 @@ ScenarioSpec exotic_spec() {
   spec.churn.churn_fraction = 0.3;
   spec.churn.min_presence = 0.35;
   spec.churn.max_presence = 0.85;
+  // Exercise every fault-schema field: a fraction-sampled outage, a
+  // band-selected outage (with the midnight wrap), both netem profiles'
+  // shapes, commute churn, and a trace directory.
+  OutageSpec sampled;
+  sampled.region = "flaky_isp";
+  sampled.start_slot = 120;
+  sampled.end_slot = 480;
+  sampled.fraction = 0.25;
+  OutageSpec band;
+  band.region = "apac";
+  band.start_slot = 900;
+  band.end_slot = 1300;
+  band.band_begin_hour = 19.5;
+  band.band_end_hour = 1.0;
+  spec.faults.outages = {sampled, band};
+  spec.faults.degradations = {{"evening_congestion", 0.5},
+                              {"cell_brownout", 0.125}};
+  spec.faults.commute.fraction = 0.4;
+  spec.faults.commute.period_slots = 720;
+  spec.faults.commute.on_slots = 300;
+  spec.faults.trace_dir = "/tmp/fedco_traces";
+  spec.stream_rng = false;  // trace_dir is incompatible with stream_rng
   return spec;
 }
 
@@ -69,6 +91,11 @@ TEST(ScenarioIo, UnknownKeysThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)spec_from_json(R"({"device_mix": {"iphone": 1.0}})"),
                std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"faults": {"blackouts": []}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)spec_from_json(R"({"faults": {"commute": {"period": 100}}})"),
+      std::invalid_argument);
 }
 
 TEST(ScenarioIo, TypeAndRangeErrorsThrow) {
@@ -83,6 +110,50 @@ TEST(ScenarioIo, TypeAndRangeErrorsThrow) {
                std::invalid_argument);  // fractions must sum to 1
   EXPECT_THROW((void)spec_from_json(R"({"arrival": 7})"),
                std::invalid_argument);
+}
+
+// Every semantic rejection the fault schema promises (docs/scenarios.md):
+// bad specs must fail loudly at load time, never run with a silently
+// patched fleet.
+TEST(ScenarioIo, MalformedFaultSpecsThrow) {
+  const auto rejects = [](const char* json, const char* needle) {
+    try {
+      (void)spec_from_json(json);
+      FAIL() << "accepted: " << json;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string{error.what()}.find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  rejects(R"({"faults": {"degradations": [{"profile": "solar_flare"}]}})",
+          "unknown degradation profile 'solar_flare'");
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": 0, "end_slot": 100, "fraction": 0.5},
+             {"region": "eu", "start_slot": 50, "end_slot": 150, "fraction": 0.5}]}})",
+          "outage windows for the same region overlap");
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": -5, "end_slot": 100, "fraction": 0.5}]}})",
+          "non-negative");
+  rejects(R"({"faults": {"outages": [
+             {"region": "", "start_slot": 0, "end_slot": 100, "fraction": 0.5}]}})",
+          "outage region must be non-empty");
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": 100, "end_slot": 100, "fraction": 0.5}]}})",
+          "outage window is empty");
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": 0, "end_slot": 100}]}})",
+          "outage needs fraction in (0, 1] or a band_begin_hour");
+  rejects(R"({"faults": {"outages": [{"region": "eu", "start_slot": 0,
+             "end_slot": 100, "band_begin_hour": 3.0, "band_end_hour": 24.0}]}})",
+          "outage band hours must be in [0, 24)");
+  rejects(R"({"faults": {"commute": {"fraction": 0.5, "period_slots": 100,
+             "on_slots": 100}}})",
+          "commute needs 0 < on_slots < period_slots");
+  rejects(R"({"faults": {"commute": {"fraction": 1.5, "period_slots": 100,
+             "on_slots": 50}}})",
+          "commute.fraction must be in [0, 1]");
+  rejects(R"({"stream_rng": true, "faults": {"trace_dir": "/tmp/x"}})",
+          "faults.trace_dir is incompatible with stream_rng");
 }
 
 TEST(ScenarioIo, FileRoundTrip) {
