@@ -16,6 +16,7 @@
 //   bench_scale [--jobs N] [--smoke] [--out PATH] [--seed N]
 //               [--schedulers LIST] [--sizes LIST] [--repeat N]
 //               [--legacy-planner] [--folded-g] [--events BOOL]
+//               [--churn-aware BOOL]
 //
 // Ad-hoc studies (ROADMAP campaign sweeps) can override the grid:
 //   --schedulers online,offline     comma-separated scheme names
@@ -51,6 +52,15 @@
 // docs/observability.md) is tracked in these rows. The stream is written
 // to a temp file next to --out and deleted after each measurement.
 // tools/bench_check never compares across the tag.
+//
+// --churn-aware (default true) adds one extra offline and one extra
+// online row per fleet with the PR 10 departure-aware modes enabled
+// (offline_churn_aware / online_churn_aware), tagged "churn_aware": true.
+// On churn-free fleets these rows track the modes' pure overhead (the
+// per-decision leave-slot consult); on the churny 1M stream fleet they
+// track the departure-aware decision stream itself. tools/bench_check
+// treats the tag like events: churn-aware rows only compare against
+// churn-aware rows.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -211,6 +221,10 @@ struct SchedulerRow {
   /// (stride 1). Emitted in the JSON only when true, so pre-tag baselines
   /// stay comparable; bench_check never compares across the tag.
   bool events = false;
+  /// True on rows measured with the PR 10 departure-aware mode on
+  /// (offline_churn_aware / online_churn_aware). Same emit-only-when-true
+  /// contract as events; bench_check never compares across the tag.
+  bool churn_aware = false;
 };
 
 struct FleetRow {
@@ -228,7 +242,7 @@ struct FleetRow {
 FleetRow run_fleet(const FleetSize& size,
                    const std::vector<core::SchedulerKind>& schedulers,
                    std::uint64_t seed, std::size_t jobs, std::size_t repeat,
-                   bool legacy_planner, bool folded_g,
+                   bool legacy_planner, bool folded_g, bool churn_rows,
                    const std::string& events_tmp_path,
                    bench::CampaignTotals& totals) {
   core::ExperimentConfig base;
@@ -251,6 +265,7 @@ FleetRow run_fleet(const FleetSize& size,
 
   std::vector<core::ExperimentConfig> configs;
   std::vector<const char*> g_modes;  // parallel to configs; null off-online
+  std::vector<std::uint8_t> churn_flags;  // parallel to configs
   for (const core::SchedulerKind kind : schedulers) {
     core::ExperimentConfig config = base;
     config.scheduler = kind;
@@ -261,13 +276,32 @@ FleetRow run_fleet(const FleetSize& size,
         core::ExperimentConfig sweep = config;
         configs.push_back(std::move(sweep));
         g_modes.push_back("sweep");
+        churn_flags.push_back(0);
       }
       config.folded_gap_accrual = true;
-      configs.push_back(std::move(config));
+      configs.push_back(config);
       g_modes.push_back("folded");
+      churn_flags.push_back(0);
+      if (churn_rows) {
+        // Departure-aware online row, measured under the production
+        // (folded) G(t) engine.
+        config.online_churn_aware = true;
+        configs.push_back(std::move(config));
+        g_modes.push_back("folded");
+        churn_flags.push_back(1);
+      }
+    } else if (kind == core::SchedulerKind::kOffline && churn_rows) {
+      configs.push_back(config);
+      g_modes.push_back(nullptr);
+      churn_flags.push_back(0);
+      config.offline_churn_aware = true;
+      configs.push_back(std::move(config));
+      g_modes.push_back(nullptr);
+      churn_flags.push_back(1);
     } else {
       configs.push_back(std::move(config));
       g_modes.push_back(nullptr);
+      churn_flags.push_back(0);
     }
   }
   core::CampaignReport report = core::run_campaign(configs, jobs);
@@ -306,6 +340,7 @@ FleetRow run_fleet(const FleetSize& size,
           core::effective_grid(core::make_planner_config(configs[k])));
     }
     sched.g_mode = g_modes[k];
+    sched.churn_aware = churn_flags[k] != 0;
     row.schedulers.push_back(sched);
   }
 
@@ -357,6 +392,7 @@ void print_fleet(const FleetRow& row) {
         sched.g_mode == nullptr
             ? std::string{sched.scheduler}
             : std::string{sched.scheduler} + " (" + sched.g_mode + ")";
+    if (sched.churn_aware) name += " +churn";
     if (sched.events) name += " +events";
     table.add_row({name, util::TextTable::num(sched.seconds, 3),
                    util::TextTable::num(sched.slots_per_sec, 0),
@@ -408,6 +444,9 @@ void write_json(const std::string& path, bool smoke, std::size_t jobs,
       if (sched.events) {
         json.member("events", true);
       }
+      if (sched.churn_aware) {
+        json.member("churn_aware", true);
+      }
       json.end_object();
     }
     json.end_array();
@@ -434,6 +473,7 @@ int main(int argc, char** argv) {
     const bool legacy_planner = args.get_bool("legacy-planner", false);
     const bool folded_g = args.get_bool("folded-g", false);
     const bool events = args.get_bool("events", true);
+    const bool churn_rows = args.get_bool("churn-aware", true);
     const std::string events_tmp_path =
         events ? out_path + ".events.tmp.jsonl" : std::string{};
 
@@ -469,8 +509,8 @@ int main(int argc, char** argv) {
     std::vector<FleetRow> rows;
     for (const FleetSize& size : sizes) {
       rows.push_back(run_fleet(size, schedulers, seed, jobs, repeat,
-                               legacy_planner, folded_g, events_tmp_path,
-                               totals));
+                               legacy_planner, folded_g, churn_rows,
+                               events_tmp_path, totals));
       print_fleet(rows.back());
     }
     bench::log_campaign(totals);

@@ -82,6 +82,13 @@ Scheduling:
                        per slot instead of the per-slot fleet sweep.
                        Diverges from the default only by floating-point
                        associativity (see docs/performance.md section 8)
+  --churn-aware        departure-aware scheduling: the offline planner
+                       drops co-runs that cannot finish before a user's
+                       leave slot and deweights deferred work near
+                       departures; the online rule discounts the Eq. (21)
+                       staleness term by the remaining-presence fraction.
+                       Off by default (the paper's churn-oblivious
+                       schedulers; see docs/algorithms.md)
 
 Workload:
   --users N            number of devices                     (default 25)
@@ -200,6 +207,14 @@ core::ExperimentConfig effective_config(const util::ArgParser& args) {
   }
   if (args.has("folded-g")) {
     cfg.folded_gap_accrual = args.get_bool("folded-g", cfg.folded_gap_accrual);
+  }
+  if (args.has("churn-aware")) {
+    // One switch for both schemes: the flag pair exists so configs can
+    // A/B each side independently, but the CLI treats departure-awareness
+    // as a single mode.
+    const bool aware = args.get_bool("churn-aware", false);
+    cfg.offline_churn_aware = aware;
+    cfg.online_churn_aware = aware;
   }
   if (args.has("eta")) cfg.eta = args.get_double("eta", cfg.eta);
   if (args.has("beta")) cfg.beta = args.get_double("beta", cfg.beta);

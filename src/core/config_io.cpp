@@ -167,6 +167,8 @@ void read_per_user_entry(const util::JsonValue& object, const std::string& where
         } else if (key == "link_degradations") {
           out.link_degradations =
               static_cast<std::uint32_t>(read_uint(value, key));
+        } else if (key == "priority") {
+          out.priority = read_double(value, key);
         } else {
           return false;
         }
@@ -316,6 +318,8 @@ void write_config_members(util::JsonWriter& json,
   json.member("offline_adaptive_grid", config.offline_adaptive_grid);
   json.member("online_batch_decide", config.online_batch_decide);
   json.member("folded_gap_accrual", config.folded_gap_accrual);
+  json.member("offline_churn_aware", config.offline_churn_aware);
+  json.member("online_churn_aware", config.online_churn_aware);
   json.member("eta", config.eta);
   json.member("beta", config.beta);
   json.member("real_training", config.real_training);
@@ -421,6 +425,7 @@ void write_config_members(util::JsonWriter& json,
         json.member("link_degradations",
                     static_cast<std::uint64_t>(pu.link_degradations));
       }
+      if (pu.priority != 1.0) json.member("priority", pu.priority);
       json.end_object();
     }
     json.end_array();
@@ -494,6 +499,10 @@ ExperimentConfig config_from_json(const std::string& text) {
           config.online_batch_decide = read_bool(value, key);
         } else if (key == "folded_gap_accrual") {
           config.folded_gap_accrual = read_bool(value, key);
+        } else if (key == "offline_churn_aware") {
+          config.offline_churn_aware = read_bool(value, key);
+        } else if (key == "online_churn_aware") {
+          config.online_churn_aware = read_bool(value, key);
         } else if (key == "eta") {
           config.eta = read_double(value, key);
         } else if (key == "beta") {

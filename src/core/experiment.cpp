@@ -405,6 +405,28 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     return expected_lag(users_[user], status, app, t);
   }
 
+  [[nodiscard]] sim::Slot user_leave_slot(std::size_t user) const override {
+    return users_[user].leave;
+  }
+
+  [[nodiscard]] double user_priority(std::size_t user) const override {
+    return priority_.empty() ? 1.0 : priority_[user];
+  }
+
+  [[nodiscard]] sim::Slot training_end_slot(std::size_t user,
+                                            device::AppStatus status,
+                                            device::AppKind app,
+                                            sim::Slot t) const override {
+    // Same duration table (and the same indexing) the expected_lag lookahead
+    // and fill_decide_inputs use, so the scalar and batched churn-aware
+    // paths see one end-slot arithmetic.
+    const UserState& u = users_[user];
+    return t + lag_slots_[static_cast<std::size_t>(u.dev_kind)]
+                         [status == device::AppStatus::kApp
+                              ? static_cast<std::size_t>(app)
+                              : device::kAppKinds];
+  }
+
   void fill_decide_inputs(const std::uint32_t* users, std::size_t count,
                           sim::Slot t, unsigned char* app_column,
                           sim::Slot* end_slot) override {
@@ -691,6 +713,10 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
         if (degrade_mask_.empty()) degrade_mask_.assign(cfg_.num_users, 0);
         degrade_mask_[i] = pu.link_degradations;
         degrade_union_ |= pu.link_degradations;
+      }
+      if (pu.priority != 1.0) {
+        if (priority_.empty()) priority_.assign(cfg_.num_users, 1.0);
+        priority_[i] = pu.priority;
       }
       u.battery = device::Battery{cfg_.battery};
       u.thermal = device::ThermalModel{cfg_.thermal};
@@ -1803,6 +1829,9 @@ class Driver final : public SchedulerContext, private Scheduler::DecisionSink {
     unsigned char dev_kind = 0;
   };
   std::vector<DecideHot> decide_hot_;
+  /// Per-user scheduling weights (VIP classes). Left unallocated for the
+  /// common all-1.0 fleet — user_priority answers 1.0 without a table.
+  std::vector<double> priority_;
   /// Per-user gap values g_i (Eq. 12) and their per-slot classification —
   /// flat arrays so the sweep walks them cache-linearly.
   std::vector<double> gap_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "core/campaign.hpp"
@@ -38,6 +39,7 @@ OfflinePlannerConfig make_planner_config(const ExperimentConfig& config) {
   planner.incremental = config.offline_incremental_replan;
   planner.parallel = config.offline_parallel_plan;
   planner.adaptive_grid = config.offline_adaptive_grid;
+  planner.churn_aware = config.offline_churn_aware;
   return planner;
 }
 
@@ -59,6 +61,32 @@ OfflineWindowPlan OfflinePlanner::plan(
 
   const double t0 = static_cast<double>(window_begin) * config_.slot_seconds;
 
+  // Churn-aware feasibility pre-pass: a co-run whose session would end
+  // after the user's known departure is dropped to the no-arrival branch —
+  // the plan never waits for work the departure makes unfinishable. A
+  // session ending exactly at the leave slot stays feasible (in-flight
+  // sessions run to completion).
+  constexpr sim::Slot kNever = std::numeric_limits<sim::Slot>::max();
+  const bool churn = config_.churn_aware;
+  std::vector<std::uint8_t>& infeasible = infeasible_;
+  if (churn) {
+    infeasible.assign(users.size(), 0);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const auto& u = users[i];
+      if (!u.next_arrival || u.leave_slot == kNever) continue;
+      const double end_s =
+          static_cast<double>(*u.next_arrival) * config_.slot_seconds +
+          device::training_duration_s(*u.dev, device::AppStatus::kApp,
+                                      u.arrival_app);
+      if (end_s > static_cast<double>(u.leave_slot) * config_.slot_seconds) {
+        infeasible[i] = 1;
+      }
+    }
+  }
+  const auto corun_ok = [&](std::size_t i) {
+    return users[i].next_arrival.has_value() && (!churn || infeasible[i] == 0);
+  };
+
   // Candidate execution windows for the Lemma 1 lag bound (scratch
   // buffers persist across windows, so steady-state replans allocate
   // nothing here).
@@ -68,11 +96,11 @@ OfflineWindowPlan OfflinePlanner::plan(
     const auto& u = users[i];
     windows[i].begin = t0;
     windows[i].app_arrival =
-        u.next_arrival
+        corun_ok(i)
             ? static_cast<double>(*u.next_arrival) * config_.slot_seconds
             : t0;
     windows[i].duration =
-        u.next_arrival
+        corun_ok(i)
             ? device::training_duration_s(*u.dev, device::AppStatus::kApp,
                                           u.arrival_app)
             : u.dev->train_time_s;
@@ -120,7 +148,7 @@ OfflineWindowPlan OfflinePlanner::plan(
   const auto build_item = [&](std::size_t i) {
     const auto& u = users[i];
     const double lag = static_cast<double>(out.lag_bounds[i]);
-    if (u.next_arrival) {
+    if (corun_ok(i)) {
       const double wait_s = windows[i].app_arrival - t0;
       const double wait_slots = wait_s / config_.slot_seconds;
       items[i].value = device::corun_saving_joules(*u.dev, u.arrival_app);
@@ -136,7 +164,22 @@ OfflineWindowPlan OfflinePlanner::plan(
       items[i].weight =
           u.current_gap +
           config_.epsilon * static_cast<double>(config_.window_slots);
+      if (churn && u.leave_slot != kNever) {
+        // Deweight the deferral by the remaining-presence fraction: a user
+        // departing mid-window can only realise that fraction of the
+        // deferred co-run opportunity.
+        const double presence = std::clamp(
+            (static_cast<double>(u.leave_slot) -
+             static_cast<double>(window_begin)) /
+                static_cast<double>(config_.window_slots),
+            0.0, 1.0);
+        items[i].value *= presence;
+      }
     }
+    // Priority scales the staleness cost (not the saving): deferring a
+    // VIP's work consumes proportionally more of the window budget, so
+    // VIPs are the first to be scheduled now. 1.0 is the exact identity.
+    if (u.priority != 1.0) items[i].weight *= u.priority;
     if (items[i].value < 0.0) items[i].value = 0.0;  // co-run never helps here
   };
   if (pool_ != nullptr) {
@@ -168,7 +211,7 @@ OfflineWindowPlan OfflinePlanner::plan(
 
   for (std::size_t i = 0; i < users.size(); ++i) {
     if (out.knapsack.selected[i]) {
-      if (users[i].next_arrival) {
+      if (corun_ok(i)) {
         out.plans[i].action = OfflineAction::kWaitForApp;
         out.plans[i].start_slot = *users[i].next_arrival;
       } else {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -59,6 +60,12 @@ struct OfflinePlannerConfig {
   /// round weights up harder, so selections may legally differ from the
   /// fixed-grid plan (never violating the budget).
   bool adaptive_grid = false;
+  /// Churn-aware planning (ExperimentConfig::offline_churn_aware): co-run
+  /// (user, window) pairs whose session would end after the user's known
+  /// departure are dropped to the no-arrival branch, and deferred work is
+  /// deweighted by the fraction of the window the user remains present.
+  /// Off = the oblivious plan of every committed golden.
+  bool churn_aware = false;
 
   static constexpr std::size_t kMinAdaptiveGrid = 64;
 };
@@ -81,6 +88,13 @@ struct OfflineUserInput {
   std::optional<sim::Slot> next_arrival;       ///< first in-window app arrival
   device::AppKind arrival_app = device::AppKind::kMap;
   double momentum_norm = 0.0;                  ///< ||v_t|| for Eq. (4)
+  /// End of the user's current presence window (max() = never leaves).
+  /// Only read when config.churn_aware is set.
+  sim::Slot leave_slot = std::numeric_limits<sim::Slot>::max();
+  /// Scheduling weight (PerUserConfig::priority): scales the user's
+  /// knapsack staleness weight, so VIP (> 1) users are costlier to defer
+  /// and get scheduled now. 1.0 leaves the item untouched.
+  double priority = 1.0;
 };
 
 enum class OfflineAction {
@@ -133,6 +147,7 @@ class OfflinePlanner {
   std::vector<UserWindow> windows_;
   std::vector<KnapsackItem> items_;
   std::vector<std::uint32_t> order_;
+  std::vector<std::uint8_t> infeasible_;  ///< churn-aware dropped co-runs
 };
 
 /// Algorithm 1 applied to one window starting at `window_begin` — the

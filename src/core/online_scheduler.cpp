@@ -48,7 +48,8 @@ OnlineDecisionOutcome OnlineScheduler::decide(
   const double p_idle = device::power_w(dev, device::Decision::kIdle,
                                         input.app_status, input.app);
   return evaluate(p_schedule, p_idle, input.current_gap, input.expected_lag,
-                  input.momentum_norm, queues_.q(), queues_.h());
+                  input.momentum_norm, queues_.q(),
+                  queues_.h() * input.h_scale);
 }
 
 }  // namespace fedco::core

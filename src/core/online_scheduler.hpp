@@ -33,6 +33,11 @@ struct OnlineDecisionInput {
   double current_gap = 0.0;     ///< accumulated g_i(t-1, t+tau-1)
   double expected_lag = 0.0;    ///< l_{d_i} supplied by the server
   double momentum_norm = 0.0;   ///< ||v_t||_2
+  /// Per-user discount/boost on the H(t) staleness term: the churn-aware
+  /// remaining-presence factor times the user's priority weight. 1.0 (the
+  /// default) is the exact identity — h * 1.0 == h bit for bit, so
+  /// oblivious runs stay on the committed goldens.
+  double h_scale = 1.0;
 };
 
 /// Detailed outcome of one decision evaluation (exposed for tests/benches).

@@ -106,6 +106,33 @@ class SchedulerContext {
                                             device::AppKind app,
                                             sim::Slot t) const = 0;
 
+  /// End of the user's current presence window (scenario::kNeverLeaves for
+  /// homogeneous fleets and never-churning users). Defaulted so only the
+  /// churn-aware modes need a driver that answers it.
+  [[nodiscard]] virtual sim::Slot user_leave_slot(std::size_t user) const {
+    (void)user;
+    return scenario::kNeverLeaves;
+  }
+  /// Scheduling weight of the user (PerUserConfig::priority; 1.0 =
+  /// standard). Defaulted for the same reason as user_leave_slot.
+  [[nodiscard]] virtual double user_priority(std::size_t user) const {
+    (void)user;
+    return 1.0;
+  }
+  /// End slot of a training session started at `t` in the given app
+  /// context — t + the user's Table II duration in slots, the same
+  /// arithmetic fill_decide_inputs writes into end_slot[]. Defaulted (no
+  /// duration known -> t) so only churn-aware consumers need an answer.
+  [[nodiscard]] virtual sim::Slot training_end_slot(std::size_t user,
+                                                    device::AppStatus status,
+                                                    device::AppKind app,
+                                                    sim::Slot t) const {
+    (void)user;
+    (void)status;
+    (void)app;
+    return t;
+  }
+
   /// Batched decide-input prefill for a due batch at slot `t` (ascending
   /// user order — the decide_batch hot path). For each users[k] the driver
   /// materializes the live session through t (exactly user_app) and writes

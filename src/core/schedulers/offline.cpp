@@ -31,6 +31,8 @@ void OfflineScheduler::on_slot_begin(sim::Slot t, SchedulerContext& ctx) {
     in.dev = &ctx.user_device(i);
     in.current_gap = ctx.user_gap(i);
     in.momentum_norm = ctx.momentum_norm();
+    in.leave_slot = ctx.user_leave_slot(i);
+    in.priority = ctx.user_priority(i);
     if (const auto arrival = ctx.next_arrival_between(i, t, t + window_slots_)) {
       in.next_arrival = arrival->at;
       in.arrival_app = arrival->app;

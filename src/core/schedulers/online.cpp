@@ -16,6 +16,11 @@ device::Decision OnlineLyapunovScheduler::decide(std::size_t user, sim::Slot t,
   input.current_gap = ctx.user_gap(user);
   input.momentum_norm = momentum_norm_;  // constant within a slot, see hpp
   input.expected_lag = ctx.expected_lag(user, input.app_status, input.app, t);
+  if (churn_aware_ || has_priority_) {
+    input.h_scale = h_scale_for(
+        ctx, user, t,
+        ctx.training_end_slot(user, input.app_status, input.app, t));
+  }
   return online_.decide(ctx.user_device(user), input).decision;
 }
 
@@ -69,8 +74,14 @@ void OnlineLyapunovScheduler::decide_batch(const std::uint32_t* users,
     const std::uint32_t user = users[k];
     const PowerPair& power = user_power_[user][app_col_[k]];
     const double lag = ctx.lag_count_at(end_slot_[k]);
+    // Same h * scale product as the scalar path's queues_.h() * h_scale —
+    // the batched-vs-scalar goldens stay pinned in the churn/VIP modes too.
+    const double h_eff = churn_aware_ || has_priority_
+                             ? h * h_scale_for(ctx, user, t, end_slot_[k])
+                             : h;
     if (online_.decide_batched(power.schedule, power.idle, gaps[user], lag,
-                               momentum, q, h) == device::Decision::kSchedule) {
+                               momentum, q, h_eff) ==
+        device::Decision::kSchedule) {
       sink.schedule(user);
     } else {
       sink.idle_until(user, parked_until);

@@ -24,7 +24,8 @@ class OnlineLyapunovScheduler final : public Scheduler {
       : online_({config.V, config.lb, config.epsilon, config.slot_seconds,
                  config.eta, config.beta}),
         decision_interval_slots_(config.decision_interval_slots),
-        batch_enabled_(config.online_batch_decide) {
+        batch_enabled_(config.online_batch_decide),
+        churn_aware_(config.online_churn_aware) {
     // Eq. (10) power levels of the two candidate actions, precomputed per
     // (device kind, foreground app | no-app): the same device::power_w
     // values decide() derives per call, evaluated once. Column kAppKinds
@@ -68,6 +69,16 @@ class OnlineLyapunovScheduler final : public Scheduler {
     for (std::size_t i = 0; i < ctx.num_users(); ++i) {
       user_power_[i] =
           power_[static_cast<std::size_t>(ctx.user_device(i).kind)].data();
+    }
+    // Priority weights are static for a run; one scan decides whether the
+    // hot decision loops consult them at all — all-1.0 fleets never pay a
+    // per-user virtual call for a term that is the exact identity.
+    has_priority_ = false;
+    for (std::size_t i = 0; i < ctx.num_users(); ++i) {
+      if (ctx.user_priority(i) != 1.0) {
+        has_priority_ = true;
+        break;
+      }
     }
   }
 
@@ -118,9 +129,33 @@ class OnlineLyapunovScheduler final : public Scheduler {
     double idle = 0.0;
   };
 
+  /// The Eq. (21) H(t) discount/boost of one user: priority weight times —
+  /// under online_churn_aware — the remaining-presence fraction of a
+  /// session started now (1 when it completes before the departure, the
+  /// completed fraction otherwise). One definition shared by the scalar
+  /// and batched paths so the two compute the identical double product.
+  [[nodiscard]] double h_scale_for(SchedulerContext& ctx, std::size_t user,
+                                   sim::Slot t, sim::Slot end) const {
+    double scale = has_priority_ ? ctx.user_priority(user) : 1.0;
+    if (churn_aware_) {
+      const sim::Slot leave = ctx.user_leave_slot(user);
+      if (leave != scenario::kNeverLeaves && end > t) {
+        const sim::Slot remaining = leave > t ? leave - t : 0;
+        const sim::Slot need = end - t;
+        if (remaining < need) {
+          scale *= static_cast<double>(remaining) / static_cast<double>(need);
+        }
+      }
+    }
+    return scale;
+  }
+
   OnlineScheduler online_;
   sim::Slot decision_interval_slots_;
   bool batch_enabled_;
+  bool churn_aware_;
+  /// Any user with a priority weight != 1.0? (see on_experiment_begin)
+  bool has_priority_ = false;
   double momentum_norm_ = 0.0;  ///< per-slot cache (see on_slot_begin)
   /// [device kind][app, or kAppKinds for no-app] -> Eq. (10) power levels.
   std::array<std::array<PowerPair, device::kAppKinds + 1>,

@@ -81,6 +81,11 @@ void FleetArena::set_link_degradations(std::size_t i, std::uint32_t mask) {
   link_degradations_[i] = mask;
 }
 
+void FleetArena::set_priority(std::size_t i, double weight) {
+  materialize(priority_, num_users_, 1.0);
+  priority_[i] = weight;
+}
+
 PerUserConfig FleetArena::user(std::size_t i) const {
   PerUserConfig pu;
   if (!device_.empty() && device_set_[i] != 0) pu.device = device_[i];
@@ -101,6 +106,7 @@ PerUserConfig FleetArena::user(std::size_t i) const {
         extra_pool_.begin() + extra_begin_[i] + extra_count_[i]);
   }
   if (!link_degradations_.empty()) pu.link_degradations = link_degradations_[i];
+  if (!priority_.empty()) pu.priority = priority_[i];
   return pu;
 }
 
@@ -123,6 +129,7 @@ std::size_t FleetArena::column_count() const noexcept {
   live += extra_count_.empty() ? 0 : 1;
   live += extra_pool_.empty() ? 0 : 1;
   live += link_degradations_.empty() ? 0 : 1;
+  live += priority_.empty() ? 0 : 1;
   return live;
 }
 
@@ -149,6 +156,7 @@ FleetArena fleet_arena_from(const std::vector<PerUserConfig>& fleet) {
     if (pu.link_degradations != 0) {
       arena.set_link_degradations(i, pu.link_degradations);
     }
+    if (pu.priority != 1.0) arena.set_priority(i, pu.priority);
   }
   return arena;
 }

@@ -75,6 +75,12 @@ struct PerUserConfig {
   /// hour-of-day phases is active. 0 = pristine link.
   std::uint32_t link_degradations = 0;
 
+  /// Scheduling weight (VIP class). 1.0 = standard user; >1 biases every
+  /// scheduler's objective toward this user's work, <1 away from it.
+  /// Schedulers only read it behind their priority gates, so an all-1.0
+  /// fleet is bit-identical to the pre-priority goldens.
+  double priority = 1.0;
+
   friend bool operator==(const PerUserConfig&, const PerUserConfig&) = default;
 
   /// Identity override (inherits everything)?
@@ -95,7 +101,7 @@ struct PerUserConfig {
 ///
 /// A std::vector<PerUserConfig> of 1M users costs ~100 MB of AoS optionals
 /// and churns the allocator per user; the arena stores the same information
-/// in at most 17 flat allocations (column_count() reports how many are
+/// in at most 18 flat allocations (column_count() reports how many are
 /// live), independent of fleet size. user(i) reconstitutes the exact
 /// PerUserConfig an AoS fleet would hold — fleet_from(fleet_arena_from(f))
 /// round-trips every fleet (the arena parity tests pin this).
@@ -122,13 +128,14 @@ class FleetArena {
   void set_extra_windows(std::size_t i,
                          const std::vector<PresenceWindow>& windows);
   void set_link_degradations(std::size_t i, std::uint32_t mask);
+  void set_priority(std::size_t i, double weight);
 
   /// The AoS view of user i (what the equivalent vector<PerUserConfig>
   /// would hold at index i).
   [[nodiscard]] PerUserConfig user(std::size_t i) const;
 
   /// Number of live (allocated) columns — the arena's total allocation
-  /// count. Bounded by a constant (17) regardless of fleet size; the
+  /// count. Bounded by a constant (18) regardless of fleet size; the
   /// memory-budget property test pins this.
   [[nodiscard]] std::size_t column_count() const noexcept;
 
@@ -160,6 +167,7 @@ class FleetArena {
   std::vector<std::uint32_t> extra_count_;  // empty = no extra windows
   std::vector<PresenceWindow> extra_pool_;
   std::vector<std::uint32_t> link_degradations_;  // empty = all 0
+  std::vector<double> priority_;                  // empty = all 1.0
 };
 
 /// Pack an AoS fleet into the arena form (test/interop helper).

@@ -206,6 +206,22 @@ void read_faults(const util::JsonValue& object, FaultSpec& out) {
       });
 }
 
+void read_priority(const util::JsonValue& object, PrioritySpec& out) {
+  for_each_member(object, "priority",
+                  [&](const std::string& key, const util::JsonValue& value) {
+                    if (key == "vip_fraction") {
+                      out.vip_fraction = read_double(value, key);
+                    } else if (key == "vip_weight") {
+                      out.vip_weight = read_double(value, key);
+                    } else if (key == "default_weight") {
+                      out.default_weight = read_double(value, key);
+                    } else {
+                      return false;
+                    }
+                    return true;
+                  });
+}
+
 void read_device_mix(const util::JsonValue& object,
                      std::vector<DeviceMixEntry>& out) {
   if (!object.is_object()) {
@@ -351,6 +367,15 @@ std::string spec_to_json(const ScenarioSpec& spec) {
     }
     json.end_object();
   }
+  // Written whenever any field deviates (not just when enabled()): a spec
+  // that only changes vip_weight must still round-trip to an equal spec.
+  if (spec.priority != PrioritySpec{}) {
+    json.key("priority").begin_object();
+    json.member("vip_fraction", spec.priority.vip_fraction);
+    json.member("vip_weight", spec.priority.vip_weight);
+    json.member("default_weight", spec.priority.default_weight);
+    json.end_object();
+  }
   json.member("stream_rng", spec.stream_rng);
   json.end_object();
   return json.str();
@@ -383,6 +408,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
           read_churn(value, spec.churn);
         } else if (key == "faults") {
           read_faults(value, spec.faults);
+        } else if (key == "priority") {
+          read_priority(value, spec.priority);
         } else if (key == "stream_rng") {
           spec.stream_rng = read_bool(value, key);
         } else {

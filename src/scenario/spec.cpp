@@ -160,6 +160,12 @@ void validate(const ScenarioSpec& spec) {
 
   require(f.trace_dir.empty() || !spec.stream_rng,
           "faults.trace_dir is incompatible with stream_rng");
+
+  const PrioritySpec& p = spec.priority;
+  require(p.vip_fraction >= 0.0 && p.vip_fraction <= 1.0,
+          "priority.vip_fraction must be in [0, 1]");
+  require(p.vip_weight > 0.0, "priority.vip_weight must be positive");
+  require(p.default_weight > 0.0, "priority.default_weight must be positive");
 }
 
 std::vector<PerUserConfig> generate_fleet(const ScenarioSpec& spec,
@@ -187,6 +193,10 @@ FleetArena generate_fleet_arena(const ScenarioSpec& spec,
   util::Rng commute_rng = root.fork();
   util::Rng outage_rng = root.fork();
   util::Rng degrade_rng = root.fork();
+  // VIP-selection stream. Forked after every earlier concern for the same
+  // reason: priority-free specs expand bit-identically to pre-priority
+  // fleets — the priority goldens pin this.
+  util::Rng priority_rng = root.fork();
 
   if (!spec.device_mix.empty()) {
     std::vector<device::DeviceKind> assignment =
@@ -399,6 +409,23 @@ FleetArena generate_fleet_arena(const ScenarioSpec& spec,
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (mask[i] != 0) fleet.set_link_degradations(i, mask[i]);
+    }
+  }
+
+  // VIP class assignment: a seeded shuffle picks the VIP set, everyone
+  // else gets default_weight. set_priority only fires for weights != 1.0,
+  // so a spec with vip_fraction 0 and default_weight 1 allocates nothing.
+  if (spec.priority.enabled()) {
+    const auto vips = static_cast<std::size_t>(std::llround(
+        spec.priority.vip_fraction * static_cast<double>(n)));
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    priority_rng.shuffle(order);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double weight = k < std::min(vips, n)
+                                ? spec.priority.vip_weight
+                                : spec.priority.default_weight;
+      if (weight != 1.0) fleet.set_priority(order[k], weight);
     }
   }
 

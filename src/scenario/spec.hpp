@@ -150,6 +150,24 @@ struct FaultSpec {
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
+/// Two-tier VIP priority: vip_fraction of the fleet (seeded-deterministic
+/// pick) carries vip_weight as its scheduling weight, everyone else
+/// default_weight. Weights land in PerUserConfig::priority; schedulers fold
+/// them into their objectives behind their priority gates. A
+/// default-constructed PrioritySpec is inert — priority-free specs expand
+/// bit-identically to pre-priority fleets (the priority goldens pin this).
+struct PrioritySpec {
+  double vip_fraction = 0.0;
+  double vip_weight = 4.0;
+  double default_weight = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return vip_fraction > 0.0 || default_weight != 1.0;
+  }
+
+  friend bool operator==(const PrioritySpec&, const PrioritySpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name = "default";
   std::size_t num_users = 25;
@@ -162,6 +180,7 @@ struct ScenarioSpec {
   NetworkSpec network{};
   ChurnSpec churn{};
   FaultSpec faults{};
+  PrioritySpec priority{};
   /// Run the experiment with counter-based arrival streams (O(events)
   /// setup) instead of the legacy pre-generated full-horizon scripts.
   /// Changes the RNG layout, so results differ from legacy mode; the

@@ -20,6 +20,11 @@
 #      matcher pairs per tag (an events-on regression FAILs while the
 #      events-off row stays OK), and a baseline events-on row whose
 #      candidate lost the tag SKIPs — emitter on/off is a mode change.
+#   10. Rows measured with the departure-aware scheduling mode on carry a
+#      "churn_aware": true tag (PR 10): the matcher pairs per tag (a
+#      churn-aware regression FAILs while the oblivious row stays OK),
+#      and a baseline churn-aware row whose candidate lost the tag SKIPs
+#      — the mode runs a different decision rule, not slower code.
 # Invoked as: cmake -DBENCH_CHECK=<binary> -P bench_check_test.cmake
 
 if(NOT DEFINED BENCH_CHECK)
@@ -296,6 +301,60 @@ if(NOT evskip_out MATCHES "SKIP.*event emitter changed")
 endif()
 if(evskip_out MATCHES "FAIL")
   message(FATAL_ERROR "events-tag mismatch FAILed instead of SKIPping:\n${evskip_out}")
+endif()
+
+# 10a. Both documents carry oblivious and churn-aware rows: the matcher
+#      pairs per tag, so a regressed churn-aware row FAILs while the
+#      identical oblivious row stays OK.
+file(WRITE ${work_dir}/churn_base.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000},\
+{\"scheduler\":\"Offline\",\"seconds\":0.6,\"slots_per_sec\":750.0,\"user_slots_per_sec\":75000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000,\"churn_aware\":true}\
+]}]}\n")
+file(WRITE ${work_dir}/churn_regressed.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000},\
+{\"scheduler\":\"Offline\",\"seconds\":6.0,\"slots_per_sec\":75.0,\"user_slots_per_sec\":7500.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000,\"churn_aware\":true}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/churn_base.json
+          --candidate ${work_dir}/churn_regressed.json
+  OUTPUT_VARIABLE churn_out ERROR_VARIABLE churn_err RESULT_VARIABLE churn_rc
+)
+if(NOT churn_rc EQUAL 1)
+  message(FATAL_ERROR "regressed churn-aware row exited ${churn_rc} (want 1):\n${churn_out}${churn_err}")
+endif()
+if(NOT churn_out MATCHES "FAIL.*\\+churn")
+  message(FATAL_ERROR "regressed churn-aware row printed no FAIL:\n${churn_out}")
+endif()
+if(NOT churn_out MATCHES "OK  +100 users x 600 slots / Offline: ")
+  message(FATAL_ERROR "identical oblivious row was not compared OK:\n${churn_out}")
+endif()
+
+# 10b. The candidate re-measured without the mode: the baseline
+#      churn-aware row pairs tag-blind with the oblivious candidate and
+#      SKIPs — departure-awareness on/off is a mode change, not a
+#      regression. The oblivious pair keeps the comparison non-empty.
+file(WRITE ${work_dir}/churn_untagged.json
+"{\"bench\":\"scale\",\"smoke\":true,\"jobs\":1,\"timing\":\"serial\",\"seed\":1,\"fleets\":[\
+{\"num_users\":100,\"horizon_slots\":600,\"wall_seconds\":1.0,\"process_peak_rss_mib\":10.0,\"schedulers\":[\
+{\"scheduler\":\"Offline\",\"seconds\":0.5,\"slots_per_sec\":800.0,\"user_slots_per_sec\":80000.0,\"updates\":5,\"energy_kj\":1.0,\"planner\":\"parallel+adaptive\",\"knapsack_grid\":1000}\
+]}]}\n")
+execute_process(
+  COMMAND ${BENCH_CHECK} --baseline ${work_dir}/churn_base.json
+          --candidate ${work_dir}/churn_untagged.json
+  OUTPUT_VARIABLE chskip_out ERROR_VARIABLE chskip_err RESULT_VARIABLE chskip_rc
+)
+if(NOT chskip_rc EQUAL 0)
+  message(FATAL_ERROR "churn-tag-lost candidate exited ${chskip_rc} (want 0):\n${chskip_out}${chskip_err}")
+endif()
+if(NOT chskip_out MATCHES "SKIP.*churn-aware mode changed")
+  message(FATAL_ERROR "churn-tag mismatch was not SKIPped:\n${chskip_out}")
+endif()
+if(chskip_out MATCHES "FAIL")
+  message(FATAL_ERROR "churn-tag mismatch FAILed instead of SKIPping:\n${chskip_out}")
 endif()
 
 message(STATUS "bench_check behaviour test passed")

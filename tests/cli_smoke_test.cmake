@@ -116,7 +116,7 @@ endif()
 
 # --- 5. example scenarios ---------------------------------------------------
 foreach(spec churn heterogeneous_fleet global_diurnal homogeneous_paper
-        regional_outage congested_evenings commute trace_replay)
+        regional_outage congested_evenings commute trace_replay vip_priority)
   execute_process(
     COMMAND ${FEDCO_SIM} --scenario ${FEDCO_SCENARIOS}/${spec}.json
             --scheduler online
@@ -127,6 +127,22 @@ foreach(spec churn heterogeneous_fleet global_diurnal homogeneous_paper
   if(NOT spec_rc EQUAL 0)
     message(FATAL_ERROR
       "fedco_sim --scenario ${spec}.json exited with ${spec_rc}:\n${spec_out}${spec_err}")
+  endif()
+endforeach()
+
+# The churn-aware mode over the VIP fleet: the flag must parse, apply to
+# both schedulers' configs, and run the priority fleet end to end.
+foreach(sched offline online)
+  execute_process(
+    COMMAND ${FEDCO_SIM} --scenario ${FEDCO_SCENARIOS}/vip_priority.json
+            --scheduler ${sched} --churn-aware
+    RESULT_VARIABLE aware_rc
+    OUTPUT_VARIABLE aware_out
+    ERROR_VARIABLE aware_err
+  )
+  if(NOT aware_rc EQUAL 0)
+    message(FATAL_ERROR
+      "fedco_sim --churn-aware (${sched}) exited with ${aware_rc}:\n${aware_out}${aware_err}")
   endif()
 endforeach()
 

@@ -10,7 +10,9 @@
 
 #include "core/config_io.hpp"
 #include "core/experiment.hpp"
+#include "core/offline_planner.hpp"
 #include "core/result_io.hpp"
+#include "device/power_model.hpp"
 #include "golden_fingerprint.hpp"
 #include "scenario/spec.hpp"
 
@@ -132,6 +134,7 @@ TEST(FleetMemoryBudget, ArenaAllocationCountIsConstantInFleetSize) {
   spec.diurnal.timezone_spread_hours = 10.0;
   spec.network.lte_fraction = 0.3;
   spec.churn.churn_fraction = 0.2;
+  spec.priority.vip_fraction = 0.1;
   spec.stream_rng = true;
 
   spec.num_users = 10000;
@@ -142,7 +145,7 @@ TEST(FleetMemoryBudget, ArenaAllocationCountIsConstantInFleetSize) {
   // Every concern of this spec is active, yet the arena holds a constant
   // number of flat columns — the same number at 10k and at 100k users.
   EXPECT_EQ(small.column_count(), large.column_count());
-  EXPECT_LE(large.column_count(), 17u);
+  EXPECT_LE(large.column_count(), 18u);
   EXPECT_EQ(large.size(), 100000u);
 
   // A concern the spec never overrides must cost zero columns: the default
@@ -468,6 +471,160 @@ TEST(FaultInvariants, StreamLazyMatchesPregeneratedUnderFaults) {
               fedco::testing::fingerprint(run_experiment(pregen)))
         << scheduler_name(kind);
   }
+}
+
+// ------------------------------------------------------------------------
+// Churn-/priority-aware invariants (PR 10): the departure-aware planner
+// and the presence-discounted online rule change WHICH work is scheduled,
+// never the books — conservation must hold with the flags on, departure
+// feasibility must hold plan by plan, and the priority machinery must be
+// the exact identity when no weight deviates from 1.0.
+
+TEST(ChurnAwareInvariants, PlansNeverCoRunPastTheDeparture) {
+  // Every (device, app) pair at four departure shapes: comfortably
+  // feasible, ending exactly at the leave slot (feasible — in-flight
+  // sessions run to completion), unfinishable, and never-leaving. With an
+  // effectively unbounded budget the knapsack selects every co-run it is
+  // offered, so any unfinishable co-run that survives the feasibility
+  // pre-pass would surface as a kWaitForApp plan here.
+  OfflinePlannerConfig cfg;
+  cfg.lb = 1e12;
+  cfg.window_slots = 3000;
+  cfg.slot_seconds = 1.0;
+  cfg.churn_aware = true;
+  constexpr sim::Slot kArrival = 100;
+  std::vector<OfflineUserInput> users;
+  for (std::size_t k = 0; k < device::kDeviceKinds; ++k) {
+    const device::DeviceProfile& dev =
+        device::profile(static_cast<device::DeviceKind>(k));
+    for (std::size_t a = 0; a < device::kAppKinds; ++a) {
+      const auto app = static_cast<device::AppKind>(a);
+      const auto duration = static_cast<sim::Slot>(std::ceil(
+          device::training_duration_s(dev, device::AppStatus::kApp, app)));
+      for (const sim::Slot leave :
+           {kArrival + duration + 50, kArrival + duration,
+            kArrival + duration / 2, scenario::kNeverLeaves}) {
+        OfflineUserInput in;
+        in.dev = &dev;
+        in.next_arrival = kArrival;
+        in.arrival_app = app;
+        in.momentum_norm = 1.0;
+        in.leave_slot = leave;
+        users.push_back(in);
+      }
+    }
+  }
+  const OfflineWindowPlan aware = plan_window(0, users, cfg);
+  std::size_t co_runs = 0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (aware.plans[i].action != OfflineAction::kWaitForApp) continue;
+    ++co_runs;
+    const double end_s =
+        static_cast<double>(aware.plans[i].start_slot) * cfg.slot_seconds +
+        device::training_duration_s(*users[i].dev, device::AppStatus::kApp,
+                                    users[i].arrival_app);
+    EXPECT_LE(end_s,
+              static_cast<double>(users[i].leave_slot) * cfg.slot_seconds)
+        << "user " << i;
+  }
+  // The feasible shapes (3 of 4 per pair) must actually co-run under the
+  // unbounded budget — an empty plan would vacuously pass the loop above.
+  EXPECT_EQ(co_runs, device::kDeviceKinds * device::kAppKinds * 3);
+
+  // And the property bites: the oblivious planner waits for at least one
+  // co-run the departure makes unfinishable.
+  cfg.churn_aware = false;
+  const OfflineWindowPlan oblivious = plan_window(0, users, cfg);
+  std::size_t doomed = 0;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (oblivious.plans[i].action != OfflineAction::kWaitForApp) continue;
+    const double end_s =
+        static_cast<double>(oblivious.plans[i].start_slot) * cfg.slot_seconds +
+        device::training_duration_s(*users[i].dev, device::AppStatus::kApp,
+                                    users[i].arrival_app);
+    doomed += end_s > static_cast<double>(users[i].leave_slot) ? 1 : 0;
+  }
+  EXPECT_EQ(doomed, device::kDeviceKinds * device::kAppKinds);
+}
+
+TEST(ChurnAwareInvariants, ConservationHoldsWithBothFlagsOn) {
+  // The churn-aware modes only reweight/veto decisions; the Eq. (15)/(16)
+  // queue updates and the energy meters are untouched, so the fault-suite
+  // conservation battery must hold verbatim with the flags on.
+  for (const auto kind : {SchedulerKind::kImmediate, SchedulerKind::kSyncSgd,
+                          SchedulerKind::kOffline, SchedulerKind::kOnline}) {
+    scenario::ScenarioSpec spec;
+    spec.num_users = 24;
+    spec.horizon_slots = 3000;
+    spec.arrival.mean_probability = 0.01;
+    spec.churn.churn_fraction = 0.6;
+    spec.churn.min_presence = 0.2;
+    spec.churn.max_presence = 0.7;
+    spec.priority.vip_fraction = 0.25;
+    spec.priority.vip_weight = 4.0;
+    ExperimentConfig cfg;
+    cfg.scheduler = kind;
+    cfg.seed = 13;
+    cfg.offline_churn_aware = true;
+    cfg.online_churn_aware = true;
+    expect_fault_conservation(apply_scenario(spec, cfg), "churn-aware");
+  }
+}
+
+TEST(ChurnAwareInvariants, VipFractionZeroAllocatesNothing) {
+  // A priority block that assigns no VIPs is the exact identity: zero
+  // arena columns, every user at weight 1.0 — so the fleet is
+  // indistinguishable from one generated without the block (the golden
+  // identity lives in scenario_priority_test; this pins the memory side).
+  scenario::ScenarioSpec spec;
+  spec.num_users = 500;
+  spec.horizon_slots = 600;
+  spec.priority.vip_fraction = 0.0;
+  spec.priority.vip_weight = 16.0;
+  const scenario::FleetArena fleet = scenario::generate_fleet_arena(spec, 3);
+  EXPECT_EQ(fleet.column_count(), 0u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet.user(i).priority, 1.0);
+  }
+}
+
+TEST(ChurnAwareInvariants, StreamLazyMatchesPregeneratedOnPriorityFleets) {
+  // The lazy-vs-pregenerated stream parity must survive the new modes: the
+  // priority column and churn-aware decisions read fleet state, never the
+  // arrival machinery, so the A/B switch stays bit-identical.
+  for (const auto kind : {SchedulerKind::kImmediate, SchedulerKind::kSyncSgd,
+                          SchedulerKind::kOffline, SchedulerKind::kOnline}) {
+    scenario::ScenarioSpec spec;
+    spec.num_users = 24;
+    spec.horizon_slots = 2400;
+    spec.arrival.distribution =
+        scenario::ArrivalSpec::Distribution::kLogNormal;
+    spec.arrival.mean_probability = 0.008;
+    spec.arrival.sigma = 0.5;
+    spec.churn.churn_fraction = 0.5;
+    spec.churn.min_presence = 0.3;
+    spec.churn.max_presence = 0.8;
+    spec.priority.vip_fraction = 0.2;
+    spec.priority.vip_weight = 4.0;
+    spec.stream_rng = true;
+    ExperimentConfig base;
+    base.scheduler = kind;
+    base.seed = 42;
+    base.offline_churn_aware = true;
+    base.online_churn_aware = true;
+    ExperimentConfig lazy = apply_scenario(spec, base);
+    lazy.pregenerate_streams = false;
+    ExperimentConfig pregen = lazy;
+    pregen.pregenerate_streams = true;
+    EXPECT_EQ(fedco::testing::fingerprint(run_experiment(lazy)),
+              fedco::testing::fingerprint(run_experiment(pregen)))
+        << scheduler_name(kind);
+  }
+}
+
+TEST(ChurnAwareInvariants, ChurnAwareFlagsAreOptIn) {
+  EXPECT_FALSE(ExperimentConfig{}.offline_churn_aware);
+  EXPECT_FALSE(ExperimentConfig{}.online_churn_aware);
 }
 
 TEST(ResultJson, FileExportAndOptions) {

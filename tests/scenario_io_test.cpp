@@ -54,6 +54,9 @@ ScenarioSpec exotic_spec() {
   spec.faults.commute.period_slots = 720;
   spec.faults.commute.on_slots = 300;
   spec.faults.trace_dir = "/tmp/fedco_traces";
+  spec.priority.vip_fraction = 0.15;
+  spec.priority.vip_weight = 6.5;
+  spec.priority.default_weight = 0.75;
   spec.stream_rng = false;  // trace_dir is incompatible with stream_rng
   return spec;
 }
@@ -154,6 +157,54 @@ TEST(ScenarioIo, MalformedFaultSpecsThrow) {
           "commute.fraction must be in [0, 1]");
   rejects(R"({"stream_rng": true, "faults": {"trace_dir": "/tmp/x"}})",
           "faults.trace_dir is incompatible with stream_rng");
+  // Fraction bounds on otherwise-valid fault entries: out-of-(0, 1]
+  // fractions must be rejected, not clamped.
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": 0, "end_slot": 100, "fraction": 1.5}]}})",
+          "outage needs fraction in (0, 1]");
+  rejects(R"({"faults": {"outages": [
+             {"region": "eu", "start_slot": 0, "end_slot": 100, "fraction": 0.0}]}})",
+          "outage needs fraction in (0, 1]");
+  rejects(R"({"faults": {"degradations": [
+             {"profile": "cell_brownout", "fraction": 1.5}]}})",
+          "degradation fraction must be in (0, 1]");
+  rejects(R"({"faults": {"degradations": [
+             {"profile": "cell_brownout", "fraction": 0.0}]}})",
+          "degradation fraction must be in (0, 1]");
+}
+
+// The priority-block schema (docs/scenarios.md): same strictness contract
+// as the fault schema — unknown keys, wrong types, and out-of-range
+// weights all fail at load time.
+TEST(ScenarioIo, MalformedPrioritySpecsThrow) {
+  const auto rejects = [](const char* json, const char* needle) {
+    try {
+      (void)spec_from_json(json);
+      FAIL() << "accepted: " << json;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string{error.what()}.find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  rejects(R"({"priority": {"vip_fraction": -0.1}})",
+          "priority.vip_fraction must be in [0, 1]");
+  rejects(R"({"priority": {"vip_fraction": 1.5}})",
+          "priority.vip_fraction must be in [0, 1]");
+  rejects(R"({"priority": {"vip_fraction": 0.2, "vip_weight": 0.0}})",
+          "priority.vip_weight must be positive");
+  rejects(R"({"priority": {"vip_fraction": 0.2, "vip_weight": -4.0}})",
+          "priority.vip_weight must be positive");
+  rejects(R"({"priority": {"default_weight": 0.0}})",
+          "priority.default_weight must be positive");
+  rejects(R"({"priority": {"default_weight": -1.0}})",
+          "priority.default_weight must be positive");
+  // Strict-JSON: unknown keys and wrong types inside the block are fatal.
+  EXPECT_THROW((void)spec_from_json(R"({"priority": {"vip_share": 0.2}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"priority": {"vip_weight": "high"}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_from_json(R"({"priority": 4.0})"),
+               std::invalid_argument);
 }
 
 TEST(ScenarioIo, FileRoundTrip) {

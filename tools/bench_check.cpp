@@ -20,7 +20,10 @@
 // streams. Rows measured with the JSONL event emitter attached (PR 8,
 // "events": true) likewise only compare against other events-on rows:
 // the emitter's serialization + I/O is deliberate work, not a scheduler
-// regression. CI runs this against the committed smoke baseline on
+// regression. The departure-aware tag (PR 10, "churn_aware": true) works
+// the same way: a churn-aware row runs a different decision rule (and on
+// churny fleets a different decision stream), so it only compares against
+// other churn-aware rows. CI runs this against the committed smoke baseline on
 // every push (ROADMAP "BENCH trajectory"), so an accidental O(n)
 // regression in the event-driven driver fails loudly instead of rotting
 // silently.
@@ -77,6 +80,11 @@ struct Row {
   /// they only compare against other events-on rows; absent = false keeps
   /// pre-tag baselines comparable.
   bool events = false;
+  /// True on rows measured with the PR 10 departure-aware scheduling mode
+  /// on (offline_churn_aware / online_churn_aware). A churn-aware row runs
+  /// a different decision rule, so it only compares against other
+  /// churn-aware rows; absent = false keeps pre-tag baselines comparable.
+  bool churn_aware = false;
 };
 
 /// One fleet's memory footprint: the process peak RSS high-water mark
@@ -99,7 +107,7 @@ std::string row_name(const Row& row) {
   return std::to_string(row.users) + " users x " +
          std::to_string(row.horizon) + " slots / " + row.scheduler +
          (row.g_mode.empty() ? "" : " (" + row.g_mode + ")") +
-         (row.events ? " +events" : "");
+         (row.churn_aware ? " +churn" : "") + (row.events ? " +events" : "");
 }
 
 std::string fleet_name(const FleetStat& fleet) {
@@ -170,6 +178,9 @@ Doc rows_of(const JsonValue& doc, const std::string& path) {
       if (const JsonValue* events = sched.find("events")) {
         row.events = events->as_bool();
       }
+      if (const JsonValue* churn = sched.find("churn_aware")) {
+        row.churn_aware = churn->as_bool();
+      }
       out.rows.push_back(std::move(row));
     }
   }
@@ -184,7 +195,7 @@ const Row* match(const std::vector<Row>& rows, const Row& key) {
   for (const Row& row : rows) {
     if (row.users == key.users && row.horizon == key.horizon &&
         row.scheduler == key.scheduler && row.g_mode == key.g_mode &&
-        row.events == key.events) {
+        row.events == key.events && row.churn_aware == key.churn_aware) {
       return &row;
     }
   }
@@ -287,6 +298,17 @@ int main(int argc, char** argv) {
             "— mode change, not a regression\n",
             row_name(base).c_str(), base.events ? "on" : "off",
             cand->events ? "on" : "off");
+        continue;
+      }
+      if (cand->churn_aware != base.churn_aware) {
+        // The departure-aware mode runs a different decision rule (a
+        // feasibility pre-pass offline, an H(t)-discount online), so the
+        // row measures different work.
+        std::printf(
+            "SKIP  %s: churn-aware mode changed (baseline %s -> candidate "
+            "%s) — mode change, not a regression\n",
+            row_name(base).c_str(), base.churn_aware ? "on" : "off",
+            cand->churn_aware ? "on" : "off");
         continue;
       }
       ++compared;
